@@ -1,0 +1,109 @@
+//! Full scan baseline (§7.2(1)): "Every point is visited, but only the
+//! columns present in the query filter are accessed."
+
+use flood_store::{scan_full, MultiDimIndex, RangeQuery, ScanStats, Table, Visitor};
+
+/// A degenerate "index" that scans the whole table for every query — the
+/// correctness oracle and performance floor for all other indexes.
+#[derive(Debug)]
+pub struct FullScan {
+    data: Table,
+}
+
+impl FullScan {
+    /// Wrap a table. No reordering, no metadata.
+    pub fn build(table: &Table) -> Self {
+        FullScan {
+            data: table.clone(),
+        }
+    }
+
+    /// The underlying data.
+    pub fn data(&self) -> &Table {
+        &self.data
+    }
+}
+
+impl MultiDimIndex for FullScan {
+    fn execute(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        visitor: &mut dyn Visitor,
+    ) -> ScanStats {
+        let mut stats = ScanStats::default();
+        let mut counter = CountingVisitor {
+            inner: visitor,
+            matched: 0,
+        };
+        scan_full(&self.data, query, agg_dim, &mut counter, &mut stats);
+        stats.points_matched = counter.matched;
+        stats.ranges_scanned = 1;
+        stats
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        0 // no index structure at all
+    }
+
+    fn name(&self) -> &'static str {
+        "Full Scan"
+    }
+}
+
+/// Adapter that counts matches on behalf of [`ScanStats`]; shared by the
+/// baselines in this crate.
+pub(crate) struct CountingVisitor<'a> {
+    pub(crate) inner: &'a mut dyn Visitor,
+    pub(crate) matched: u64,
+}
+
+impl Visitor for CountingVisitor<'_> {
+    #[inline]
+    fn visit(&mut self, row: usize, value: u64) {
+        self.matched += 1;
+        self.inner.visit(row, value);
+    }
+
+    #[inline]
+    fn visit_exact_sum(&mut self, count: usize, sum: u64) {
+        self.matched += count as u64;
+        self.inner.visit_exact_sum(count, sum);
+    }
+
+    fn needs_value(&self) -> bool {
+        self.inner.needs_value()
+    }
+
+    fn supports_exact(&self) -> bool {
+        self.inner.supports_exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flood_store::CountVisitor;
+
+    #[test]
+    fn scans_everything() {
+        let t = Table::from_columns(vec![(0..100).collect(), (0..100).rev().collect()]);
+        let idx = FullScan::build(&t);
+        let q = RangeQuery::all(2).with_range(0, 10, 19);
+        let mut v = CountVisitor::default();
+        let stats = idx.execute(&q, None, &mut v);
+        assert_eq!(v.count, 10);
+        assert_eq!(stats.points_scanned, 100);
+        assert_eq!(stats.points_matched, 10);
+        assert_eq!(idx.index_size_bytes(), 0);
+    }
+
+    #[test]
+    fn unfiltered_query_matches_all() {
+        let t = Table::from_columns(vec![(0..50).collect()]);
+        let idx = FullScan::build(&t);
+        let mut v = CountVisitor::default();
+        idx.execute(&RangeQuery::all(1), None, &mut v);
+        assert_eq!(v.count, 50);
+    }
+}

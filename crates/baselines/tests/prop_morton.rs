@@ -1,0 +1,81 @@
+//! Property tests for the Morton/BIGMIN machinery: encode/decode
+//! round-trips, Z-range containment, and BIGMIN minimality against a
+//! brute-force oracle on small domains.
+
+use flood_baselines::morton::MortonEncoder;
+use flood_store::Table;
+use proptest::prelude::*;
+
+/// Build an encoder over `d` dims spanning `0..=max` each.
+fn encoder(d: usize, max: u64) -> MortonEncoder {
+    let cols: Vec<Vec<u64>> = (0..d).map(|_| vec![0, max]).collect();
+    let t = Table::from_columns(cols);
+    MortonEncoder::new(&t, (0..d).collect())
+}
+
+/// A small-budget encoder so the BIGMIN oracle stays brute-forceable.
+fn tiny_encoder(d: usize, max: u64, bits: u32) -> MortonEncoder {
+    let cols: Vec<Vec<u64>> = (0..d).map(|_| vec![0, max]).collect();
+    let t = Table::from_columns(cols);
+    MortonEncoder::with_bits(&t, (0..d).collect(), bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_roundtrip(d in 1usize..6, coords in proptest::collection::vec(0u64..1_000, 6)) {
+        let e = encoder(d, 1_000);
+        let norm: Vec<u64> = coords[..d].iter().enumerate().map(|(i, &c)| e.normalize(i, c)).collect();
+        let z = e.encode_coords(&norm);
+        prop_assert_eq!(e.decode(z), norm);
+    }
+
+    #[test]
+    fn z_range_contains_all_rect_codes(
+        lo0 in 0u64..200, w0 in 0u64..100,
+        lo1 in 0u64..200, w1 in 0u64..100,
+        probe0 in 0u64..100, probe1 in 0u64..100,
+    ) {
+        let e = encoder(2, 300);
+        let lo = [e.normalize(0, lo0), e.normalize(1, lo1)];
+        let hi = [e.normalize(0, lo0 + w0), e.normalize(1, lo1 + w1)];
+        let (zlo, zhi) = e.z_range(&lo, &hi);
+        // Any point inside the raw rect encodes within [zlo, zhi].
+        let p0 = lo0 + probe0 % (w0 + 1);
+        let p1 = lo1 + probe1 % (w1 + 1);
+        let z = e.encode_coords(&[e.normalize(0, p0), e.normalize(1, p1)]);
+        prop_assert!(z >= zlo && z <= zhi);
+    }
+
+    #[test]
+    fn bigmin_is_minimal_in_rect(
+        z in 0u64..4096,
+        lo0 in 0u64..16, w0 in 0u64..15,
+        lo1 in 0u64..16, w1 in 0u64..15,
+    ) {
+        // 2 dims × 6 bits = 4096 codes; domain 0..=63 per dim, so
+        // normalize is the identity.
+        let e = tiny_encoder(2, 63, 6);
+        let lo = [e.normalize(0, lo0.min(63)), e.normalize(1, lo1.min(63))];
+        let hi = [
+            e.normalize(0, (lo0 + w0).min(63)),
+            e.normalize(1, (lo1 + w1).min(63)),
+        ];
+        if e.z_in_rect(z, &lo, &hi) {
+            // Contract: callers only invoke BIGMIN for z outside the rect.
+            return Ok(());
+        }
+        let got = e.bigmin(z, &lo, &hi);
+        // Brute-force oracle over all codes.
+        let mut want = None;
+        let total_bits = 2 * e.bits();
+        for cand in (z + 1)..(1u64 << total_bits) {
+            if e.z_in_rect(cand, &lo, &hi) {
+                want = Some(cand);
+                break;
+            }
+        }
+        prop_assert_eq!(got, want, "z={} rect={:?}..{:?}", z, lo, hi);
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion bench: Morton encoding and BIGMIN — the Z-order/UB-tree inner
+//! loops ("Indexes based on Z-order incur the cost of computing Z-values",
+//! Table 2 discussion).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flood_baselines::morton::MortonEncoder;
+use flood_store::{RangeQuery, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("morton");
+    for &d in &[2usize, 4, 6] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cols: Vec<Vec<u64>> = (0..d)
+            .map(|_| (0..10_000).map(|_| rng.gen_range(0..1_000_000u64)).collect())
+            .collect();
+        let t = Table::from_columns(cols);
+        let enc = MortonEncoder::new(&t, (0..d).collect());
+
+        group.bench_with_input(BenchmarkId::new("encode_row", d), &d, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % t.len();
+                black_box(enc.encode_row(&t, black_box(i)))
+            })
+        });
+
+        let q = {
+            let mut q = RangeQuery::all(d);
+            for dim in 0..d.min(3) {
+                q = q.with_range(dim, 100_000, 400_000);
+            }
+            q
+        };
+        let (lo, hi) = enc.normalized_rect(&q);
+        let (zlo, zhi) = enc.z_range(&lo, &hi);
+        let probes: Vec<u64> = (0..1_000)
+            .map(|_| rng.gen_range(zlo..=zhi))
+            .filter(|&z| !enc.z_in_rect(z, &lo, &hi))
+            .collect();
+        if !probes.is_empty() {
+            group.bench_with_input(BenchmarkId::new("bigmin", d), &d, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % probes.len();
+                    black_box(enc.bigmin(black_box(probes[i]), &lo, &hi))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: per-cell PLM lookups vs binary search (Fig 17's core
+//! measurement at micro-benchmark precision).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flood_learned::plm::PiecewiseLinearModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn skewed_sorted(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..n)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0f64..1.0);
+            (x * x * x * 1e12) as u64
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plm_lookup");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let values = skewed_sorted(n, 7);
+        let plm = PiecewiseLinearModel::build_default(&values);
+        let mut rng = StdRng::seed_from_u64(9);
+        let probes: Vec<u64> = (0..1_000).map(|_| values[rng.gen_range(0..n)]).collect();
+
+        group.bench_with_input(BenchmarkId::new("plm", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                black_box(plm.lookup_lb(black_box(probes[i]), |j| values[j]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binary_search", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                let p = black_box(probes[i]);
+                black_box(values.partition_point(|&x| x < p))
+            })
+        });
+    }
+    group.finish();
+
+    // δ sweep (Fig 17b).
+    let values = skewed_sorted(100_000, 7);
+    let mut rng = StdRng::seed_from_u64(9);
+    let probes: Vec<u64> = (0..1_000).map(|_| values[rng.gen_range(0..values.len())]).collect();
+    let mut group = c.benchmark_group("plm_delta");
+    for &delta in &[2.0f64, 10.0, 50.0, 200.0, 1000.0] {
+        let plm = PiecewiseLinearModel::build(&values, delta);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(delta as u64),
+            &delta,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % probes.len();
+                    black_box(plm.lookup_lb(black_box(probes[i]), |j| values[j]))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

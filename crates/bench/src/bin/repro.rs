@@ -1,0 +1,110 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale F] [--queries N] [--seed N] [--full]
+//!
+//! experiments:
+//!   tab1 tab2 tab3 tab4
+//!   fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//!   colstore lookup
+//!   all          # everything above, in order
+//! ```
+//!
+//! `--scale` multiplies the default dataset sizes (1.0 ≈ 60k–400k rows per
+//! dataset); `--full` switches sweeps to the paper-sized grids. Absolute
+//! numbers differ from the paper's testbed; the reproduction target is the
+//! *shape* of each result (see EXPERIMENTS.md).
+
+use flood_bench::experiments::{self as exp, ExpConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first().cloned() else {
+        eprintln!("usage: repro <experiment> [--scale F] [--queries N] [--seed N] [--full]");
+        eprintln!("experiments: tab1 tab2 tab3 tab4 fig5 fig7..fig17 colstore lookup all");
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = ExpConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                cfg.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number")
+            }
+            "--queries" => {
+                cfg.queries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queries needs a number")
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--full" => cfg.full = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "# repro {which} (scale={}, queries={}, seed={}, full={})",
+        cfg.scale, cfg.queries, cfg.seed, cfg.full
+    );
+    let t0 = std::time::Instant::now();
+    match which.as_str() {
+        "tab1" => exp::tab1::run(&cfg),
+        "fig5" => exp::fig5::run(&cfg),
+        "fig7" => exp::fig7::run(&cfg),
+        "fig8" => exp::fig8::run(&cfg),
+        "fig9" => exp::fig9::run(&cfg),
+        "fig10" => exp::fig10::run(&cfg),
+        "tab2" => exp::tab2::run(&cfg),
+        "fig11" => exp::fig11::run(&cfg),
+        "fig12" => exp::fig12::run(&cfg),
+        "fig13" => exp::fig13::run(&cfg),
+        "fig14" => exp::fig14::run(&cfg),
+        "tab3" => exp::tab3::run(&cfg),
+        "tab4" => exp::tab4::run(&cfg),
+        "fig15" => exp::fig15::run(&cfg),
+        "fig16" => exp::fig16::run(&cfg),
+        "fig17" => exp::fig17::run(&cfg),
+        "colstore" => exp::colstore::run(&cfg),
+        "costmodel" => exp::costmodel::run(&cfg),
+        "lookup" => exp::lookup::run(&cfg),
+        "all" => {
+            exp::tab1::run(&cfg);
+            exp::colstore::run(&cfg);
+            exp::fig5::run(&cfg);
+            exp::fig7::run(&cfg);
+            exp::fig8::run(&cfg);
+            exp::fig9::run(&cfg);
+            exp::fig10::run(&cfg);
+            exp::tab2::run(&cfg);
+            exp::fig11::run(&cfg);
+            exp::fig12::run(&cfg);
+            exp::fig13::run(&cfg);
+            exp::fig14::run(&cfg);
+            exp::tab3::run(&cfg);
+            exp::tab4::run(&cfg);
+            exp::fig15::run(&cfg);
+            exp::fig16::run(&cfg);
+            exp::fig17::run(&cfg);
+            exp::costmodel::run(&cfg);
+            exp::lookup::run(&cfg);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("\n[{which} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,81 @@
+//! Fig 12: scalability — (a) dataset size, (b) query selectivity, on TPC-H.
+
+use super::ExpConfig;
+use crate::harness::{fmt_ms, run_all_indexes, IndexSet};
+use flood_data::{DatasetKind, Workload, WorkloadKind};
+
+/// (a) Query time as the dataset grows; Flood should scale sub-linearly.
+pub fn run_sizes(cfg: &ExpConfig) {
+    let kind = DatasetKind::TpcH;
+    let base = cfg.rows(kind);
+    let sizes: Vec<usize> = if cfg.full {
+        vec![base / 16, base / 4, base, base * 4]
+    } else {
+        vec![base / 16, base / 4, base]
+    };
+    println!("\n--- Fig 12a: varying dataset size (tpc-h) ---");
+    for n in sizes {
+        let ds = kind.generate(n, cfg.seed);
+        let w = Workload::generate(
+            WorkloadKind::OlapSkewed,
+            &ds,
+            cfg.queries,
+            cfg.target_selectivity(),
+            cfg.seed,
+        );
+        let results = run_all_indexes(
+            &ds.table,
+            &w.train,
+            &w.test,
+            Some(kind.agg_dim()),
+            IndexSet {
+                rtree: false,
+                grid_file: true,
+            },
+            cfg.optimizer(n),
+        );
+        print!("n={n:<9}");
+        for r in &results {
+            print!(" {}={}", shorten(&r.index), fmt_ms(r.avg_query));
+        }
+        println!();
+    }
+}
+
+/// (b) Query time as selectivity varies from 0.001% to 10%.
+pub fn run_selectivity(cfg: &ExpConfig) {
+    let kind = DatasetKind::TpcH;
+    let ds = kind.generate(cfg.rows(kind), cfg.seed);
+    let targets = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+    println!("\n--- Fig 12b: varying query selectivity (tpc-h) ---");
+    for &t in &targets {
+        let w = Workload::generate(WorkloadKind::OlapSkewed, &ds, cfg.queries, t, cfg.seed);
+        let results = run_all_indexes(
+            &ds.table,
+            &w.train,
+            &w.test,
+            Some(kind.agg_dim()),
+            IndexSet {
+                rtree: false,
+                grid_file: true,
+            },
+            cfg.optimizer(ds.table.len()),
+        );
+        print!("sel={t:<8.0e}");
+        for r in &results {
+            print!(" {}={}", shorten(&r.index), fmt_ms(r.avg_query));
+        }
+        println!();
+    }
+}
+
+fn shorten(name: &str) -> String {
+    name.replace(' ', "").chars().take(8).collect()
+}
+
+/// Both panels.
+pub fn run(cfg: &ExpConfig) {
+    println!("\n=== Fig 12: scalability ===");
+    run_sizes(cfg);
+    run_selectivity(cfg);
+}

@@ -1,0 +1,136 @@
+//! Fig 13: scaling the number of dimensions on uniform synthetic data
+//! (§7.5): query time per index, and the ratio vs a full scan (the curse of
+//! dimensionality).
+//!
+//! Workload per the paper: the number of filtered dimensions varies
+//! uniformly from 1 to d, filters land on the first k dimensions, and
+//! per-dimension selectivity is equal with overall selectivity 0.1%.
+
+use super::ExpConfig;
+use crate::harness::{fmt_ms, run_all_indexes, IndexSet, RunResult};
+use flood_data::datasets::uniform;
+use flood_data::workloads::{DimFilter, QueryBuilder, QueryTemplate};
+
+/// Build the paper's dimensional workload: templates for k = 1..=d filtered
+/// dims at equal weight.
+pub fn dimensional_workload(
+    table: &flood_store::Table,
+    n: usize,
+    target: f64,
+    seed: u64,
+) -> flood_data::Workload {
+    let d = table.dims();
+    let templates: Vec<QueryTemplate> = (1..=d)
+        .map(|k| {
+            let per_dim = target.powf(1.0 / k as f64);
+            QueryTemplate::new(
+                &format!("k{k}"),
+                (0..k).map(|dim| DimFilter::range(dim, per_dim)).collect(),
+            )
+        })
+        .collect();
+    let weights = vec![1.0; templates.len()];
+    let mut b = QueryBuilder::new(table, seed);
+    b.workload("dims", &templates, &weights, n, None)
+}
+
+/// Run the sweep; returns per-d index results.
+pub fn run(cfg: &ExpConfig) {
+    println!("\n=== Fig 13: scaling dimensions (uniform synthetic) ===");
+    let dims: Vec<usize> = if cfg.full {
+        vec![2, 4, 6, 9, 12, 15, 18]
+    } else {
+        vec![2, 4, 6, 9]
+    };
+    let n = cfg.rows(flood_data::DatasetKind::Osm);
+    for d in dims {
+        let table = uniform::generate(n, d, cfg.seed);
+        let w = dimensional_workload(&table, cfg.queries, cfg.target_selectivity(), cfg.seed);
+        let results = run_all_indexes(
+            &table,
+            &w.train,
+            &w.test,
+            None,
+            IndexSet {
+                rtree: false,
+                grid_file: d <= 6, // directory grows exponentially with d
+            },
+            cfg.optimizer(n),
+        );
+        let full_scan = results
+            .iter()
+            .find(|r| r.index == "Full Scan")
+            .expect("full scan always runs")
+            .avg_query;
+        print!("d={d:<3}");
+        for r in &results {
+            print!(" {}={}", shorten(r), fmt_ms(r.avg_query));
+        }
+        println!();
+        print!("     ratio vs full scan:");
+        for r in &results {
+            if r.index != "Full Scan" {
+                print!(
+                    " {}={:.1}x",
+                    shorten(r),
+                    full_scan.as_secs_f64() / r.avg_query.as_secs_f64().max(1e-12)
+                );
+            }
+        }
+        println!();
+    }
+}
+
+fn shorten(r: &RunResult) -> String {
+    r.index.replace(' ', "").chars().take(8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensional_workload_covers_k_1_through_d() {
+        let t = uniform::generate(3_000, 4, 1);
+        let w = dimensional_workload(&t, 200, 0.001, 1);
+        let mut seen = [false; 5];
+        for q in &w.train {
+            let k = q.num_filtered();
+            assert!((1..=4).contains(&k));
+            // Filters land on the first k dimensions (paper §7.5).
+            for d in 0..k {
+                assert!(q.filters(d), "dims 0..k must be filtered");
+            }
+            seen[k] = true;
+        }
+        assert!(seen[1..=4].iter().all(|&s| s), "every k should appear");
+    }
+
+    #[test]
+    fn per_dim_selectivity_shrinks_with_k() {
+        let t = uniform::generate(5_000, 3, 2);
+        let w = dimensional_workload(&t, 100, 0.001, 2);
+        // A k=1 query's single range must be far narrower than a k=3
+        // query's per-dim ranges (0.001 vs 0.1 of the domain).
+        let width = |q: &flood_store::RangeQuery, d: usize| {
+            let (lo, hi) = q.bound(d).expect("filtered");
+            (hi - lo) as f64 / uniform::DOMAIN as f64
+        };
+        let k1: Vec<f64> = w
+            .train
+            .iter()
+            .filter(|q| q.num_filtered() == 1)
+            .map(|q| width(q, 0))
+            .collect();
+        let k3: Vec<f64> = w
+            .train
+            .iter()
+            .filter(|q| q.num_filtered() == 3)
+            .map(|q| width(q, 0))
+            .collect();
+        if !(k1.is_empty() || k3.is_empty()) {
+            let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            assert!(avg(&k1) < avg(&k3) / 5.0, "{} vs {}", avg(&k1), avg(&k3));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Fig 14: the index-time / scan-time tradeoff as the number of cells
+//! grows, and whether the learned optimum lands at the minimum (§7.6).
+//!
+//! We fix the learned layout's ordering and scale its column counts
+//! proportionally, measuring per-phase times via Flood's profiled
+//! execution; the optimizer's chosen cell count is reported alongside.
+
+use super::ExpConfig;
+use crate::harness::learn_flood;
+use flood_core::{FloodBuilder, FloodIndex};
+use flood_data::DatasetKind;
+use flood_store::CountVisitor;
+
+/// One sweep point.
+pub struct SweepPoint {
+    /// Total cells of this layout.
+    pub cells: usize,
+    /// Average total query time (ms).
+    pub total_ms: f64,
+    /// Average scan time (ms).
+    pub scan_ms: f64,
+    /// Average index (projection + refinement) time (ms).
+    pub index_ms: f64,
+    /// Scan overhead.
+    pub so: f64,
+}
+
+/// Measure one index over the test split with phase timing.
+fn profile(index: &FloodIndex, test: &[flood_store::RangeQuery]) -> (f64, f64, f64, f64) {
+    let mut scan = 0u64;
+    let mut idx = 0u64;
+    let mut total = 0u64;
+    let mut stats = flood_store::ScanStats::default();
+    for q in test {
+        let mut v = CountVisitor::default();
+        let (s, t) = index.execute_profiled(q, None, &mut v);
+        scan += t.scan_ns;
+        idx += t.index_ns();
+        total += t.total_ns();
+        stats.merge(&s);
+    }
+    let n = test.len().max(1) as f64;
+    (
+        total as f64 / 1e6 / n,
+        scan as f64 / 1e6 / n,
+        idx as f64 / 1e6 / n,
+        stats.scan_overhead().unwrap_or(f64::NAN),
+    )
+}
+
+/// Run the sweep; returns the points and the learned layout's cell count.
+pub fn sweep(cfg: &ExpConfig) -> (Vec<SweepPoint>, usize) {
+    let kind = DatasetKind::TpcH;
+    let (ds, w) = cfg.dataset_and_workload(kind);
+    let flood = learn_flood(&ds.table, &w.train, cfg.optimizer(ds.table.len()));
+    let learned = flood.layout().clone();
+    let learned_cells = learned.num_cells();
+
+    let factors: &[f64] = if cfg.full {
+        &[1.0 / 64.0, 1.0 / 16.0, 0.25, 1.0, 4.0, 16.0, 64.0]
+    } else {
+        &[1.0 / 16.0, 0.25, 1.0, 4.0, 16.0]
+    };
+    let k = learned.cols().len().max(1) as f64;
+    let mut points = Vec::new();
+    for &f in factors {
+        let per_dim = f.powf(1.0 / k);
+        let cols: Vec<usize> = learned
+            .cols()
+            .iter()
+            .map(|&c| ((c as f64 * per_dim).round() as usize).clamp(1, 8_192))
+            .collect();
+        let layout = learned.with_cols(cols);
+        let cells = layout.num_cells();
+        let index = if f == 1.0 {
+            // Reuse the already built learned index.
+            None
+        } else {
+            Some(FloodBuilder::new().layout(layout).build(&ds.table))
+        };
+        let idx_ref = index.as_ref().unwrap_or(&flood);
+        let (total_ms, scan_ms, index_ms, so) = profile(idx_ref, &w.test);
+        points.push(SweepPoint {
+            cells,
+            total_ms,
+            scan_ms,
+            index_ms,
+            so,
+        });
+    }
+    points.sort_by_key(|p| p.cells);
+    points.dedup_by_key(|p| p.cells);
+    (points, learned_cells)
+}
+
+/// Print the cost surface.
+pub fn run(cfg: &ExpConfig) {
+    println!("\n=== Fig 14: cells vs query/scan/index time (tpc-h) ===");
+    let (points, learned_cells) = sweep(cfg);
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>8}",
+        "cells", "query(ms)", "scan(ms)", "index(ms)", "SO"
+    );
+    for p in &points {
+        let marker = if p.cells == learned_cells { "  <- learned optimum" } else { "" };
+        println!(
+            "{:>10} {:>12.3} {:>10.3} {:>10.3} {:>8.2}{marker}",
+            p.cells, p.total_ms, p.scan_ms, p.index_ms, p.so
+        );
+    }
+    let best = points
+        .iter()
+        .min_by(|a, b| a.total_ms.partial_cmp(&b.total_ms).expect("finite"))
+        .expect("non-empty sweep");
+    println!(
+        "sweep minimum at {} cells ({:.3} ms); learned layout chose {} cells",
+        best.cells, best.total_ms, learned_cells
+    );
+}

@@ -1,0 +1,83 @@
+//! Fig 16: sampling the query workload — learning time and resulting query
+//! time as the optimizer's query-sample size varies (§7.7). "Since queries
+//! within each type have similar characteristics … Flood only requires a
+//! few queries of each type to learn a good layout."
+
+use super::ExpConfig;
+use flood_core::{FloodBuilder, LayoutOptimizer, OptimizerConfig};
+use flood_data::DatasetKind;
+use flood_store::{CountVisitor, MultiDimIndex};
+use std::time::Instant;
+
+/// One measurement row.
+pub struct QuerySampleRow {
+    /// Query-sample size used for learning.
+    pub sample: usize,
+    /// Mean layout-learning time (s).
+    pub learn_s: f64,
+    /// Mean test query time (ms) and standard deviation over trials.
+    pub query_ms: (f64, f64),
+}
+
+/// Run one dataset's sweep.
+pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) -> Vec<QuerySampleRow> {
+    let (ds, w) = cfg.dataset_and_workload(kind);
+    let n = ds.table.len();
+    let samples: Vec<usize> = [5usize, 10, 25, w.train.len()]
+        .iter()
+        .copied()
+        .filter(|&s| s <= w.train.len())
+        .collect();
+    let trials = if cfg.full { 3 } else { 2 };
+    let mut out = Vec::new();
+    for s in samples {
+        let mut learns = Vec::new();
+        let mut queries = Vec::new();
+        for trial in 0..trials {
+            let opt_cfg = OptimizerConfig {
+                query_sample: s,
+                seed: cfg.seed.wrapping_add(100 + trial as u64),
+                ..cfg.optimizer(n)
+            };
+            let optimizer = LayoutOptimizer::with_config(crate::harness::calibrated_cost_model().clone(), opt_cfg);
+            let t0 = Instant::now();
+            let learned = optimizer.optimize(&ds.table, &w.train);
+            learns.push(t0.elapsed().as_secs_f64());
+            let index = FloodBuilder::new().layout(learned.layout).build(&ds.table);
+            let t0 = Instant::now();
+            for q in &w.test {
+                let mut v = CountVisitor::default();
+                index.execute(q, None, &mut v);
+            }
+            queries.push(t0.elapsed().as_secs_f64() * 1e3 / w.test.len().max(1) as f64);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let m = mean(&queries);
+        let std = (queries.iter().map(|q| (q - m) * (q - m)).sum::<f64>() / queries.len() as f64)
+            .sqrt();
+        out.push(QuerySampleRow {
+            sample: s,
+            learn_s: mean(&learns),
+            query_ms: (m, std),
+        });
+    }
+    out
+}
+
+/// Print all datasets.
+pub fn run(cfg: &ExpConfig) {
+    println!("\n=== Fig 16: query-sample size vs learning & query time ===");
+    for kind in DatasetKind::ALL {
+        println!("\n--- {} ---", kind.name());
+        println!(
+            "{:>10} {:>12} {:>18}",
+            "queries", "learn (s)", "query (ms ± std)"
+        );
+        for row in run_dataset(cfg, kind) {
+            println!(
+                "{:>10} {:>12.3} {:>12.3} ± {:.3}",
+                row.sample, row.learn_s, row.query_ms.0, row.query_ms.1
+            );
+        }
+    }
+}

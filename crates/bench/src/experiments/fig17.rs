@@ -1,0 +1,133 @@
+//! Fig 17: per-cell CDF models (§7.8) — (a) PLM vs RMI vs binary search on
+//! OSM timestamps and staggered-uniform data; (b) the δ size/speed tradeoff.
+
+use super::ExpConfig;
+use flood_data::datasets::osm;
+use flood_learned::plm::PiecewiseLinearModel;
+use flood_learned::rmi::{Rmi, RmiConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Staggered uniform data: "uniform over identically sized but disjoint
+/// intervals".
+pub fn staggered_uniform(n: usize, intervals: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = 1_000_000u64;
+    let gap = 9_000_000u64;
+    let mut v: Vec<u64> = (0..n)
+        .map(|_| {
+            let i = rng.gen_range(0..intervals as u64);
+            i * (width + gap) + rng.gen_range(0..width)
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Average lookup time (ns) of `lookup(probe)` over the probe set.
+fn time_lookups(probes: &[u64], mut lookup: impl FnMut(u64) -> usize) -> f64 {
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for &p in probes {
+        sink = sink.wrapping_add(lookup(p));
+    }
+    let elapsed = t0.elapsed().as_nanos() as f64 / probes.len().max(1) as f64;
+    std::hint::black_box(sink);
+    elapsed
+}
+
+fn probes(values: &[u64], n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| values[rng.gen_range(0..values.len())]).collect()
+}
+
+/// (a) Compare the three per-cell model options on one sorted value set.
+pub fn compare(values: &[u64], label: &str, n_probes: usize, seed: u64) {
+    let p = probes(values, n_probes, seed);
+    let plm = PiecewiseLinearModel::build_default(values);
+    let rmi = Rmi::build(values, RmiConfig::default());
+    let t_plm = time_lookups(&p, |v| plm.lookup_lb(v, |i| values[i]));
+    let t_rmi = time_lookups(&p, |v| rmi.lookup_lb(v, |i| values[i]));
+    let t_bin = time_lookups(&p, |v| values.partition_point(|&x| x < v));
+    println!(
+        "{label:<22} {:>10.1} {:>10.1} {:>10.1} {:>9} {:>10}",
+        t_plm,
+        t_rmi,
+        t_bin,
+        plm.num_segments(),
+        crate::harness::fmt_bytes(plm.size_bytes()),
+    );
+}
+
+/// Run both panels.
+pub fn run(cfg: &ExpConfig) {
+    println!("\n=== Fig 17a: per-cell model lookup time (ns) ===");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>9} {:>10}",
+        "dataset", "PLM", "RMI", "binary", "segments", "PLM size"
+    );
+    let n_probes = if cfg.full { 200_000 } else { 50_000 };
+    // OSM timestamps (paper: 30k / 6M / 105M). The learned models' win over
+    // binary search is a cache effect — it appears once the array outgrows
+    // the LLC — so --full adds a 16M-value point.
+    let mut osm_sizes = vec![(30_000, "osm-30k"), (300_000, "osm-300k"), (1_000_000, "osm-1M")];
+    if cfg.full {
+        osm_sizes.push((16_000_000, "osm-16M"));
+    }
+    for (n, label) in osm_sizes {
+        let table = osm::generate(n, cfg.seed);
+        let mut ts: Vec<u64> = (0..table.len())
+            .map(|r| table.value(r, osm::COL_TIMESTAMP))
+            .collect();
+        ts.sort_unstable();
+        compare(&ts, label, n_probes, cfg.seed);
+    }
+    // Staggered uniform (paper: 500k / 10M).
+    let mut st_sizes = vec![(500_000, "staggered-500k"), (1_000_000, "staggered-1M")];
+    if cfg.full {
+        st_sizes.push((10_000_000, "staggered-10M"));
+    }
+    for (n, label) in st_sizes {
+        let vals = staggered_uniform(n, 20, cfg.seed);
+        compare(&vals, label, n_probes, cfg.seed);
+    }
+
+    println!("\n=== Fig 17b: δ tradeoff (PLM size vs lookup time, osm-300k) ===");
+    let table = osm::generate(300_000, cfg.seed);
+    let mut ts: Vec<u64> = (0..table.len())
+        .map(|r| table.value(r, osm::COL_TIMESTAMP))
+        .collect();
+    ts.sort_unstable();
+    let p = probes(&ts, n_probes, cfg.seed);
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "delta", "segments", "size", "lookup(ns)"
+    );
+    for delta in [2.0, 10.0, 50.0, 200.0, 1_000.0] {
+        let plm = PiecewiseLinearModel::build(&ts, delta);
+        let t = time_lookups(&p, |v| plm.lookup_lb(v, |i| ts[i]));
+        println!(
+            "{delta:>8} {:>10} {:>12} {t:>10.1}",
+            plm.num_segments(),
+            crate::harness::fmt_bytes(plm.size_bytes()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staggered_uniform_is_sorted_with_gaps() {
+        let v = staggered_uniform(10_000, 20, 7);
+        assert_eq!(v.len(), 10_000);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        // Every value sits inside one of the 20 disjoint intervals.
+        for &x in v.iter().step_by(97) {
+            let within = x % 10_000_000;
+            assert!(within < 1_000_000, "value {x} falls in a gap");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig 5: the per-point scan weight w_s is not constant — it varies with the
+//! number of scanned points and the average scan run length (locality), the
+//! motivation for learned weight models (§4.1.2).
+
+use super::ExpConfig;
+use flood_core::cost::calibration::{random_layout, CalibrationConfig};
+use flood_core::{FloodConfig, FloodIndex};
+use flood_data::DatasetKind;
+use flood_store::CountVisitor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Collected `(ws, points scanned, avg run length)` samples.
+pub struct WsSamples {
+    /// One entry per query per layout.
+    pub samples: Vec<(f64, f64, f64)>,
+}
+
+/// Gather w_s measurements across random layouts.
+pub fn collect(cfg: &ExpConfig) -> WsSamples {
+    let (ds, w) = cfg.dataset_and_workload(DatasetKind::TpcH);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cal_cfg = CalibrationConfig {
+        max_cells_log2: 12,
+        ..Default::default()
+    };
+    let n_layouts = if cfg.full { 10 } else { 5 };
+    let mut samples = Vec::new();
+    for _ in 0..n_layouts {
+        let layout = random_layout(ds.table.dims(), &mut rng, &cal_cfg);
+        let index = FloodIndex::build(&ds.table, layout, FloodConfig::default());
+        for q in &w.test {
+            let mut v = CountVisitor::default();
+            let (stats, times) = index.execute_profiled(q, None, &mut v);
+            let ns = (stats.points_scanned + stats.points_in_exact_ranges) as f64;
+            if ns < 1.0 {
+                continue;
+            }
+            let ws = times.scan_ns as f64 / ns;
+            samples.push((ws, ns, stats.avg_run_length()));
+        }
+    }
+    WsSamples { samples }
+}
+
+/// Print w_s binned against both features.
+pub fn run(cfg: &ExpConfig) {
+    let data = collect(cfg);
+    println!("\n=== Fig 5: w_s is not constant ===");
+    print_binned("num scanned points", &data.samples, |s| s.1);
+    print_binned("avg scan run length", &data.samples, |s| s.2);
+    let (min, max) = data
+        .samples
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(mn, mx), s| {
+            (mn.min(s.0), mx.max(s.0))
+        });
+    println!("w_s range across queries: {min:.2} – {max:.2} ns/point ({:.1}x spread)", max / min.max(1e-9));
+}
+
+fn print_binned(label: &str, samples: &[(f64, f64, f64)], key: impl Fn(&(f64, f64, f64)) -> f64) {
+    println!("\nw_s vs {label} (log10 bins):");
+    println!("{:<18} {:>8} {:>14}", "bin", "queries", "avg w_s (ns)");
+    let mut bins: std::collections::BTreeMap<i32, (f64, usize)> = Default::default();
+    for s in samples {
+        let k = key(s).max(1.0).log10().floor() as i32;
+        let e = bins.entry(k).or_insert((0.0, 0));
+        e.0 += s.0;
+        e.1 += 1;
+    }
+    for (k, (sum, n)) in bins {
+        println!(
+            "10^{:<15} {:>8} {:>14.2}",
+            k,
+            n,
+            sum / n as f64
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig 9: representative workload variants (FD/MD/OO/O/Ou/O1/O2/ST) on
+//! TPC-H and OSM. Baselines stay tuned for the Fig 7 (skewed OLAP)
+//! workload; Flood re-learns its layout per variant — the paper's point is
+//! that self-optimization wins when the admin can't retune everything.
+
+use super::ExpConfig;
+use crate::harness::{dims_by_selectivity, fmt_ms, learn_flood, measure, RunResult};
+use flood_baselines::{GridFile, Hyperoctree, KdTree, UbTree, ZOrderIndex};
+use flood_data::{DatasetKind, Workload, WorkloadKind};
+use flood_store::MultiDimIndex;
+
+/// Workload variants per dataset, mirroring the figure's x-axes.
+pub fn variants(kind: DatasetKind) -> Vec<WorkloadKind> {
+    match kind {
+        DatasetKind::TpcH => vec![
+            WorkloadKind::FewerDims,
+            WorkloadKind::ManyDims,
+            WorkloadKind::Mixed,
+            WorkloadKind::OlapSkewed,
+            WorkloadKind::OlapUniform,
+            WorkloadKind::OltpSingleKey,
+            WorkloadKind::OltpTwoKeys,
+            WorkloadKind::SingleType,
+        ],
+        _ => vec![
+            WorkloadKind::FewerDims,
+            WorkloadKind::Mixed,
+            WorkloadKind::OlapSkewed,
+            WorkloadKind::OlapUniform,
+            WorkloadKind::OltpSingleKey,
+            WorkloadKind::SingleType,
+        ],
+    }
+}
+
+/// Run one dataset's panel; returns (variant label, per-index results).
+pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) -> Vec<(String, Vec<RunResult>)> {
+    let ds = kind.generate(cfg.rows(kind), cfg.seed);
+    let tuned_for = Workload::generate(
+        WorkloadKind::OlapSkewed,
+        &ds,
+        cfg.queries,
+        cfg.target_selectivity(),
+        cfg.seed,
+    );
+    // Baselines: built once, tuned for the OLAP workload.
+    let dims = dims_by_selectivity(&ds.table, &tuned_for.train);
+    let filtered: Vec<usize> = dims
+        .iter()
+        .copied()
+        .filter(|&d| tuned_for.train.iter().any(|q| q.filters(d)))
+        .collect();
+    let mut fixed: Vec<Box<dyn MultiDimIndex>> = vec![
+        Box::new(ZOrderIndex::build(&ds.table, filtered.clone())),
+        Box::new(UbTree::build(&ds.table, filtered.clone())),
+        Box::new(Hyperoctree::build(&ds.table, filtered.clone())),
+        Box::new(KdTree::build(&ds.table, filtered.clone())),
+    ];
+    if let Ok(gf) = GridFile::build(&ds.table, filtered.clone()) {
+        fixed.push(Box::new(gf));
+    }
+
+    let agg = Some(kind.agg_dim());
+    let mut out = Vec::new();
+    for v in variants(kind) {
+        let w = Workload::generate(v, &ds, cfg.queries, cfg.target_selectivity(), cfg.seed ^ 7);
+        let mut results: Vec<RunResult> = fixed
+            .iter()
+            .map(|idx| measure(&**idx, &w.test, agg, Default::default()))
+            .collect();
+        // Flood re-learns for each variant.
+        let flood = learn_flood(&ds.table, &w.train, cfg.optimizer(ds.table.len()));
+        results.push(measure(&flood, &w.test, agg, Default::default()));
+        out.push((v.label().to_string(), results));
+    }
+    out
+}
+
+/// Print both panels.
+pub fn run(cfg: &ExpConfig) {
+    println!("\n=== Fig 9: representative workload variants ===");
+    for kind in [DatasetKind::TpcH, DatasetKind::Osm] {
+        let rows = run_dataset(cfg, kind);
+        println!("\n--- {} ---", kind.name());
+        let names: Vec<String> = rows[0].1.iter().map(|r| r.index.clone()).collect();
+        print!("{:<10}", "workload");
+        for n in &names {
+            print!(" {n:>12}");
+        }
+        println!(" (avg ms)");
+        for (label, results) in &rows {
+            print!("{label:<10}");
+            for r in results {
+                print!(" {:>12}", fmt_ms(r.avg_query));
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! §6 lookup-latency comparison: time to *identify* the relevant cells /
+//! pages, excluding scanning — "Flood with flattening takes 0.46ms to
+//! identify relevant grid cells (excluding refinement), while the k-d tree
+//! and hyperoctree take 8.9ms (20×) and 1.8ms (4×) to identify matching
+//! pages".
+//!
+//! Flood's side is its projection phase (per the paper, refinement
+//! excluded); the trees' side is their traversal time, measured as
+//! TT − ST with scan-kernel timing enabled.
+
+use super::ExpConfig;
+use crate::harness::{dims_by_selectivity, learn_flood, measure};
+use flood_baselines::{Hyperoctree, KdTree};
+use flood_data::DatasetKind;
+use flood_store::scan::set_scan_timing;
+use flood_store::CountVisitor;
+
+/// Run the comparison on TPC-H; returns (name, identification ms/query).
+pub fn compare(cfg: &ExpConfig) -> Vec<(String, f64)> {
+    let (ds, w) = cfg.dataset_and_workload(DatasetKind::TpcH);
+    let dims = dims_by_selectivity(&ds.table, &w.train);
+    let filtered: Vec<usize> = dims
+        .iter()
+        .copied()
+        .filter(|&d| w.train.iter().any(|q| q.filters(d)))
+        .collect();
+    let mut out = Vec::new();
+
+    // Flood: projection time only.
+    let flood = learn_flood(&ds.table, &w.train, cfg.optimizer(ds.table.len()));
+    let mut projection_ns = 0u64;
+    for q in &w.test {
+        let mut v = CountVisitor::default();
+        let (_, times) = flood.execute_profiled(q, None, &mut v);
+        projection_ns += times.projection_ns;
+    }
+    out.push((
+        "Flood".to_string(),
+        projection_ns as f64 / 1e6 / w.test.len().max(1) as f64,
+    ));
+
+    // Trees: traversal time = TT − ST.
+    let kd = KdTree::build(&ds.table, filtered.clone());
+    let oct = Hyperoctree::build(&ds.table, filtered);
+    set_scan_timing(true);
+    for (name, r) in [
+        ("K-d tree", measure(&kd, &w.test, None, Default::default())),
+        ("Hyperoctree", measure(&oct, &w.test, None, Default::default())),
+    ] {
+        let st_ms = r.stats.scan_ns as f64 / 1e6 / r.queries.max(1) as f64;
+        let tt_ms = r.avg_query.as_secs_f64() * 1e3;
+        out.push((name.to_string(), (tt_ms - st_ms).max(0.0)));
+    }
+    set_scan_timing(false);
+    out
+}
+
+/// Print it.
+pub fn run(cfg: &ExpConfig) {
+    println!("\n=== §6: cell/page identification latency (tpc-h) ===");
+    let rows = compare(cfg);
+    let flood = rows
+        .iter()
+        .find(|(n, _)| n == "Flood")
+        .expect("Flood present")
+        .1;
+    println!("{:<14} {:>16} {:>10}", "index", "identify (ms)", "vs Flood");
+    for (name, it) in &rows {
+        println!("{name:<14} {it:>16.4} {:>9.1}x", it / flood.max(1e-9));
+    }
+}

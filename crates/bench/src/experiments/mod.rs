@@ -1,0 +1,134 @@
+//! One module per paper experiment; DESIGN.md §4 maps figures/tables to
+//! modules. Every experiment prints the same rows/series its figure or
+//! table reports and is driven through the `repro` binary.
+
+pub mod colstore;
+pub mod costmodel;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod lookup;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+
+use flood_core::OptimizerConfig;
+use flood_data::{Dataset, DatasetKind, Workload, WorkloadKind};
+
+/// Shared experiment configuration, parsed from the `repro` command line.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Multiplier on default dataset sizes.
+    pub scale: f64,
+    /// Queries per workload split.
+    pub queries: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Run the full paper-sized sweeps (slower).
+    pub full: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 1.0,
+            queries: 100,
+            seed: 42,
+            full: false,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Default row counts per dataset (×`scale`). Ratios follow Table 1
+    /// (30M : 300M : 105M : 230M), shrunk to laptop scale.
+    pub fn rows(&self, kind: DatasetKind) -> usize {
+        let base = match kind {
+            DatasetKind::Sales => 60_000.0,
+            DatasetKind::TpcH => 400_000.0,
+            DatasetKind::Osm => 160_000.0,
+            DatasetKind::Perfmon => 300_000.0,
+        };
+        (base * self.scale) as usize
+    }
+
+    /// Layout-optimizer configuration sized for the experiment scale.
+    /// Sampling follows Fig 15/16: ~1–2% of the data and a few dozen
+    /// queries lose nothing.
+    pub fn optimizer(&self, n_rows: usize) -> OptimizerConfig {
+        OptimizerConfig {
+            data_sample: (n_rows / 50).clamp(1_000, 8_000),
+            query_sample: self.queries.min(30),
+            gd_steps: 16,
+            max_total_cells: 1 << 16,
+            init_points_per_cell: 256,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's default target selectivity (0.1%).
+    pub fn target_selectivity(&self) -> f64 {
+        0.001
+    }
+
+    /// Generate a dataset and its Fig 7 (skewed OLAP) workload.
+    pub fn dataset_and_workload(&self, kind: DatasetKind) -> (Dataset, Workload) {
+        let ds = kind.generate(self.rows(kind), self.seed);
+        let w = Workload::generate(
+            WorkloadKind::OlapSkewed,
+            &ds,
+            self.queries,
+            self.target_selectivity(),
+            self.seed,
+        );
+        (ds, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_controls_rows() {
+        let small = ExpConfig {
+            scale: 0.1,
+            ..Default::default()
+        };
+        let big = ExpConfig {
+            scale: 2.0,
+            ..Default::default()
+        };
+        for kind in DatasetKind::ALL {
+            assert!(small.rows(kind) < big.rows(kind));
+        }
+        // Table 1 ratios: tpch is the largest, sales the smallest.
+        let c = ExpConfig::default();
+        assert!(c.rows(DatasetKind::TpcH) > c.rows(DatasetKind::Perfmon));
+        assert!(c.rows(DatasetKind::Sales) < c.rows(DatasetKind::Osm));
+    }
+
+    #[test]
+    fn dataset_and_workload_shapes() {
+        let cfg = ExpConfig {
+            scale: 0.05,
+            queries: 10,
+            ..Default::default()
+        };
+        let (ds, w) = cfg.dataset_and_workload(DatasetKind::Sales);
+        assert_eq!(ds.table.len(), cfg.rows(DatasetKind::Sales));
+        assert_eq!(w.train.len(), 10);
+        assert_eq!(w.test.len(), 10);
+    }
+}

@@ -1,0 +1,345 @@
+//! Shared experiment plumbing: building every index over a dataset, timing
+//! workloads, and printing paper-style tables.
+
+use flood_baselines::{
+    ClusteredIndex, FullScan, GridFile, Hyperoctree, KdTree, RStarTree, UbTree, ZOrderIndex,
+};
+use flood_core::cost::calibration::{calibrate, CalibrationConfig};
+use flood_core::{CostModel, FloodBuilder, FloodIndex, LayoutOptimizer, OptimizerConfig};
+use flood_data::workloads::{DimFilter, QueryBuilder, QueryTemplate};
+use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, ScanStats, Table};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The process-wide calibrated cost model (§4.1.1: "calibration [is] a
+/// one-time cost"; Table 3: the weights transfer across datasets, so one
+/// synthetic calibration serves every experiment).
+static CALIBRATED: OnceLock<CostModel> = OnceLock::new();
+
+/// Calibrate random-forest weight models once per process, on synthetic
+/// data, and reuse them for every layout search.
+pub fn calibrated_cost_model() -> &'static CostModel {
+    CALIBRATED.get_or_init(|| {
+        let t0 = Instant::now();
+        let table = flood_data::datasets::uniform::generate(50_000, 4, 0xCA11B);
+        // A mixed workload covering 1–4 filtered dims at varied widths.
+        let templates: Vec<QueryTemplate> = (1..=4usize)
+            .flat_map(|k| {
+                [0.001f64, 0.01, 0.1].into_iter().map(move |total: f64| {
+                    let per_dim = total.powf(1.0 / k as f64);
+                    QueryTemplate::new(
+                        &format!("k{k}s{total}"),
+                        (0..k).map(|d| DimFilter::range(d, per_dim)).collect(),
+                    )
+                })
+            })
+            .collect();
+        let weights = vec![1.0; templates.len()];
+        let mut qb = QueryBuilder::new(&table, 0xCA11B);
+        let w = qb.workload("calibration", &templates, &weights, 30, None);
+        let (models, report) = calibrate(
+            &table,
+            &w.train,
+            CalibrationConfig {
+                n_layouts: 8,
+                max_cells_log2: 13,
+                reps: 2,
+                ..Default::default()
+            },
+        );
+        eprintln!(
+            "[calibrated cost model in {:.1}s: {} wp / {} wr / {} ws examples]",
+            t0.elapsed().as_secs_f64(),
+            report.examples.0,
+            report.examples.1,
+            report.examples.2
+        );
+        CostModel::new(models)
+    })
+}
+
+/// Result of timing one index over one workload.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Index display name.
+    pub index: String,
+    /// Average query time.
+    pub avg_query: Duration,
+    /// Aggregated stats over the whole workload.
+    pub stats: ScanStats,
+    /// Index structure size in bytes.
+    pub index_size: usize,
+    /// Build time.
+    pub build_time: Duration,
+    /// Number of queries executed.
+    pub queries: usize,
+}
+
+impl RunResult {
+    /// Scan overhead (Table 2's SO).
+    pub fn scan_overhead(&self) -> f64 {
+        self.stats.scan_overhead().unwrap_or(f64::NAN)
+    }
+}
+
+/// Per-dimension selectivity ordering for baseline tuning: most selective
+/// (smallest average fraction of rows matched) first, unfiltered dims last.
+pub fn dims_by_selectivity(table: &Table, queries: &[RangeQuery]) -> Vec<usize> {
+    let n = table.len().max(1);
+    let sample_step = (n / 2_000).max(1);
+    let mut avg = vec![(1.0f64, false); table.dims()];
+    for (d, slot) in avg.iter_mut().enumerate() {
+        let mut total = 0.0;
+        let mut cnt = 0usize;
+        for q in queries {
+            if let Some((lo, hi)) = q.bound(d) {
+                let mut hits = 0usize;
+                let mut seen = 0usize;
+                let mut r = 0;
+                while r < n {
+                    let v = table.value(r, d);
+                    if v >= lo && v <= hi {
+                        hits += 1;
+                    }
+                    seen += 1;
+                    r += sample_step;
+                }
+                total += hits as f64 / seen.max(1) as f64;
+                cnt += 1;
+            }
+        }
+        if cnt > 0 {
+            *slot = (total / cnt as f64, true);
+        }
+    }
+    let mut dims: Vec<usize> = (0..table.dims()).collect();
+    dims.sort_by(|&a, &b| {
+        // Filtered dims first, then by ascending selectivity fraction.
+        avg[b].1
+            .cmp(&avg[a].1)
+            .then(avg[a].0.partial_cmp(&avg[b].0).expect("finite"))
+    });
+    dims
+}
+
+/// Execute `queries` against `index`, returning timing + stats.
+pub fn run_workload(
+    index: &dyn MultiDimIndex,
+    queries: &[RangeQuery],
+    agg_dim: Option<usize>,
+) -> (Duration, ScanStats) {
+    let mut stats = ScanStats::default();
+    let start = Instant::now();
+    for q in queries {
+        let mut v = CountVisitor::default();
+        let s = index.execute(q, agg_dim, &mut v);
+        stats.merge(&s);
+    }
+    let elapsed = start.elapsed();
+    (elapsed / queries.len().max(1) as u32, stats)
+}
+
+/// Which baseline indexes to build (the Grid File and R\*-tree are skippable
+/// the way the paper omits them when they blow up).
+#[derive(Debug, Clone, Copy)]
+pub struct IndexSet {
+    /// Include the Grid File (may fail on skewed data).
+    pub grid_file: bool,
+    /// Include the R\*-tree (paper omits it on larger datasets).
+    pub rtree: bool,
+}
+
+impl Default for IndexSet {
+    fn default() -> Self {
+        IndexSet {
+            grid_file: true,
+            rtree: true,
+        }
+    }
+}
+
+/// Build every baseline + learned Flood, run the workload on each, and
+/// return one row per index (Fig 7's data).
+pub fn run_all_indexes(
+    table: &Table,
+    train: &[RangeQuery],
+    test: &[RangeQuery],
+    agg_dim: Option<usize>,
+    set: IndexSet,
+    optimizer_cfg: OptimizerConfig,
+) -> Vec<RunResult> {
+    let dims = dims_by_selectivity(table, train);
+    let filtered_dims: Vec<usize> = dims
+        .iter()
+        .copied()
+        .filter(|&d| train.iter().any(|q| q.filters(d)))
+        .collect();
+    let index_dims = if filtered_dims.is_empty() {
+        dims.clone()
+    } else {
+        filtered_dims
+    };
+    let mut out = Vec::new();
+
+    let time = |f: &mut dyn FnMut() -> Box<dyn MultiDimIndex>| -> (Box<dyn MultiDimIndex>, Duration) {
+        let t0 = Instant::now();
+        let idx = f();
+        (idx, t0.elapsed())
+    };
+
+    // Full scan.
+    let (idx, build) = time(&mut || Box::new(FullScan::build(table)));
+    out.push(measure(&*idx, test, agg_dim, build));
+
+    // Clustered on the most selective dimension.
+    let key = index_dims[0];
+    let (idx, build) = time(&mut || Box::new(ClusteredIndex::build(table, key)));
+    out.push(measure(&*idx, test, agg_dim, build));
+
+    // R*-tree.
+    if set.rtree {
+        let d = index_dims.clone();
+        let (idx, build) = time(&mut || Box::new(RStarTree::build(table, d.clone())));
+        out.push(measure(&*idx, test, agg_dim, build));
+    }
+
+    // Z-order.
+    let d = index_dims.clone();
+    let (idx, build) = time(&mut || Box::new(ZOrderIndex::build(table, d.clone())));
+    out.push(measure(&*idx, test, agg_dim, build));
+
+    // UB-tree.
+    let d = index_dims.clone();
+    let (idx, build) = time(&mut || Box::new(UbTree::build(table, d.clone())));
+    out.push(measure(&*idx, test, agg_dim, build));
+
+    // Hyperoctree.
+    let d = index_dims.clone();
+    let (idx, build) = time(&mut || Box::new(Hyperoctree::build(table, d.clone())));
+    out.push(measure(&*idx, test, agg_dim, build));
+
+    // K-d tree.
+    let d = index_dims.clone();
+    let (idx, build) = time(&mut || Box::new(KdTree::build(table, d.clone())));
+    out.push(measure(&*idx, test, agg_dim, build));
+
+    // Grid file (skippable: directory blowup on skew).
+    if set.grid_file {
+        let t0 = Instant::now();
+        match GridFile::build(table, index_dims.clone()) {
+            Ok(gf) => {
+                let build = t0.elapsed();
+                out.push(measure(&gf, test, agg_dim, build));
+            }
+            Err(e) => eprintln!("  (grid file skipped: {e})"),
+        }
+    }
+
+    // Flood, layout learned on the train split.
+    let t0 = Instant::now();
+    let flood = learn_flood(table, train, optimizer_cfg);
+    let build = t0.elapsed();
+    out.push(measure(&flood, test, agg_dim, build));
+
+    out
+}
+
+/// Learn a layout and build Flood (the paper's automatic path): calibrated
+/// random-forest cost model + Algorithm 1.
+pub fn learn_flood(table: &Table, train: &[RangeQuery], cfg: OptimizerConfig) -> FloodIndex {
+    let optimizer = LayoutOptimizer::with_config(calibrated_cost_model().clone(), cfg);
+    let learned = optimizer.optimize(table, train);
+    FloodBuilder::new().layout(learned.layout).build(table)
+}
+
+/// Time a single index over the test split.
+pub fn measure(
+    index: &dyn MultiDimIndex,
+    test: &[RangeQuery],
+    agg_dim: Option<usize>,
+    build_time: Duration,
+) -> RunResult {
+    let (avg_query, stats) = run_workload(index, test, agg_dim);
+    RunResult {
+        index: index.name().to_string(),
+        avg_query,
+        stats,
+        index_size: index.index_size_bytes(),
+        build_time,
+        queries: test.len(),
+    }
+}
+
+/// Format a duration in the paper's milliseconds-with-3-sig-figs style.
+pub fn fmt_ms(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+/// Format bytes human-readably (Fig 8 axis style).
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1}GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1}MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}kB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Print a run-result table.
+pub fn print_results(title: &str, results: &[RunResult]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>12}",
+        "index", "avg query(ms)", "SO", "index size", "build(s)"
+    );
+    for r in results {
+        println!(
+            "{:<14} {:>12} {:>10.2} {:>12} {:>12.2}",
+            r.index,
+            fmt_ms(r.avg_query),
+            r.scan_overhead(),
+            fmt_bytes(r.index_size),
+            r.build_time.as_secs_f64(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_ordering_prefers_filtered_dims() {
+        let n = 5_000u64;
+        let t = Table::from_columns(vec![
+            (0..n).collect(),
+            (0..n).map(|i| i % 100).collect(),
+            (0..n).map(|i| i % 7).collect(),
+        ]);
+        let qs = vec![
+            RangeQuery::all(3).with_range(0, 0, 49), // ~1%
+            RangeQuery::all(3).with_range(1, 0, 49), // ~50%
+        ];
+        let dims = dims_by_selectivity(&t, &qs);
+        assert_eq!(dims[0], 0, "most selective first: {dims:?}");
+        assert_eq!(dims[1], 1);
+        assert_eq!(dims[2], 2, "unfiltered last");
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0kB");
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.50");
+    }
+}

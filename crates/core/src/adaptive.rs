@@ -1,0 +1,269 @@
+//! Workload-shift detection and automatic re-learning (§8, Shifting
+//! workloads).
+//!
+//! "Flood could periodically evaluate the cost (§4) of the current layout
+//! on queries over a recent time window. If the cost exceeds a threshold,
+//! Flood can replace the layout." — [`AdaptiveFlood`] keeps a sliding
+//! window of observed queries, periodically prices the current layout
+//! against them with the cost model, and rebuilds with a freshly optimized
+//! layout when the predicted cost degrades beyond a configurable factor of
+//! the cost at the last (re)build.
+
+use crate::config::FloodConfig;
+use crate::index::FloodIndex;
+use crate::optimizer::LayoutOptimizer;
+use flood_store::{MultiDimIndex, RangeQuery, ScanStats, Table, Visitor};
+use std::collections::VecDeque;
+
+/// Configuration for [`AdaptiveFlood`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Number of recent queries kept in the observation window.
+    pub window: usize,
+    /// Re-check cadence: evaluate the layout every `check_every` queries.
+    pub check_every: usize,
+    /// Retrain when `cost(current layout, window)` exceeds
+    /// `degradation_factor × cost(layout at last build, its workload)`.
+    pub degradation_factor: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: 100,
+            check_every: 50,
+            degradation_factor: 1.5,
+        }
+    }
+}
+
+/// A self-retuning Flood index.
+#[derive(Debug)]
+pub struct AdaptiveFlood {
+    index: FloodIndex,
+    optimizer: LayoutOptimizer,
+    flood_cfg: FloodConfig,
+    cfg: AdaptiveConfig,
+    window: VecDeque<RangeQuery>,
+    since_check: usize,
+    baseline_cost: f64,
+    relearns: usize,
+}
+
+impl AdaptiveFlood {
+    /// Build with an initial workload (used to learn the first layout and
+    /// set the cost baseline).
+    pub fn build(
+        table: &Table,
+        initial_workload: &[RangeQuery],
+        optimizer: LayoutOptimizer,
+        flood_cfg: FloodConfig,
+        cfg: AdaptiveConfig,
+    ) -> Self {
+        let learned = optimizer.optimize(table, initial_workload);
+        let index = FloodIndex::build(table, learned.layout, flood_cfg.clone());
+        AdaptiveFlood {
+            index,
+            optimizer,
+            flood_cfg,
+            cfg,
+            window: VecDeque::with_capacity(cfg.window),
+            since_check: 0,
+            baseline_cost: learned.predicted_ns,
+            relearns: 0,
+        }
+    }
+
+    /// Execute a query, record it in the observation window, and retrain if
+    /// the periodic check finds the layout degraded. Returns the stats plus
+    /// whether a retrain happened.
+    pub fn execute_adaptive(
+        &mut self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        visitor: &mut dyn Visitor,
+    ) -> (ScanStats, bool) {
+        let stats = self.index.execute(query, agg_dim, visitor);
+        if self.window.len() == self.cfg.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(query.clone());
+        self.since_check += 1;
+        let mut retrained = false;
+        if self.since_check >= self.cfg.check_every && self.window.len() >= self.cfg.window / 2 {
+            self.since_check = 0;
+            retrained = self.maybe_retrain();
+        }
+        (stats, retrained)
+    }
+
+    /// Price the current layout on the window; retrain when degraded.
+    /// Returns whether a retrain happened.
+    pub fn maybe_retrain(&mut self) -> bool {
+        let window: Vec<RangeQuery> = self.window.iter().cloned().collect();
+        if window.is_empty() {
+            return false;
+        }
+        let current = self
+            .optimizer
+            .predict_cost(self.index.data(), &window, self.index.layout());
+        if current <= self.cfg.degradation_factor * self.baseline_cost {
+            return false;
+        }
+        // Degraded: learn a fresh layout for the recent window. The rebuild
+        // happens on the index's own data copy (Flood is clustered: the
+        // data multiset is the table).
+        let learned = self.optimizer.optimize(self.index.data(), &window);
+        // Only swap when the optimizer actually found something cheaper.
+        if learned.predicted_ns < current {
+            self.index = FloodIndex::build(
+                self.index.data(),
+                learned.layout,
+                self.flood_cfg.clone(),
+            );
+            self.baseline_cost = learned.predicted_ns;
+            self.relearns += 1;
+            true
+        } else {
+            // Keep the layout but raise the baseline so we don't thrash.
+            self.baseline_cost = current;
+            false
+        }
+    }
+
+    /// The live index.
+    pub fn index(&self) -> &FloodIndex {
+        &self.index
+    }
+
+    /// Times the layout has been replaced.
+    pub fn relearns(&self) -> usize {
+        self.relearns
+    }
+
+    /// Predicted cost baseline (ns/query) of the current layout.
+    pub fn baseline_cost(&self) -> f64 {
+        self.baseline_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::optimizer::OptimizerConfig;
+    use flood_store::CountVisitor;
+
+    fn table() -> Table {
+        let n = 6_000u64;
+        Table::from_columns(vec![
+            (0..n).map(|i| (i * 7919) % 10_000).collect(),
+            (0..n).map(|i| (i * 104729) % 10_000).collect(),
+            (0..n).collect(),
+        ])
+    }
+
+    fn optimizer() -> LayoutOptimizer {
+        LayoutOptimizer::with_config(
+            CostModel::analytic_default(),
+            OptimizerConfig {
+                data_sample: 600,
+                query_sample: 10,
+                gd_steps: 6,
+                max_total_cells: 1 << 10,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn workload_on(dim: usize, n: usize) -> Vec<RangeQuery> {
+        (0..n)
+            .map(|i| {
+                RangeQuery::all(3).with_range(dim, (i as u64 * 37) % 9_000, (i as u64 * 37) % 9_000 + 150)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stable_workload_never_retrains() {
+        let t = table();
+        let w = workload_on(0, 30);
+        let mut a = AdaptiveFlood::build(
+            &t,
+            &w,
+            optimizer(),
+            FloodConfig::default(),
+            AdaptiveConfig {
+                window: 20,
+                check_every: 10,
+                degradation_factor: 1.5,
+            },
+        );
+        let mut retrains = 0;
+        for q in w.iter().cycle().take(60) {
+            let mut v = CountVisitor::default();
+            let (_, r) = a.execute_adaptive(q, None, &mut v);
+            retrains += r as usize;
+        }
+        assert_eq!(retrains, 0, "same workload should not trigger retraining");
+    }
+
+    #[test]
+    fn shifted_workload_triggers_retrain() {
+        let t = table();
+        // Initial layout tuned for dim 0 only.
+        let w0 = workload_on(0, 30);
+        let mut a = AdaptiveFlood::build(
+            &t,
+            &w0,
+            optimizer(),
+            FloodConfig::default(),
+            AdaptiveConfig {
+                window: 24,
+                check_every: 12,
+                degradation_factor: 1.2,
+            },
+        );
+        let before = a.index().layout().clone();
+        // Shift: everything now filters dim 1 only.
+        let w1 = workload_on(1, 40);
+        let mut retrained = false;
+        for q in &w1 {
+            let mut v = CountVisitor::default();
+            let (_, r) = a.execute_adaptive(q, None, &mut v);
+            retrained |= r;
+        }
+        assert!(retrained, "shift to an unindexed dim must trigger retraining");
+        assert!(a.relearns() >= 1);
+        let after = a.index().layout();
+        assert_ne!(&before, after, "retraining should change the layout");
+        assert!(
+            after.order().contains(&1),
+            "new layout must index the hot dimension: {after}"
+        );
+    }
+
+    #[test]
+    fn results_stay_correct_across_retrains() {
+        let t = table();
+        let w0 = workload_on(0, 20);
+        let mut a = AdaptiveFlood::build(
+            &t,
+            &w0,
+            optimizer(),
+            FloodConfig::default(),
+            AdaptiveConfig {
+                window: 16,
+                check_every: 8,
+                degradation_factor: 1.1,
+            },
+        );
+        let w1 = workload_on(1, 30);
+        for q in &w1 {
+            let mut v = CountVisitor::default();
+            a.execute_adaptive(q, None, &mut v);
+            let truth = (0..t.len()).filter(|&r| q.matches(&t.row(r))).count() as u64;
+            assert_eq!(v.count, truth);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Build-time configuration for a [`FloodIndex`](crate::index::FloodIndex).
+
+use crate::flatten::Flattening;
+use crate::layout::Layout;
+use flood_learned::plm::DEFAULT_DELTA;
+use serde::{Deserialize, Serialize};
+
+/// How refinement (§3.2.2) locates the per-cell physical sub-range over the
+/// sort dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Refinement {
+    /// Per-cell piecewise linear models with exponential-search
+    /// rectification (§5.2 — the full Flood design).
+    #[default]
+    Plm,
+    /// Plain binary search within each cell (the §3.2.2 baseline; the
+    /// "learned per-cell models" ablation of Fig 17).
+    BinarySearch,
+}
+
+/// Configuration knobs for building a Flood index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FloodConfig {
+    /// CDF models used to place points into grid columns.
+    pub flattening: Flattening,
+    /// Refinement strategy over the sort dimension.
+    pub refinement: Refinement,
+    /// Average-error budget δ of the per-cell PLMs (Fig 17b; default 50).
+    pub plm_delta: f64,
+    /// Cells smaller than this skip the PLM and always binary-search —
+    /// a model on a handful of points buys nothing.
+    pub plm_min_cell_size: usize,
+    /// Compress the reordered data copy with block-delta encoding.
+    pub compress: bool,
+    /// Dimensions to pre-build cumulative SUM columns for (enables the O(1)
+    /// exact-range aggregation fast path of §7.1 on those dimensions).
+    pub cumulative_dims: Vec<usize>,
+}
+
+impl Default for FloodConfig {
+    fn default() -> Self {
+        FloodConfig {
+            flattening: Flattening::Learned,
+            refinement: Refinement::Plm,
+            plm_delta: DEFAULT_DELTA,
+            plm_min_cell_size: 64,
+            compress: false,
+            cumulative_dims: Vec::new(),
+        }
+    }
+}
+
+/// Fluent builder for [`FloodIndex`](crate::index::FloodIndex).
+///
+/// ```
+/// use flood_core::{FloodBuilder, Layout};
+/// use flood_store::Table;
+///
+/// let table = Table::from_columns(vec![(0..100u64).collect(), (0..100u64).rev().collect()]);
+/// let index = FloodBuilder::new()
+///     .layout(Layout::new(vec![0, 1], vec![4]))
+///     .compress(true)
+///     .build(&table);
+/// assert_eq!(index.layout().num_cells(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FloodBuilder {
+    layout: Option<Layout>,
+    cfg: FloodConfig,
+}
+
+impl FloodBuilder {
+    /// Start a builder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the layout (required; learn one with
+    /// [`LayoutOptimizer`](crate::optimizer::LayoutOptimizer) first to get
+    /// the paper's automatic path).
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// Set the flattening mode (default: learned RMI CDFs).
+    pub fn flattening(mut self, f: Flattening) -> Self {
+        self.cfg.flattening = f;
+        self
+    }
+
+    /// Set the refinement strategy (default: per-cell PLMs).
+    pub fn refinement(mut self, r: Refinement) -> Self {
+        self.cfg.refinement = r;
+        self
+    }
+
+    /// Set the PLM error budget δ (default 50).
+    pub fn plm_delta(mut self, delta: f64) -> Self {
+        self.cfg.plm_delta = delta;
+        self
+    }
+
+    /// Only build PLMs for cells at least this large (default 64).
+    pub fn plm_min_cell_size(mut self, n: usize) -> Self {
+        self.cfg.plm_min_cell_size = n;
+        self
+    }
+
+    /// Store the reordered data block-delta compressed (default off).
+    pub fn compress(mut self, on: bool) -> Self {
+        self.cfg.compress = on;
+        self
+    }
+
+    /// Pre-build a cumulative SUM column over `dim` for O(1) exact-range
+    /// SUM aggregation.
+    pub fn cumulative_sum(mut self, dim: usize) -> Self {
+        self.cfg.cumulative_dims.push(dim);
+        self
+    }
+
+    /// Current configuration (for inspection / tests).
+    pub fn config(&self) -> &FloodConfig {
+        &self.cfg
+    }
+
+    /// Build the index over `table` with the configured layout.
+    ///
+    /// # Panics
+    /// Panics if no layout was provided.
+    pub fn build(self, table: &flood_store::Table) -> crate::index::FloodIndex {
+        let layout = self.layout.expect("FloodBuilder: layout is required");
+        crate::index::FloodIndex::build(table, layout, self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FloodConfig::default();
+        assert_eq!(c.flattening, Flattening::Learned);
+        assert_eq!(c.refinement, Refinement::Plm);
+        assert_eq!(c.plm_delta, 50.0);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let b = FloodBuilder::new()
+            .flattening(Flattening::Uniform)
+            .refinement(Refinement::BinarySearch)
+            .plm_delta(10.0)
+            .compress(true)
+            .cumulative_sum(3);
+        assert_eq!(b.config().flattening, Flattening::Uniform);
+        assert_eq!(b.config().refinement, Refinement::BinarySearch);
+        assert_eq!(b.config().plm_delta, 10.0);
+        assert!(b.config().compress);
+        assert_eq!(b.config().cumulative_dims, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout is required")]
+    fn build_without_layout_panics() {
+        let t = flood_store::Table::from_columns(vec![vec![1, 2, 3]]);
+        let _ = FloodBuilder::new().build(&t);
+    }
+}

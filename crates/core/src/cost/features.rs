@@ -1,0 +1,122 @@
+//! Cost-model features (§4.1.1).
+//!
+//! "The features of these weight models are statistics that can be measured
+//! when running the query on a dataset with a certain layout. These
+//! statistics include N = {N_c, N_s}, the total number of cells, the
+//! average, median, and tail quantiles of the sizes of the filterable cells,
+//! the number of dimensions filtered by the query, the average number of
+//! visited points in each cell, and the number of points visited in exact
+//! sub-ranges."
+//!
+//! The same structure is produced two ways: *measured* (from a real
+//! execution during calibration) and *estimated* (from a data sample inside
+//! the layout optimizer, §4.2 step 3) — both feed the same weight models.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of entries in [`QueryStatistics::features`].
+pub const NUM_FEATURES: usize = 10;
+
+/// The per-query statistics the weight models are trained on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryStatistics {
+    /// N_c: cells inside the projected query rectangle.
+    pub nc: f64,
+    /// N_s: points scanned (checked + exact).
+    pub ns: f64,
+    /// Total number of cells in the layout.
+    pub total_cells: f64,
+    /// Mean size of non-empty cells.
+    pub avg_cell_size: f64,
+    /// Median size of non-empty cells.
+    pub median_cell_size: f64,
+    /// 95th-percentile size of non-empty cells (tail quantile).
+    pub p95_cell_size: f64,
+    /// Number of dimensions the query filters.
+    pub dims_filtered: f64,
+    /// Average number of visited points per visited cell (run length /
+    /// locality proxy, Fig 5's second panel).
+    pub avg_visited_per_cell: f64,
+    /// Points visited inside exact sub-ranges (§7.1 fast path).
+    pub exact_points: f64,
+    /// Whether the query filters the sort dimension (refinement runs).
+    pub sort_filtered: bool,
+}
+
+impl QueryStatistics {
+    /// Flatten into the fixed-order feature vector fed to the weight models.
+    /// Count-like features are log-transformed: the weights span a narrow
+    /// range (§4.1.1) but the counts span many orders of magnitude.
+    pub fn features(&self) -> [f64; NUM_FEATURES] {
+        [
+            log1p(self.nc),
+            log1p(self.ns),
+            log1p(self.total_cells),
+            log1p(self.avg_cell_size),
+            log1p(self.median_cell_size),
+            log1p(self.p95_cell_size),
+            self.dims_filtered,
+            log1p(self.avg_visited_per_cell),
+            log1p(self.exact_points),
+            if self.sort_filtered { 1.0 } else { 0.0 },
+        ]
+    }
+}
+
+#[inline]
+fn log1p(v: f64) -> f64 {
+    (v.max(0.0) + 1.0).ln()
+}
+
+/// `(avg, median, p95)` of a set of cell sizes.
+pub fn cell_size_quantiles(sizes: &[usize]) -> (f64, f64, f64) {
+    if sizes.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    let avg = sorted.iter().sum::<usize>() as f64 / sorted.len() as f64;
+    let median = sorted[sorted.len() / 2] as f64;
+    let p95 = sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)] as f64;
+    (avg, median, p95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_shape_and_order() {
+        let s = QueryStatistics {
+            nc: 0.0,
+            ns: (1e6_f64.exp() - 1.0).min(1e15),
+            total_cells: 100.0,
+            avg_cell_size: 10.0,
+            median_cell_size: 9.0,
+            p95_cell_size: 20.0,
+            dims_filtered: 3.0,
+            avg_visited_per_cell: 50.0,
+            exact_points: 0.0,
+            sort_filtered: true,
+        };
+        let f = s.features();
+        assert_eq!(f.len(), NUM_FEATURES);
+        assert_eq!(f[0], 0.0_f64.ln_1p());
+        assert_eq!(f[6], 3.0);
+        assert_eq!(f[9], 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let sizes: Vec<usize> = (1..=100).collect();
+        let (avg, median, p95) = cell_size_quantiles(&sizes);
+        assert!((avg - 50.5).abs() < 1e-9);
+        assert_eq!(median, 51.0);
+        assert_eq!(p95, 96.0);
+    }
+
+    #[test]
+    fn quantiles_empty() {
+        assert_eq!(cell_size_quantiles(&[]), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Weight predictors: random forest (the paper's choice), linear regression
+//! and fine-tuned constants (the two §4.1.2 ablations).
+
+use flood_learned::forest::RandomForest;
+use flood_learned::linear::MultiLinearModel;
+use serde::{Deserialize, Serialize};
+
+/// A model predicting one cost weight from the feature vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WeightModel {
+    /// Random-forest regression (§4.1.1).
+    Forest(RandomForest),
+    /// Linear regression over the same features (4× worse, §4.1.2).
+    Linear(MultiLinearModel),
+    /// A fine-tuned constant (9× worse, §4.1.2).
+    Constant(f64),
+}
+
+impl WeightModel {
+    /// Predict the weight (nanoseconds per cell or per point).
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        match self {
+            WeightModel::Forest(f) => f.predict(features),
+            WeightModel::Linear(l) => l.predict(features),
+            WeightModel::Constant(c) => *c,
+        }
+    }
+}
+
+/// The three weight models of Eq. 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightModels {
+    /// Per-projected-cell cost.
+    pub wp: WeightModel,
+    /// Per-refined-cell cost.
+    pub wr: WeightModel,
+    /// Per-scanned-point cost.
+    pub ws: WeightModel,
+}
+
+impl WeightModels {
+    /// Fine-tuned constants, roughly matching the magnitudes in Table 2 on
+    /// commodity hardware: tens of ns to project a cell, ~100 ns to refine
+    /// one (two model lookups + rectification), a few ns per scanned point.
+    pub fn constant_default() -> Self {
+        WeightModels {
+            wp: WeightModel::Constant(40.0),
+            wr: WeightModel::Constant(120.0),
+            ws: WeightModel::Constant(4.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_predicts_constant() {
+        let w = WeightModel::Constant(7.5);
+        assert_eq!(w.predict(&[1.0, 2.0]), 7.5);
+        assert_eq!(w.predict(&[]), 7.5);
+    }
+
+    #[test]
+    fn default_weights_ordering() {
+        let w = WeightModels::constant_default();
+        // Refining a cell costs more than projecting it; scanning a point is
+        // by far the cheapest unit of work.
+        let f: Vec<f64> = vec![0.0; 10];
+        assert!(w.wr.predict(&f) > w.wp.predict(&f));
+        assert!(w.ws.predict(&f) < w.wp.predict(&f));
+    }
+}

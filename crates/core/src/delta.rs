@@ -1,0 +1,248 @@
+//! Insert support via a delta buffer (§8, Insertions).
+//!
+//! "It could also maintain a delta index in which updates are buffered and
+//! periodically merged into the data store, similar to Bigtable." —
+//! [`DeltaFlood`] wraps a read-optimized [`FloodIndex`] with an unsorted
+//! append buffer; queries consult both; when the buffer exceeds a threshold
+//! the index is rebuilt with the buffered rows merged in (keeping the same
+//! learned layout).
+
+use crate::config::FloodConfig;
+use crate::index::FloodIndex;
+use crate::layout::Layout;
+use flood_store::{MultiDimIndex, RangeQuery, ScanStats, Table, Visitor};
+
+/// A Flood index that accepts inserts through a delta buffer.
+#[derive(Debug)]
+pub struct DeltaFlood {
+    base: FloodIndex,
+    cfg: FloodConfig,
+    /// Buffered rows, column-major (one Vec per dimension).
+    delta: Vec<Vec<u64>>,
+    merge_threshold: usize,
+    merges: usize,
+}
+
+impl DeltaFlood {
+    /// Build over an initial table; buffered inserts merge once the buffer
+    /// reaches `merge_threshold` rows.
+    pub fn build(
+        table: &Table,
+        layout: Layout,
+        cfg: FloodConfig,
+        merge_threshold: usize,
+    ) -> Self {
+        assert!(merge_threshold >= 1);
+        let dims = table.dims();
+        DeltaFlood {
+            base: FloodIndex::build(table, layout, cfg.clone()),
+            cfg,
+            delta: vec![Vec::new(); dims],
+            merge_threshold,
+            merges: 0,
+        }
+    }
+
+    /// Insert one row (one value per dimension). Returns `true` when the
+    /// insert triggered a merge.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, row: &[u64]) -> bool {
+        assert_eq!(row.len(), self.delta.len(), "row arity mismatch");
+        for (col, &v) in self.delta.iter_mut().zip(row) {
+            col.push(v);
+        }
+        if self.delta_len() >= self.merge_threshold {
+            self.merge();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rows currently sitting in the delta buffer.
+    pub fn delta_len(&self) -> usize {
+        self.delta.first().map_or(0, Vec::len)
+    }
+
+    /// Total rows (base + delta).
+    pub fn len(&self) -> usize {
+        self.base.data().len() + self.delta_len()
+    }
+
+    /// True when the structure holds no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of merges performed so far.
+    pub fn merges(&self) -> usize {
+        self.merges
+    }
+
+    /// The underlying read-optimized index.
+    pub fn base(&self) -> &FloodIndex {
+        &self.base
+    }
+
+    /// Merge the delta buffer into the base index (rebuild with the same
+    /// layout — re-learning the layout is [`crate::adaptive`]'s job).
+    pub fn merge(&mut self) {
+        if self.delta_len() == 0 {
+            return;
+        }
+        let base_data = self.base.data();
+        let dims = base_data.dims();
+        let mut cols: Vec<Vec<u64>> = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let mut col = base_data.column(d).to_vec();
+            col.extend_from_slice(&self.delta[d]);
+            cols.push(col);
+        }
+        let merged = Table::from_named_columns(cols, base_data.names().to_vec());
+        self.base = FloodIndex::build(&merged, self.base.layout().clone(), self.cfg.clone());
+        for col in &mut self.delta {
+            col.clear();
+        }
+        self.merges += 1;
+    }
+}
+
+impl MultiDimIndex for DeltaFlood {
+    fn execute(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        visitor: &mut dyn Visitor,
+    ) -> ScanStats {
+        // Indexed part…
+        let mut stats = self.base.execute(query, agg_dim, visitor);
+        // …plus a linear pass over the (small) delta buffer. Delta rows are
+        // reported with ids offset past the base data.
+        let n_delta = self.delta_len();
+        let base_len = self.base.data().len();
+        let needs_value = visitor.needs_value();
+        'rows: for i in 0..n_delta {
+            for d in query.filtered_dims() {
+                let v = self.delta[d][i];
+                if !query.matches_dim(d, v) {
+                    continue 'rows;
+                }
+            }
+            let v = match agg_dim {
+                Some(d) if needs_value => self.delta[d][i],
+                _ => 0,
+            };
+            visitor.visit(base_len + i, v);
+            stats.points_matched += 1;
+        }
+        stats.points_scanned += n_delta as u64;
+        stats
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.base.index_size_bytes() + self.delta_len() * self.delta.len() * 8
+    }
+
+    fn name(&self) -> &'static str {
+        "Flood+delta"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flood_store::CountVisitor;
+
+    fn base_table(n: u64) -> Table {
+        Table::from_columns(vec![
+            (0..n).map(|i| i % 100).collect(),
+            (0..n).collect(),
+        ])
+    }
+
+    fn count(idx: &DeltaFlood, q: &RangeQuery) -> u64 {
+        let mut v = CountVisitor::default();
+        idx.execute(q, None, &mut v);
+        v.count
+    }
+
+    #[test]
+    fn inserts_are_visible_before_merge() {
+        let t = base_table(1_000);
+        let mut idx = DeltaFlood::build(
+            &t,
+            Layout::new(vec![0, 1], vec![8]),
+            FloodConfig::default(),
+            100,
+        );
+        let q = RangeQuery::all(2).with_eq(0, 7);
+        let before = count(&idx, &q);
+        assert!(!idx.insert(&[7, 55_555]));
+        assert_eq!(count(&idx, &q), before + 1);
+        assert_eq!(idx.delta_len(), 1);
+    }
+
+    #[test]
+    fn merge_triggers_at_threshold_and_preserves_results() {
+        let t = base_table(2_000);
+        let mut idx = DeltaFlood::build(
+            &t,
+            Layout::new(vec![0, 1], vec![8]),
+            FloodConfig::default(),
+            50,
+        );
+        let q = RangeQuery::all(2).with_range(0, 0, 9);
+        let mut expected = count(&idx, &q);
+        let mut merged = false;
+        for i in 0..50u64 {
+            let row = [i % 10, 1_000_000 + i];
+            merged |= idx.insert(&row);
+            expected += 1; // every inserted row matches 0..=9
+        }
+        assert!(merged, "threshold must trigger a merge");
+        assert_eq!(idx.delta_len(), 0);
+        assert_eq!(idx.merges(), 1);
+        assert_eq!(count(&idx, &q), expected);
+        assert_eq!(idx.len(), 2_050);
+    }
+
+    #[test]
+    fn repeated_merges_accumulate() {
+        let t = base_table(500);
+        let mut idx = DeltaFlood::build(
+            &t,
+            Layout::new(vec![0, 1], vec![4]),
+            FloodConfig::default(),
+            10,
+        );
+        for i in 0..35u64 {
+            idx.insert(&[i % 100, i]);
+        }
+        assert_eq!(idx.merges(), 3);
+        assert_eq!(idx.len(), 535);
+        assert_eq!(idx.delta_len(), 5);
+        // Full count across base + delta.
+        assert_eq!(count(&idx, &RangeQuery::all(2)), 535);
+    }
+
+    #[test]
+    fn sum_aggregation_covers_delta() {
+        use flood_store::SumVisitor;
+        let t = base_table(100);
+        let mut idx = DeltaFlood::build(
+            &t,
+            Layout::new(vec![0, 1], vec![4]),
+            FloodConfig::default(),
+            1_000,
+        );
+        idx.insert(&[5, 10_000]);
+        idx.insert(&[5, 20_000]);
+        let q = RangeQuery::all(2).with_eq(0, 5);
+        let mut v = SumVisitor::default();
+        idx.execute(&q, Some(1), &mut v);
+        let base_sum: u64 = (0..100u64).filter(|i| i % 100 == 5).sum();
+        assert_eq!(v.sum, base_sum + 30_000);
+    }
+}

@@ -1,0 +1,216 @@
+//! Flattening (§5.1): per-attribute CDF models that project skewed data into
+//! a more uniform space.
+//!
+//! With a model of each attribute's CDF, columns are chosen so each holds
+//! approximately the same number of points: a point with value `v` in a
+//! dimension split into `n` columns lands in column `⌊CDF(v)·n⌋`. Flood
+//! models each attribute with an RMI; the uniform (non-flattened) variant —
+//! equally spaced columns between the dimension's min and max, §3.1 — is kept
+//! for the Fig 11 ablation.
+
+use flood_learned::cdf::CdfModel;
+use flood_learned::rmi::{Rmi, RmiConfig};
+use flood_store::Table;
+use serde::{Deserialize, Serialize};
+
+/// Which per-dimension CDF model flattening uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Flattening {
+    /// Learned RMI CDFs (the full Flood design, §5.1).
+    #[default]
+    Learned,
+    /// Equally spaced columns over `[min, max]` (§3.1's simple grid; the
+    /// "no flattening" ablation of Fig 11).
+    Uniform,
+}
+
+/// A per-dimension CDF used to map values to `[0, 1)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DimCdf {
+    /// Learned CDF.
+    Learned(Rmi),
+    /// Linear CDF over the value range `[min, max]`.
+    Uniform {
+        /// Smallest value observed in the dimension.
+        min: u64,
+        /// Range `max − min + 1` (the paper's `r_i`).
+        range: u64,
+    },
+}
+
+impl DimCdf {
+    /// The modeled CDF of `v`, in `[0, 1]`.
+    #[inline]
+    pub fn cdf(&self, v: u64) -> f64 {
+        match self {
+            DimCdf::Learned(rmi) => rmi.cdf(v),
+            DimCdf::Uniform { min, range } => {
+                if v < *min {
+                    0.0
+                } else {
+                    ((v - min) as f64 / *range as f64).min(1.0)
+                }
+            }
+        }
+    }
+
+    /// Column assignment among `n` columns: `⌊cdf(v)·n⌋` clamped to `n−1`.
+    #[inline]
+    pub fn bucket(&self, v: u64, n: usize) -> usize {
+        ((self.cdf(v) * n as f64) as usize).min(n - 1)
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            DimCdf::Learned(rmi) => rmi.size_bytes(),
+            DimCdf::Uniform { .. } => 16,
+        }
+    }
+}
+
+/// The set of per-dimension CDF models for a table (one per table dimension,
+/// built lazily only for the dimensions a layout actually grids on).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Flattener {
+    dims: Vec<DimCdf>,
+}
+
+impl Flattener {
+    /// Build CDF models for the listed `dims` of `table` (other dimensions
+    /// get cheap uniform models).
+    pub fn build(table: &Table, dims: &[usize], mode: Flattening) -> Self {
+        let mut out = Vec::with_capacity(table.dims());
+        for d in 0..table.dims() {
+            let needed = dims.contains(&d);
+            let model = match (mode, needed) {
+                (Flattening::Learned, true) => {
+                    let mut vals = table.column(d).to_vec();
+                    vals.sort_unstable();
+                    DimCdf::Learned(Rmi::build(&vals, RmiConfig::default()))
+                }
+                _ => {
+                    let (min, max) = table.dim_bounds(d);
+                    DimCdf::Uniform {
+                        min,
+                        range: (max - min).saturating_add(1),
+                    }
+                }
+            };
+            out.push(model);
+        }
+        Flattener { dims: out }
+    }
+
+    /// CDF model for dimension `d`.
+    #[inline]
+    pub fn dim(&self, d: usize) -> &DimCdf {
+        &self.dims[d]
+    }
+
+    /// Flattened value of `v` in dimension `d`, in `[0, 1]`.
+    #[inline]
+    pub fn flatten(&self, d: usize, v: u64) -> f64 {
+        self.dims[d].cdf(v)
+    }
+
+    /// Column of `v` in dimension `d` under `n` columns.
+    #[inline]
+    pub fn bucket(&self, d: usize, v: u64, n: usize) -> usize {
+        self.dims[d].bucket(v, n)
+    }
+
+    /// Number of dimensions covered.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.dims.iter().map(DimCdf::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_table() -> Table {
+        // dim 0: quadratic skew; dim 1: uniform.
+        Table::from_columns(vec![
+            (0..10_000u64).map(|i| (i * i) / 10_000).collect(),
+            (0..10_000u64).collect(),
+        ])
+    }
+
+    #[test]
+    fn uniform_flattening_is_linear() {
+        let t = Table::from_columns(vec![(0..100u64).collect()]);
+        let f = Flattener::build(&t, &[0], Flattening::Uniform);
+        assert_eq!(f.flatten(0, 0), 0.0);
+        assert!((f.flatten(0, 50) - 0.5).abs() < 0.01);
+        assert_eq!(f.bucket(0, 99, 10), 9);
+        assert_eq!(f.bucket(0, 0, 10), 0);
+    }
+
+    #[test]
+    fn learned_flattening_equalizes_mass() {
+        let t = skewed_table();
+        let f = Flattener::build(&t, &[0], Flattening::Learned);
+        // Bucket the skewed dimension into 10 columns and count points.
+        let mut counts = [0usize; 10];
+        for i in 0..t.len() {
+            counts[f.bucket(0, t.value(i, 0), 10)] += 1;
+        }
+        let (mn, mx) = (
+            *counts.iter().min().expect("ten buckets"),
+            *counts.iter().max().expect("ten buckets"),
+        );
+        assert!(
+            mx < mn * 3 + 100,
+            "flattened buckets too uneven: {counts:?}"
+        );
+
+        // Uniform spacing on the same data is badly unbalanced (most of the
+        // quadratic's mass sits at small values).
+        let u = Flattener::build(&t, &[0], Flattening::Uniform);
+        let mut ucounts = [0usize; 10];
+        for i in 0..t.len() {
+            ucounts[u.bucket(0, t.value(i, 0), 10)] += 1;
+        }
+        assert!(
+            *ucounts.iter().max().expect("ten buckets") > 2 * mx,
+            "uniform should be much more skewed: {ucounts:?} vs {counts:?}"
+        );
+    }
+
+    #[test]
+    fn bucket_is_monotone_in_value() {
+        let t = skewed_table();
+        let f = Flattener::build(&t, &[0], Flattening::Learned);
+        let mut prev = 0usize;
+        for v in 0..10_000u64 {
+            let b = f.bucket(0, v, 64);
+            assert!(b >= prev, "bucket went backwards at {v}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn unneeded_dims_get_uniform_models() {
+        let t = skewed_table();
+        let f = Flattener::build(&t, &[0], Flattening::Learned);
+        assert!(matches!(f.dim(1), DimCdf::Uniform { .. }));
+        assert!(matches!(f.dim(0), DimCdf::Learned(_)));
+    }
+
+    #[test]
+    fn constant_dimension() {
+        let t = Table::from_columns(vec![vec![5u64; 100]]);
+        for mode in [Flattening::Learned, Flattening::Uniform] {
+            let f = Flattener::build(&t, &[0], mode);
+            let b = f.bucket(0, 5, 4);
+            assert!(b < 4);
+        }
+    }
+}

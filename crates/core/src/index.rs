@@ -1,0 +1,834 @@
+//! The Flood index: build (layout → storage order → per-cell models) and
+//! query execution (projection → refinement → scan), §3 and §5.
+//!
+//! Execution is organized in the paper's three explicit phases so that
+//! per-phase timings — needed to calibrate the cost model (§4.1.1) and to
+//! produce Table 2's IT/ST breakdown — fall out of normal operation.
+
+use crate::config::{FloodConfig, Refinement};
+use crate::flatten::Flattener;
+use crate::grid::Grid;
+use crate::layout::Layout;
+use flood_learned::plm::PiecewiseLinearModel;
+use flood_store::index_trait::MultiDimIndex;
+use flood_store::{
+    scan_checked_dims, scan_exact, CumulativeColumn, RangeQuery, ScanStats, Table, Visitor,
+};
+use std::time::Instant;
+
+/// Per-phase wall-clock timings of one query (nanoseconds).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseTimes {
+    /// Time locating intersecting cells and their physical ranges.
+    pub projection_ns: u64,
+    /// Time narrowing ranges over the sort dimension.
+    pub refinement_ns: u64,
+    /// Time scanning and filtering points.
+    pub scan_ns: u64,
+}
+
+impl PhaseTimes {
+    /// Total indexing time (projection + refinement) — Table 2's IT.
+    pub fn index_ns(&self) -> u64 {
+        self.projection_ns + self.refinement_ns
+    }
+
+    /// Total query time.
+    pub fn total_ns(&self) -> u64 {
+        self.projection_ns + self.refinement_ns + self.scan_ns
+    }
+}
+
+/// Build-phase timings (Table 4's loading time).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BuildTimes {
+    /// Time spent training flattening CDFs.
+    pub flatten_ns: u64,
+    /// Time spent assigning cells and sorting the data.
+    pub sort_ns: u64,
+    /// Time spent building per-cell refinement models.
+    pub models_ns: u64,
+}
+
+/// One cell's physical range after projection, before/after refinement.
+#[derive(Debug, Clone, Copy)]
+struct CellRange {
+    cell: u32,
+    start: u32,
+    end: u32,
+    /// Bit i set ⇒ grid ordering position i sits on a boundary column and
+    /// its dimension must be checked per point.
+    boundary_mask: u32,
+}
+
+/// A learned multi-dimensional clustered in-memory index (§3).
+#[derive(Debug)]
+pub struct FloodIndex {
+    cfg: FloodConfig,
+    layout: Layout,
+    grid: Grid,
+    flattener: Flattener,
+    /// The data, re-ordered into Flood's storage order.
+    data: Table,
+    /// `cell_starts[c]..cell_starts[c+1]` is cell `c`'s physical range.
+    cell_starts: Vec<u32>,
+    /// Per-cell PLM over the sort dimension (None for small/empty cells).
+    cell_models: Vec<Option<PiecewiseLinearModel>>,
+    /// Pre-built cumulative SUM columns, keyed by dimension.
+    cumulatives: Vec<(usize, CumulativeColumn)>,
+    build_times: BuildTimes,
+}
+
+impl FloodIndex {
+    /// Build the index over `table` with the given layout and configuration.
+    ///
+    /// # Panics
+    /// Panics if the table exceeds `u32::MAX` rows or a layout dimension is
+    /// out of bounds.
+    pub fn build(table: &Table, layout: Layout, cfg: FloodConfig) -> Self {
+        assert!(table.len() < u32::MAX as usize, "table too large for u32 row ids");
+        for &d in layout.order() {
+            assert!(d < table.dims(), "layout dimension {d} out of bounds");
+        }
+        let mut build_times = BuildTimes::default();
+
+        // 1. Flattening CDFs for the grid dimensions (§5.1).
+        let t0 = Instant::now();
+        let flattener = Flattener::build(table, layout.grid_dims(), cfg.flattening);
+        build_times.flatten_ns = t0.elapsed().as_nanos() as u64;
+
+        // 2. Assign each point to a cell, sort by (cell, sort value) — the
+        //    depth-first traversal order of §3.1 — and reorder the data.
+        let t0 = Instant::now();
+        let grid = Grid::new(&layout);
+        let n = table.len();
+        let sort_dim = layout.sort_dim();
+        let mut keyed: Vec<(u64, u64, u32)> = Vec::with_capacity(n);
+        {
+            let grid_dims = layout.grid_dims();
+            let cols = layout.cols();
+            let mut coords = vec![0usize; grid_dims.len()];
+            for row in 0..n {
+                for (i, (&d, &c)) in grid_dims.iter().zip(cols).enumerate() {
+                    coords[i] = flattener.bucket(d, table.value(row, d), c);
+                }
+                let cell = grid.cell_id(&coords) as u64;
+                keyed.push((cell, table.value(row, sort_dim), row as u32));
+            }
+        }
+        keyed.sort_unstable();
+        let perm: Vec<u32> = keyed.iter().map(|&(_, _, r)| r).collect();
+        let mut data = table.permuted(&perm);
+        if cfg.compress {
+            data.compress();
+        }
+
+        // Cell table: physical index of the first point of each cell.
+        let num_cells = grid.num_cells();
+        let mut cell_starts = vec![0u32; num_cells + 1];
+        {
+            let mut counts = vec![0u32; num_cells];
+            for &(cell, _, _) in &keyed {
+                counts[cell as usize] += 1;
+            }
+            let mut acc = 0u32;
+            for (c, &cnt) in counts.iter().enumerate() {
+                cell_starts[c] = acc;
+                acc += cnt;
+            }
+            cell_starts[num_cells] = acc;
+        }
+        drop(keyed);
+        build_times.sort_ns = t0.elapsed().as_nanos() as u64;
+
+        // 3. Per-cell refinement models over the sort dimension (§5.2).
+        let t0 = Instant::now();
+        let mut cell_models: Vec<Option<PiecewiseLinearModel>> = Vec::with_capacity(num_cells);
+        if cfg.refinement == Refinement::Plm && layout.has_sort_dim() {
+            let mut buf: Vec<u64> = Vec::new();
+            for c in 0..num_cells {
+                let (s, e) = (cell_starts[c] as usize, cell_starts[c + 1] as usize);
+                if e - s >= cfg.plm_min_cell_size {
+                    buf.clear();
+                    buf.extend((s..e).map(|i| data.value(i, sort_dim)));
+                    cell_models.push(Some(PiecewiseLinearModel::build(&buf, cfg.plm_delta)));
+                } else {
+                    cell_models.push(None);
+                }
+            }
+        } else {
+            cell_models.resize_with(num_cells, || None);
+        }
+        build_times.models_ns = t0.elapsed().as_nanos() as u64;
+
+        let cumulatives = cfg
+            .cumulative_dims
+            .iter()
+            .map(|&d| (d, data.cumulative_sum(d)))
+            .collect();
+
+        FloodIndex {
+            cfg,
+            layout,
+            grid,
+            flattener,
+            data,
+            cell_starts,
+            cell_models,
+            cumulatives,
+            build_times,
+        }
+    }
+
+    /// The layout this index was built with.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &FloodConfig {
+        &self.cfg
+    }
+
+    /// The reordered data (Flood is a clustered index: this *is* the table).
+    pub fn data(&self) -> &Table {
+        &self.data
+    }
+
+    /// The flattening models.
+    pub fn flattener(&self) -> &Flattener {
+        &self.flattener
+    }
+
+    /// Build-phase timings (Table 4's loading time).
+    pub fn build_times(&self) -> BuildTimes {
+        self.build_times
+    }
+
+    /// Number of non-empty cells.
+    pub fn non_empty_cells(&self) -> usize {
+        self.cell_starts.windows(2).filter(|w| w[0] < w[1]).count()
+    }
+
+    /// The grid geometry (strides, column counts).
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Physical range `[start, end)` of cell `c` in the reordered data.
+    #[inline]
+    pub fn cell_range(&self, c: usize) -> (usize, usize) {
+        (self.cell_starts[c] as usize, self.cell_starts[c + 1] as usize)
+    }
+
+    /// Sizes of all non-empty cells (cost-model features, §4.1.1).
+    pub fn cell_sizes(&self) -> Vec<usize> {
+        self.cell_starts
+            .windows(2)
+            .filter(|w| w[0] < w[1])
+            .map(|w| (w[1] - w[0]) as usize)
+            .collect()
+    }
+
+    /// Execute `query` with per-phase timing (the profiled variant behind
+    /// [`MultiDimIndex::execute`]).
+    pub fn execute_profiled(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        visitor: &mut dyn Visitor,
+    ) -> (ScanStats, PhaseTimes) {
+        let mut counter = MatchCounter {
+            inner: visitor,
+            matched: 0,
+        };
+        // Phases 1–2: projection (§3.2.1) + refinement (§3.2.2, §5.2).
+        let (cells, mut stats, mut times) = self.plan(query);
+        // Phase 3: scan (§3.2(3)).
+        let t0 = Instant::now();
+        let unindexed = self.unindexed_checks(query);
+        self.scan_cells(&cells, query, agg_dim, &unindexed, &mut counter, &mut stats);
+        times.scan_ns = t0.elapsed().as_nanos() as u64;
+        stats.points_matched = counter.matched;
+        (stats, times)
+    }
+
+    /// Filters on dimensions outside the index (always checked per point).
+    fn unindexed_checks(&self, query: &RangeQuery) -> Vec<(usize, u64, u64)> {
+        query
+            .filtered_dims()
+            .into_iter()
+            .filter(|d| !self.layout.order().contains(d))
+            .map(|d| {
+                let (lo, hi) = query.bound(d).expect("filtered");
+                (d, lo, hi)
+            })
+            .collect()
+    }
+
+    /// Scan a set of planned (projected + refined) cell ranges.
+    fn scan_cells(
+        &self,
+        cells: &[CellRange],
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        unindexed: &[(usize, u64, u64)],
+        visitor: &mut dyn Visitor,
+        stats: &mut ScanStats,
+    ) {
+        let grid_dims = self.layout.grid_dims();
+        let cumulative = agg_dim.and_then(|d| {
+            self.cumulatives
+                .iter()
+                .find(|(dim, _)| *dim == d)
+                .map(|(_, c)| c)
+        });
+        let mut checks: Vec<(usize, u64, u64)> = Vec::new();
+        for cr in cells {
+            let (s, e) = (cr.start as usize, cr.end as usize);
+            if s >= e {
+                continue;
+            }
+            stats.ranges_scanned += 1;
+            checks.clear();
+            let mut mask = cr.boundary_mask;
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let d = grid_dims[i];
+                let (lo, hi) = query.bound(d).expect("boundary dims are filtered");
+                checks.push((d, lo, hi));
+            }
+            checks.extend_from_slice(unindexed);
+            // Sort-dimension values are exact after refinement, so the sort
+            // dimension never appears in the check list.
+            if checks.is_empty() {
+                scan_exact(&self.data, s, e, agg_dim, cumulative, visitor, stats);
+            } else {
+                scan_checked_dims(&self.data, &checks, s, e, agg_dim, visitor, stats);
+            }
+        }
+    }
+
+    /// Parallel execution (§8: "different cells can be refined and scanned
+    /// simultaneously"): projection and refinement run on the calling
+    /// thread, then the planned cell ranges are scanned by `threads`
+    /// workers, each into its own visitor, merged at the end.
+    ///
+    /// Results are identical to [`MultiDimIndex::execute`] up to visitor
+    /// ordering (e.g. `CollectVisitor` row order).
+    pub fn execute_parallel<V>(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        threads: usize,
+    ) -> (V, ScanStats)
+    where
+        V: flood_store::MergeVisitor + Default,
+    {
+        // Plan single-threaded (cheap relative to scanning).
+        let (cells, mut stats, _times) = self.plan(query);
+        let unindexed = self.unindexed_checks(query);
+        let threads = threads.clamp(1, cells.len().max(1));
+        let chunk = cells.len().div_ceil(threads);
+        let mut merged = V::default();
+        let mut partials: Vec<(V, ScanStats)> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = cells
+                .chunks(chunk.max(1))
+                .map(|slice| {
+                    let unindexed = &unindexed;
+                    scope.spawn(move || {
+                        let mut v = V::default();
+                        let mut s = ScanStats::default();
+                        let mut counter = MatchCounter {
+                            inner: &mut v,
+                            matched: 0,
+                        };
+                        self.scan_cells(slice, query, agg_dim, unindexed, &mut counter, &mut s);
+                        s.points_matched = counter.matched;
+                        (v, s)
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("scan worker panicked"));
+            }
+        });
+        for (v, s) in partials {
+            merged.merge_from(v);
+            stats.merge(&s);
+        }
+        (merged, stats)
+    }
+
+    /// Projection + refinement: the planned cell ranges, the stats gathered
+    /// so far, and the per-phase timings.
+    fn plan(&self, query: &RangeQuery) -> (Vec<CellRange>, ScanStats, PhaseTimes) {
+        let mut stats = ScanStats::default();
+        let mut times = PhaseTimes::default();
+        let t0 = Instant::now();
+        let grid_dims = self.layout.grid_dims();
+        let cols = self.layout.cols();
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(grid_dims.len());
+        for (&d, &c) in grid_dims.iter().zip(cols) {
+            match query.bound(d) {
+                Some((lo, hi)) => {
+                    ranges.push((self.flattener.bucket(d, lo, c), self.flattener.bucket(d, hi, c)))
+                }
+                None => ranges.push((0, c - 1)),
+            }
+        }
+        stats.cells_projected = Grid::cells_in_ranges(&ranges) as u64;
+        let mut cells: Vec<CellRange> = Vec::new();
+        self.grid.for_each_cell(&ranges, |cell, coords| {
+            let (s, e) = self.cell_range(cell);
+            if s == e {
+                return;
+            }
+            let mut mask = 0u32;
+            for (i, &c) in coords.iter().enumerate() {
+                let d = grid_dims[i];
+                if !query.filters(d) {
+                    continue;
+                }
+                let (lo_col, hi_col) = ranges[i];
+                if c == lo_col || c == hi_col {
+                    mask |= 1 << i;
+                }
+            }
+            cells.push(CellRange {
+                cell: cell as u32,
+                start: s as u32,
+                end: e as u32,
+                boundary_mask: mask,
+            });
+        });
+        stats.cells_visited = cells.len() as u64;
+        times.projection_ns = t0.elapsed().as_nanos() as u64;
+
+        // Refinement over the sort dimension (skipped by histogram layouts,
+        // whose last dimension is gridded, not sorted).
+        let t0 = Instant::now();
+        let sort_dim = self.layout.sort_dim();
+        if self.layout.has_sort_dim() {
+            if let Some((a, b)) = query.bound(sort_dim) {
+                for cr in &mut cells {
+                    let (s, e) = (cr.start as usize, cr.end as usize);
+                    let len = e - s;
+                    let get = |i: usize| self.data.value(s + i, sort_dim);
+                    let (i1, i2) = match &self.cell_models[cr.cell as usize] {
+                        Some(plm) => (plm.lookup_lb(a, get), plm.lookup_ub(b, get)),
+                        None => (
+                            partition_point(len, |i| get(i) < a),
+                            partition_point(len, |i| get(i) <= b),
+                        ),
+                    };
+                    stats.refinements += 1;
+                    cr.start = (s + i1) as u32;
+                    cr.end = (s + i2) as u32;
+                }
+            }
+        }
+        times.refinement_ns = t0.elapsed().as_nanos() as u64;
+        (cells, stats, times)
+    }
+}
+
+impl MultiDimIndex for FloodIndex {
+    fn execute(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        visitor: &mut dyn Visitor,
+    ) -> ScanStats {
+        self.execute_profiled(query, agg_dim, visitor).0
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        let models: usize = self
+            .cell_models
+            .iter()
+            .flatten()
+            .map(PiecewiseLinearModel::size_bytes)
+            .sum();
+        self.cell_starts.len() * 4
+            + models
+            + self.flattener.size_bytes()
+            + std::mem::size_of::<Layout>()
+    }
+
+    fn name(&self) -> &'static str {
+        "Flood"
+    }
+}
+
+/// First index in `[0, len)` where `pred` turns false (binary search).
+fn partition_point(len: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0, len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Wraps the user's visitor to count matched points for [`ScanStats`].
+struct MatchCounter<'a> {
+    inner: &'a mut dyn Visitor,
+    matched: u64,
+}
+
+impl Visitor for MatchCounter<'_> {
+    #[inline]
+    fn visit(&mut self, row: usize, value: u64) {
+        self.matched += 1;
+        self.inner.visit(row, value);
+    }
+
+    #[inline]
+    fn visit_exact_sum(&mut self, count: usize, sum: u64) {
+        self.matched += count as u64;
+        self.inner.visit_exact_sum(count, sum);
+    }
+
+    fn needs_value(&self) -> bool {
+        self.inner.needs_value()
+    }
+
+    fn supports_exact(&self) -> bool {
+        self.inner.supports_exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FloodBuilder;
+    use crate::flatten::Flattening;
+    use flood_store::{scan_full, CollectVisitor, CountVisitor, SumVisitor};
+
+    /// Deterministic pseudo-random test table.
+    fn table(n: usize, dims: usize, seed: u64) -> Table {
+        let mut cols = vec![Vec::with_capacity(n); dims];
+        let mut state = seed | 1;
+        for _ in 0..n {
+            for (d, col) in cols.iter_mut().enumerate() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = match d % 3 {
+                    0 => (state >> 40) % 1_000,            // uniform small domain
+                    1 => ((state >> 33) % 1_000).pow(2),   // skewed
+                    _ => state >> 20,                      // wide domain
+                };
+                col.push(v);
+            }
+        }
+        Table::from_columns(cols)
+    }
+
+    fn reference_count(t: &Table, q: &RangeQuery) -> u64 {
+        let mut v = CountVisitor::default();
+        let mut s = ScanStats::default();
+        scan_full(t, q, None, &mut v, &mut s);
+        v.count
+    }
+
+    fn reference_sum(t: &Table, q: &RangeQuery, agg: usize) -> u64 {
+        let mut v = SumVisitor::default();
+        let mut s = ScanStats::default();
+        scan_full(t, q, Some(agg), &mut v, &mut s);
+        v.sum
+    }
+
+    fn queries(dims: usize) -> Vec<RangeQuery> {
+        let mut qs = vec![
+            RangeQuery::all(dims), // match everything
+            RangeQuery::all(dims).with_range(0, 100, 300),
+            RangeQuery::all(dims).with_range(0, 0, 0), // equality, maybe empty
+            RangeQuery::all(dims)
+                .with_range(0, 200, 800)
+                .with_range(1, 0, 250_000),
+        ];
+        if dims >= 3 {
+            qs.push(
+                RangeQuery::all(dims)
+                    .with_range(1, 10_000, 640_000)
+                    .with_range(2, 1 << 60, u64::MAX),
+            );
+            qs.push(
+                RangeQuery::all(dims)
+                    .with_range(0, 500, 999)
+                    .with_range(1, 0, 1 << 19)
+                    .with_range(2, 0, 1 << 43),
+            );
+        }
+        qs
+    }
+
+    #[test]
+    fn matches_full_scan_on_all_queries() {
+        let t = table(20_000, 3, 42);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
+            .build(&t);
+        for (i, q) in queries(3).iter().enumerate() {
+            let mut v = CountVisitor::default();
+            let stats = index.execute(q, None, &mut v);
+            assert_eq!(v.count, reference_count(&t, q), "query {i}");
+            assert_eq!(stats.points_matched, v.count, "query {i} stats");
+        }
+    }
+
+    #[test]
+    fn matches_full_scan_uniform_flattening() {
+        let t = table(20_000, 3, 7);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![5, 9]))
+            .flattening(Flattening::Uniform)
+            .build(&t);
+        for (i, q) in queries(3).iter().enumerate() {
+            let mut v = CountVisitor::default();
+            index.execute(q, None, &mut v);
+            assert_eq!(v.count, reference_count(&t, q), "query {i}");
+        }
+    }
+
+    #[test]
+    fn matches_full_scan_binary_search_refinement() {
+        let t = table(20_000, 3, 11);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 4]))
+            .refinement(Refinement::BinarySearch)
+            .build(&t);
+        for (i, q) in queries(3).iter().enumerate() {
+            let mut v = CountVisitor::default();
+            index.execute(q, None, &mut v);
+            assert_eq!(v.count, reference_count(&t, q), "query {i}");
+        }
+    }
+
+    #[test]
+    fn sum_aggregation_matches() {
+        let t = table(15_000, 3, 13);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
+            .build(&t);
+        for (i, q) in queries(3).iter().enumerate() {
+            let mut v = SumVisitor::default();
+            index.execute(q, Some(1), &mut v);
+            assert_eq!(v.sum, reference_sum(&t, q, 1), "query {i}");
+        }
+    }
+
+    #[test]
+    fn cumulative_column_fast_path_matches() {
+        let t = table(15_000, 3, 17);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
+            .cumulative_sum(1)
+            .build(&t);
+        for (i, q) in queries(3).iter().enumerate() {
+            let mut v = SumVisitor::default();
+            index.execute(q, Some(1), &mut v);
+            assert_eq!(v.sum, reference_sum(&t, q, 1), "query {i}");
+        }
+    }
+
+    #[test]
+    fn compressed_storage_matches() {
+        let t = table(10_000, 3, 19);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![4, 4]))
+            .compress(true)
+            .build(&t);
+        for (i, q) in queries(3).iter().enumerate() {
+            let mut v = CountVisitor::default();
+            index.execute(q, None, &mut v);
+            assert_eq!(v.count, reference_count(&t, q), "query {i}");
+        }
+    }
+
+    #[test]
+    fn unindexed_dimension_filters_still_apply() {
+        let t = table(10_000, 4, 23);
+        // Index only dims 0,1,2; dim 3 filters must be checked in the scan.
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![6, 6]))
+            .build(&t);
+        let q = RangeQuery::all(4)
+            .with_range(0, 100, 900)
+            .with_range(3, 0, 1 << 42);
+        let mut v = CountVisitor::default();
+        index.execute(&q, None, &mut v);
+        assert_eq!(v.count, reference_count(&t, &q));
+    }
+
+    #[test]
+    fn histogram_layout_matches_full_scan() {
+        let t = table(20_000, 3, 53);
+        let index = FloodBuilder::new()
+            .layout(Layout::histogram(vec![0, 1, 2], vec![4, 4, 4]))
+            .build(&t);
+        for (i, q) in queries(3).iter().enumerate() {
+            let mut v = CountVisitor::default();
+            let stats = index.execute(q, None, &mut v);
+            assert_eq!(v.count, reference_count(&t, q), "query {i}");
+            assert_eq!(stats.refinements, 0, "histogram layouts never refine");
+        }
+    }
+
+    #[test]
+    fn sort_only_layout_behaves_like_clustered_index() {
+        let t = table(10_000, 2, 29);
+        let index = FloodBuilder::new().layout(Layout::sort_only(1)).build(&t);
+        let q = RangeQuery::all(2).with_range(1, 0, 1 << 50);
+        let mut v = CountVisitor::default();
+        let stats = index.execute(&q, None, &mut v);
+        assert_eq!(v.count, reference_count(&t, &q));
+        assert_eq!(stats.cells_visited, 1);
+        // Refined exactly: zero scan overhead.
+        assert_eq!(stats.scan_overhead(), Some(1.0));
+    }
+
+    #[test]
+    fn interior_cells_scan_exactly() {
+        // A query covering everything in the grid dims and refining the sort
+        // dim: every cell interior ⇒ scan overhead 1.0.
+        let t = table(20_000, 3, 31);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![4, 4]))
+            .build(&t);
+        let q = RangeQuery::all(3).with_range(2, 0, 1 << 42);
+        let mut v = CountVisitor::default();
+        let stats = index.execute(&q, None, &mut v);
+        assert_eq!(v.count, reference_count(&t, &q));
+        assert_eq!(stats.points_scanned, 0, "all ranges should be exact");
+        assert_eq!(stats.points_in_exact_ranges, v.count);
+    }
+
+    #[test]
+    fn collect_visitor_rows_are_valid() {
+        let t = table(5_000, 3, 37);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![4, 4]))
+            .build(&t);
+        let q = RangeQuery::all(3).with_range(0, 100, 500);
+        let mut v = CollectVisitor::default();
+        index.execute(&q, None, &mut v);
+        // Row ids refer to the index's own storage order.
+        for &row in &v.rows {
+            assert!(q.matches(&index.data().row(row)));
+        }
+        assert_eq!(v.rows.len() as u64, reference_count(&t, &q));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let t = table(20_000, 3, 41);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
+            .build(&t);
+        let q = RangeQuery::all(3)
+            .with_range(0, 100, 700)
+            .with_range(2, 0, 1 << 40);
+        let mut v = CountVisitor::default();
+        let (stats, times) = index.execute_profiled(&q, None, &mut v);
+        assert!(stats.cells_visited > 0);
+        assert!(stats.refinements > 0, "sort-dim filter must trigger refinement");
+        assert!(times.total_ns() > 0);
+        assert!(stats.scan_overhead().unwrap_or(1.0) >= 1.0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::from_columns(vec![vec![], vec![]]);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1], vec![4]))
+            .build(&t);
+        let mut v = CountVisitor::default();
+        let stats = index.execute(&RangeQuery::all(2), None, &mut v);
+        assert_eq!(v.count, 0);
+        assert_eq!(stats.cells_visited, 0);
+    }
+
+    #[test]
+    fn single_row_table() {
+        let t = Table::from_columns(vec![vec![5], vec![9]]);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1], vec![4]))
+            .build(&t);
+        let mut v = CountVisitor::default();
+        index.execute(&RangeQuery::all(2).with_eq(0, 5), None, &mut v);
+        assert_eq!(v.count, 1);
+        let mut v = CountVisitor::default();
+        index.execute(&RangeQuery::all(2).with_eq(0, 6), None, &mut v);
+        assert_eq!(v.count, 0);
+    }
+
+    #[test]
+    fn index_size_accounts_models() {
+        let t = table(50_000, 3, 43);
+        let plain = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
+            .refinement(Refinement::BinarySearch)
+            .build(&t);
+        let with_models = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
+            .build(&t);
+        assert!(with_models.index_size_bytes() > plain.index_size_bytes());
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let t = table(30_000, 3, 59);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
+            .build(&t);
+        for threads in [1usize, 2, 4, 7] {
+            for (i, q) in queries(3).iter().enumerate() {
+                let mut seq = CountVisitor::default();
+                let seq_stats = index.execute(q, None, &mut seq);
+                let (par, par_stats) =
+                    index.execute_parallel::<CountVisitor>(q, None, threads);
+                assert_eq!(par.count, seq.count, "query {i}, {threads} threads");
+                assert_eq!(
+                    par_stats.points_matched, seq_stats.points_matched,
+                    "query {i}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let t = table(20_000, 3, 61);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![6, 6]))
+            .cumulative_sum(1)
+            .build(&t);
+        let q = RangeQuery::all(3)
+            .with_range(0, 0, 800)
+            .with_range(2, 0, 1 << 45);
+        let mut seq = SumVisitor::default();
+        index.execute(&q, Some(1), &mut seq);
+        let (par, _) = index.execute_parallel::<SumVisitor>(&q, Some(1), 4);
+        assert_eq!(par.sum, seq.sum);
+        assert_eq!(par.count, seq.count);
+    }
+
+    #[test]
+    fn build_times_recorded() {
+        let t = table(10_000, 3, 47);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
+            .build(&t);
+        let bt = index.build_times();
+        assert!(bt.sort_ns > 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! k-nearest-neighbor queries over the Flood grid (§6).
+//!
+//! "Flood can easily locate adjacent cells in its grid layout, allowing a
+//! similar kNN algorithm" to the k-d tree's: locate the cell containing the
+//! query point, then check adjacent cells ring by ring until the best `k`
+//! cannot improve. The paper excludes kNN from its evaluation (no geospatial
+//! focus); we implement it as the natural extension.
+//!
+//! Distances are L2 over a chosen dimension subset, with every dimension
+//! normalized by its value range so heterogeneous attributes are
+//! comparable. Ring pruning uses column edges in value space: every cell
+//! outside Chebyshev ring `r` differs from the query's cell by more than
+//! `r` columns in some grid dimension, so its points lie at least the
+//! distance to that column edge away.
+
+use crate::index::FloodIndex;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One kNN result: a physical row of [`FloodIndex::data`] and its distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row id in the index's storage order.
+    pub row: usize,
+    /// Normalized L2 distance to the query point.
+    pub distance: f64,
+}
+
+/// Max-heap entry keyed on distance.
+struct HeapItem(f64, usize);
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// A reusable kNN searcher over a built index.
+#[derive(Debug)]
+pub struct KnnSearcher<'a> {
+    index: &'a FloodIndex,
+    /// Dimensions participating in the distance.
+    dims: Vec<usize>,
+    /// Per-distance-dimension normalization factor (1 / range).
+    inv_range: Vec<f64>,
+    /// For each *grid* dimension: its position-aligned column count and the
+    /// value at each column's lower edge (for ring pruning).
+    grid_edges: Vec<Vec<u64>>,
+}
+
+impl<'a> KnnSearcher<'a> {
+    /// Prepare a searcher computing distances over `dims`.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or out of bounds.
+    pub fn new(index: &'a FloodIndex, dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "kNN needs at least one distance dimension");
+        let data = index.data();
+        for &d in &dims {
+            assert!(d < data.dims(), "distance dimension {d} out of bounds");
+        }
+        let inv_range = dims
+            .iter()
+            .map(|&d| {
+                let (lo, hi) = data.dim_bounds(d);
+                1.0 / ((hi - lo).max(1) as f64)
+            })
+            .collect();
+        // Column lower edges per grid dim: the smallest value mapping to
+        // each column, found by binary search on the monotone bucket map.
+        let layout = index.layout();
+        let grid_edges = layout
+            .grid_dims()
+            .iter()
+            .zip(layout.cols())
+            .map(|(&d, &c)| {
+                (0..c)
+                    .map(|col| smallest_value_in_column(index, d, c, col))
+                    .collect()
+            })
+            .collect();
+        KnnSearcher {
+            index,
+            dims,
+            inv_range,
+            grid_edges,
+        }
+    }
+
+    /// The `k` nearest rows to `point` (one value per table dimension),
+    /// sorted by ascending distance. Returns fewer than `k` when the table
+    /// is smaller.
+    pub fn knn(&self, point: &[u64], k: usize) -> Vec<Neighbor> {
+        let index = self.index;
+        let data = index.data();
+        let layout = index.layout();
+        assert_eq!(point.len(), data.dims(), "point arity mismatch");
+        if k == 0 || data.is_empty() {
+            return Vec::new();
+        }
+        let grid_dims = layout.grid_dims();
+        let cols = layout.cols();
+        // The query point's cell coordinates.
+        let center: Vec<usize> = grid_dims
+            .iter()
+            .zip(cols)
+            .map(|(&d, &c)| index.flattener().bucket(d, point[d], c))
+            .collect();
+
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        let max_ring = cols.iter().copied().max().unwrap_or(1);
+        for ring in 0..=max_ring {
+            // Prune: if the heap is full and even the closest possible point
+            // of this ring is worse than our kth best, stop.
+            if heap.len() == k && ring > 0 {
+                let kth = heap.peek().expect("full heap").0;
+                if self.ring_lower_bound(point, &center, ring) > kth {
+                    break;
+                }
+            }
+            self.for_each_ring_cell(&center, cols, ring, |cell| {
+                let (s, e) = index.cell_range(cell);
+                for row in s..e {
+                    let dist = self.distance(point, row);
+                    if heap.len() < k {
+                        heap.push(HeapItem(dist, row));
+                    } else if dist < heap.peek().expect("full heap").0 {
+                        heap.pop();
+                        heap.push(HeapItem(dist, row));
+                    }
+                }
+            });
+            if grid_dims.is_empty() {
+                break; // single cell: one pass covers everything
+            }
+        }
+        let mut out: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|HeapItem(distance, row)| Neighbor { row, distance })
+            .collect();
+        out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+        out
+    }
+
+    /// Normalized L2 distance between `point` and stored row `row`.
+    fn distance(&self, point: &[u64], row: usize) -> f64 {
+        let data = self.index.data();
+        let mut acc = 0.0;
+        for (&d, &inv) in self.dims.iter().zip(&self.inv_range) {
+            let a = point[d] as f64;
+            let b = data.value(row, d) as f64;
+            let delta = (a - b) * inv;
+            acc += delta * delta;
+        }
+        acc.sqrt()
+    }
+
+    /// Lower bound on the distance from `point` to any cell whose Chebyshev
+    /// column distance from `center` is ≥ `ring`.
+    fn ring_lower_bound(&self, point: &[u64], center: &[usize], ring: usize) -> f64 {
+        let layout = self.index.layout();
+        let grid_dims = layout.grid_dims();
+        let mut best = f64::INFINITY;
+        for (i, (&d, edges)) in grid_dims.iter().zip(&self.grid_edges).enumerate() {
+            // Distance contribution only matters for dims in the metric.
+            let Some(pos) = self.dims.iter().position(|&x| x == d) else {
+                // A grid dim outside the metric gives a zero lower bound:
+                // cells far away there can still be distance-0.
+                return 0.0;
+            };
+            let inv = self.inv_range[pos];
+            let c = edges.len();
+            let p = point[d] as f64;
+            // Going down `ring` columns: the upper edge of column
+            // center-ring is edges[center-ring+1] - 1.
+            let down = if center[i] >= ring {
+                let col = center[i] - ring;
+                if col + 1 < c {
+                    let edge = edges[col + 1].saturating_sub(1) as f64;
+                    (p - edge).max(0.0) * inv
+                } else {
+                    0.0
+                }
+            } else {
+                f64::INFINITY
+            };
+            // Going up `ring` columns: the lower edge of column center+ring.
+            let up = if center[i] + ring < c {
+                let edge = edges[center[i] + ring] as f64;
+                (edge - p).max(0.0) * inv
+            } else {
+                f64::INFINITY
+            };
+            best = best.min(down.min(up));
+        }
+        if best.is_infinite() {
+            // Every direction exhausted: nothing outside remains.
+            f64::INFINITY
+        } else {
+            best
+        }
+    }
+
+    /// Invoke `f(cell_id)` for every cell at Chebyshev distance exactly
+    /// `ring` from `center` (clipped to the grid).
+    fn for_each_ring_cell(
+        &self,
+        center: &[usize],
+        cols: &[usize],
+        ring: usize,
+        mut f: impl FnMut(usize),
+    ) {
+        let grid = self.index.grid();
+        if cols.is_empty() {
+            if ring == 0 {
+                f(0);
+            }
+            return;
+        }
+        // Iterate the bounding box of the ring and keep exact-distance cells.
+        let lo: Vec<usize> = center
+            .iter()
+            .map(|&c| c.saturating_sub(ring))
+            .collect();
+        let hi: Vec<usize> = center
+            .iter()
+            .zip(cols)
+            .map(|(&c, &n)| (c + ring).min(n - 1))
+            .collect();
+        let ranges: Vec<(usize, usize)> = lo.into_iter().zip(hi).collect();
+        grid.for_each_cell(&ranges, |cell, coords| {
+            let cheb = coords
+                .iter()
+                .zip(center)
+                .map(|(&a, &b)| a.abs_diff(b))
+                .max()
+                .unwrap_or(0);
+            if cheb == ring {
+                f(cell);
+            }
+        });
+    }
+}
+
+/// Smallest raw value that maps to column `col` of dimension `d` (binary
+/// search over the monotone bucket function).
+fn smallest_value_in_column(index: &FloodIndex, d: usize, c: usize, col: usize) -> u64 {
+    if col == 0 {
+        return 0;
+    }
+    let f = index.flattener();
+    let (mut lo, mut hi) = (0u64, u64::MAX);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if f.bucket(d, mid, c) < col {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FloodBuilder;
+    use crate::layout::Layout;
+    use flood_store::Table;
+
+    fn table(n: usize, seed: u64) -> Table {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        Table::from_columns(vec![
+            (0..n).map(|_| next() % 10_000).collect(),
+            (0..n).map(|_| next() % 10_000).collect(),
+            (0..n).map(|_| next() % 10_000).collect(),
+        ])
+    }
+
+    fn brute_force(data: &Table, dims: &[usize], point: &[u64], k: usize) -> Vec<f64> {
+        let ranges: Vec<f64> = dims
+            .iter()
+            .map(|&d| {
+                let (lo, hi) = data.dim_bounds(d);
+                (hi - lo).max(1) as f64
+            })
+            .collect();
+        let mut dists: Vec<f64> = (0..data.len())
+            .map(|r| {
+                dims.iter()
+                    .zip(&ranges)
+                    .map(|(&d, rg)| {
+                        let delta = (point[d] as f64 - data.value(r, d) as f64) / rg;
+                        delta * delta
+                    })
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        dists.truncate(k);
+        dists
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let t = table(5_000, 77);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
+            .build(&t);
+        let searcher = KnnSearcher::new(&index, vec![0, 1]);
+        for probe in [[500u64, 500, 0], [9_999, 0, 5_000], [4_321, 8_765, 1]] {
+            for k in [1usize, 5, 20] {
+                let got = searcher.knn(&probe, k);
+                let want = brute_force(index.data(), &[0, 1], &probe, k);
+                assert_eq!(got.len(), k);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g.distance - w).abs() < 1e-9,
+                        "probe {probe:?} k={k}: {} vs {w}",
+                        g.distance
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_over_all_three_dims() {
+        let t = table(3_000, 99);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![6, 6]))
+            .build(&t);
+        let searcher = KnnSearcher::new(&index, vec![0, 1, 2]);
+        let probe = [5_000u64, 5_000, 5_000];
+        let got = searcher.knn(&probe, 10);
+        let want = brute_force(index.data(), &[0, 1, 2], &probe, 10);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.distance - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_table() {
+        let t = table(7, 3);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1], vec![2]))
+            .build(&t);
+        let searcher = KnnSearcher::new(&index, vec![0]);
+        let got = searcher.knn(&[0, 0, 0], 100);
+        assert_eq!(got.len(), 7);
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let t = table(2_000, 5);
+        let index = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![4, 4]))
+            .build(&t);
+        let searcher = KnnSearcher::new(&index, vec![0, 1]);
+        let got = searcher.knn(&[100, 100, 100], 25);
+        for w in got.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn sort_only_layout_falls_back_to_full_scan() {
+        let t = table(1_000, 9);
+        let index = FloodBuilder::new().layout(Layout::sort_only(2)).build(&t);
+        let searcher = KnnSearcher::new(&index, vec![0, 1]);
+        let got = searcher.knn(&[42, 42, 42], 3);
+        let want = brute_force(index.data(), &[0, 1], &[42, 42, 42], 3);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.distance - w).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Layout optimization (§4.2, Algorithm 1).
+//!
+//! ```text
+//! FindOptimalLayout(D, Q, T):
+//!   D̂, Q̂ ← Sample(D), Sample(Q)
+//!   D̂, Q̂ ← Flatten(D̂, Q̂)            # per-dim RMIs trained on the sample
+//!   dims  ← order by avg selectivity
+//!   for i in 0..d:
+//!     O ← grid dims in selectivity order, dims[i] as sort dimension
+//!     C, cost ← GradientDescent(T, O, D̂, Q̂)
+//!     keep the cheapest (O, C)
+//! ```
+//!
+//! Optimization never builds an index, sorts data, or runs a query: `N_c` is
+//! computed exactly from the query rectangle and layout parameters, and
+//! `N_s` and the weight-model features are estimated from the flattened data
+//! sample.
+
+pub mod gradient;
+pub mod sample;
+
+pub use gradient::{descend, GdConfig};
+pub use sample::SampleSpace;
+
+use crate::cost::CostModel;
+use crate::layout::Layout;
+use flood_store::{RangeQuery, Table};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration for [`LayoutOptimizer`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// Maximum data-sample size (Fig 15: 0.01–1 % suffices).
+    pub data_sample: usize,
+    /// Maximum query-sample size (Fig 16: ~5 % suffices).
+    pub query_sample: usize,
+    /// Gradient-descent steps per sort-dimension candidate.
+    pub gd_steps: usize,
+    /// Per-dimension column cap, as log₂ (10 → 1024 columns).
+    pub max_col_log2: f64,
+    /// Cap on the total cell count of candidate layouts.
+    pub max_total_cells: usize,
+    /// Target average points per cell for the descent's starting layout.
+    pub init_points_per_cell: usize,
+    /// RNG seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            data_sample: 10_000,
+            query_sample: 100,
+            gd_steps: 20,
+            max_col_log2: 10.0,
+            max_total_cells: 1 << 20,
+            init_points_per_cell: 1_024,
+            seed: 0x0F700D,
+        }
+    }
+}
+
+/// The result of a layout search.
+#[derive(Debug, Clone)]
+pub struct OptimizedLayout {
+    /// The winning layout.
+    pub layout: Layout,
+    /// Its predicted average query time (ns).
+    pub predicted_ns: f64,
+    /// Wall-clock learning time.
+    pub learn_time: std::time::Duration,
+    /// Predicted cost of each sort-dimension candidate `(dim, ns)` —
+    /// diagnostics for the harness.
+    pub candidates: Vec<(usize, f64)>,
+}
+
+/// Searches the layout space for the cheapest layout under a cost model.
+#[derive(Debug, Clone)]
+pub struct LayoutOptimizer {
+    cost: CostModel,
+    cfg: OptimizerConfig,
+}
+
+impl LayoutOptimizer {
+    /// Optimizer with default configuration.
+    pub fn new(cost: CostModel) -> Self {
+        LayoutOptimizer {
+            cost,
+            cfg: OptimizerConfig::default(),
+        }
+    }
+
+    /// Optimizer with explicit configuration.
+    pub fn with_config(cost: CostModel, cfg: OptimizerConfig) -> Self {
+        LayoutOptimizer { cost, cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.cfg
+    }
+
+    /// Find the cheapest layout for `workload` over `table` (Algorithm 1).
+    ///
+    /// # Panics
+    /// Panics if the workload is empty or the table has no rows.
+    pub fn optimize(&self, table: &Table, workload: &[RangeQuery]) -> OptimizedLayout {
+        assert!(!workload.is_empty(), "cannot optimize for an empty workload");
+        assert!(!table.is_empty(), "cannot optimize over an empty table");
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+
+        // Sample queries, then build the flattened data sample.
+        let mut queries: Vec<RangeQuery> = workload.to_vec();
+        queries.shuffle(&mut rng);
+        queries.truncate(self.cfg.query_sample.max(1));
+        let space = SampleSpace::build(table, &queries, self.cfg.data_sample, &mut rng);
+
+        // Candidate dimensions: everything the sampled workload filters,
+        // most selective first. Never-filtered dimensions are left out of
+        // the index entirely (§7.5: Flood "chooses not to include the least
+        // frequently filtered dimensions").
+        let mut candidates = space.dims_by_selectivity();
+        if candidates.is_empty() {
+            candidates = (0..table.dims()).collect();
+        }
+
+        let gd_cfg = GdConfig {
+            steps: self.cfg.gd_steps,
+            max_col_log2: self.cfg.max_col_log2,
+            max_total_cells: self.cfg.max_total_cells,
+            ..Default::default()
+        };
+        // Starting point: equal log-split of a cell budget of
+        // n / init_points_per_cell.
+        let target_cells = (table.len() / self.cfg.init_points_per_cell.max(1))
+            .clamp(4, self.cfg.max_total_cells) as f64;
+
+        let mut best: Option<(Layout, f64)> = None;
+        let mut diagnostics = Vec::new();
+        for (i, &sort_dim) in candidates.iter().enumerate() {
+            // Grid dims: the other candidates, in selectivity order.
+            let order: Vec<usize> = candidates
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &d)| d)
+                .chain(std::iter::once(sort_dim))
+                .collect();
+            let k = order.len() - 1;
+            let (cols, cost) = if k == 0 {
+                let cost = self
+                    .cost
+                    .predict_workload(&space.query_stats(&order, &[]));
+                (Vec::new(), cost)
+            } else {
+                let init = vec![target_cells.log2() / k as f64; k];
+                descend(&init, &gd_cfg, |cols| {
+                    self.cost.predict_workload(&space.query_stats(&order, cols))
+                })
+            };
+            diagnostics.push((sort_dim, cost));
+            let layout = Layout::new(order, cols);
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((layout, cost));
+            }
+        }
+        let (layout, predicted_ns) = best.expect("at least one candidate");
+        OptimizedLayout {
+            layout,
+            predicted_ns,
+            learn_time: start.elapsed(),
+            candidates: diagnostics,
+        }
+    }
+
+    /// Predict the average query time of an explicit layout on this
+    /// table/workload (Fig 14's cost surface).
+    pub fn predict_cost(&self, table: &Table, workload: &[RangeQuery], layout: &Layout) -> f64 {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let space = SampleSpace::build(table, workload, self.cfg.data_sample, &mut rng);
+        self.cost
+            .predict_workload(&space.query_stats(layout.order(), layout.cols()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    /// Table where dim 0 is heavily queried & selective, dim 2 never
+    /// filtered, dim 1 filtered with wide ranges.
+    fn table() -> Table {
+        let n = 8_000u64;
+        Table::from_columns(vec![
+            (0..n).map(|i| (i * 7919) % 10_000).collect(),
+            (0..n).map(|i| (i * 104729) % 10_000).collect(),
+            (0..n).collect(),
+        ])
+    }
+
+    fn workload() -> Vec<RangeQuery> {
+        let mut qs = Vec::new();
+        for i in 0..12u64 {
+            qs.push(
+                RangeQuery::all(3)
+                    .with_range(0, i * 100, i * 100 + 150) // ~1.5% selective
+                    .with_range(1, 0, 8_000), // 80% selective
+            );
+        }
+        qs
+    }
+
+    fn fast_cfg() -> OptimizerConfig {
+        OptimizerConfig {
+            data_sample: 800,
+            query_sample: 8,
+            gd_steps: 8,
+            max_total_cells: 1 << 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn optimize_returns_valid_layout() {
+        let opt = LayoutOptimizer::with_config(CostModel::analytic_default(), fast_cfg());
+        let result = opt.optimize(&table(), &workload());
+        let l = &result.layout;
+        // Dim 2 is never filtered: it must not be indexed.
+        assert!(!l.order().contains(&2), "layout {l}");
+        assert!(result.predicted_ns > 0.0);
+        assert_eq!(result.candidates.len(), 2);
+    }
+
+    #[test]
+    fn optimizer_prefers_fine_columns_on_selective_dim() {
+        let opt = LayoutOptimizer::with_config(CostModel::analytic_default(), fast_cfg());
+        let result = opt.optimize(&table(), &workload());
+        let l = &result.layout;
+        // The selective dim-0 should either be the sort dim or get real
+        // partitioning; the barely-selective dim-1 shouldn't dominate.
+        if let Some(pos) = l.grid_dims().iter().position(|&d| d == 0) {
+            assert!(
+                l.col_count(pos) >= 2,
+                "selective dim should be partitioned: {l}"
+            );
+        } else {
+            assert_eq!(l.sort_dim(), 0);
+        }
+    }
+
+    #[test]
+    fn predict_cost_orders_layouts_sensibly() {
+        let opt = LayoutOptimizer::with_config(CostModel::analytic_default(), fast_cfg());
+        let t = table();
+        let w = workload();
+        // A grid on the selective dim 0 beats a grid on the unfiltered dim 2.
+        let good = Layout::new(vec![0, 1], vec![32]);
+        let bad = Layout::new(vec![2, 1], vec![32]);
+        let cg = opt.predict_cost(&t, &w, &good);
+        let cb = opt.predict_cost(&t, &w, &bad);
+        assert!(
+            cg < cb,
+            "grid on selective dim should be cheaper: {cg} vs {cb}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn empty_workload_panics() {
+        let opt = LayoutOptimizer::new(CostModel::analytic_default());
+        let _ = opt.optimize(&table(), &[]);
+    }
+}

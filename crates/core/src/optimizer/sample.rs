@@ -1,0 +1,339 @@
+//! The flattened sample space: the optimizer's stand-in for the full dataset.
+//!
+//! Algorithm 1 flattens a data sample and the query sample with per-dimension
+//! RMIs, then evaluates every candidate layout against them: `N_c` exactly
+//! from the (flattened) query rectangle and the column counts, `N_s` and the
+//! weight-model features by counting sample points. Because flattening makes
+//! every marginal uniform, a dimension with `c` columns splits at
+//! `i/c` for `i = 1..c` in flattened space.
+
+use crate::cost::features::QueryStatistics;
+use flood_learned::cdf::CdfModel;
+use flood_learned::rmi::{Rmi, RmiConfig};
+use flood_store::{RangeQuery, Table};
+use rand::rngs::StdRng;
+use rand::seq::index::sample as index_sample;
+
+/// A flattened query: per-dimension bounds in `[0, 1]` flat space.
+#[derive(Debug, Clone)]
+pub struct FlatQuery {
+    /// `bounds[d] = Some((cdf(lo), cdf(hi)))` when dimension `d` is filtered.
+    pub bounds: Vec<Option<(f32, f32)>>,
+    /// Number of filtered dimensions.
+    pub dims_filtered: usize,
+}
+
+/// The flattened data + query sample used for cost evaluation.
+#[derive(Debug, Clone)]
+pub struct SampleSpace {
+    /// Row-major flattened sample values: `flat[p * dims + d]`.
+    flat: Vec<f32>,
+    n_points: usize,
+    n_dims: usize,
+    /// Scale factor from sample counts to full-dataset counts.
+    scale: f64,
+    full_n: usize,
+    queries: Vec<FlatQuery>,
+    /// Average flattened query width per dimension (selectivity), `None`
+    /// for dimensions never filtered.
+    avg_selectivity: Vec<Option<f64>>,
+}
+
+impl SampleSpace {
+    /// Sample up to `max_sample` rows of `table`, train per-dimension RMIs
+    /// on the sample, and flatten both the sample and the `queries`.
+    pub fn build(
+        table: &Table,
+        queries: &[RangeQuery],
+        max_sample: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let full_n = table.len();
+        let n_dims = table.dims();
+        let take = max_sample.clamp(1, full_n.max(1));
+        let rows: Vec<usize> = if take >= full_n {
+            (0..full_n).collect()
+        } else {
+            index_sample(rng, full_n, take).into_vec()
+        };
+        let n_points = rows.len();
+
+        // Per-dimension CDFs trained on the sample (Algorithm 1 line 6-8).
+        let mut cdfs = Vec::with_capacity(n_dims);
+        for d in 0..n_dims {
+            let mut vals: Vec<u64> = rows.iter().map(|&r| table.value(r, d)).collect();
+            vals.sort_unstable();
+            cdfs.push(Rmi::build(&vals, RmiConfig::default()));
+        }
+
+        // Flatten the sample, row-major.
+        let mut flat = Vec::with_capacity(n_points * n_dims);
+        for &r in &rows {
+            for (d, cdf) in cdfs.iter().enumerate() {
+                flat.push(cdf.cdf(table.value(r, d)) as f32);
+            }
+        }
+
+        // Flatten the queries and record selectivities.
+        let mut sel_sum = vec![0.0f64; n_dims];
+        let mut sel_cnt = vec![0usize; n_dims];
+        let flat_queries: Vec<FlatQuery> = queries
+            .iter()
+            .map(|q| {
+                let mut bounds = Vec::with_capacity(n_dims);
+                for d in 0..n_dims {
+                    match q.bound(d) {
+                        Some((lo, hi)) => {
+                            let flo = cdfs[d].cdf(lo) as f32;
+                            let fhi = cdfs[d].cdf(hi) as f32;
+                            sel_sum[d] += (fhi - flo) as f64;
+                            sel_cnt[d] += 1;
+                            bounds.push(Some((flo, fhi)));
+                        }
+                        None => bounds.push(None),
+                    }
+                }
+                FlatQuery {
+                    dims_filtered: q.num_filtered(),
+                    bounds,
+                }
+            })
+            .collect();
+        let avg_selectivity = (0..n_dims)
+            .map(|d| {
+                if sel_cnt[d] == 0 {
+                    None
+                } else {
+                    Some(sel_sum[d] / sel_cnt[d] as f64)
+                }
+            })
+            .collect();
+
+        SampleSpace {
+            flat,
+            n_points,
+            n_dims,
+            scale: full_n as f64 / n_points.max(1) as f64,
+            full_n,
+            queries: flat_queries,
+            avg_selectivity,
+        }
+    }
+
+    /// Number of sampled points.
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Dimensions filtered by at least one sampled query, most selective
+    /// (smallest average flattened width) first — Algorithm 1's `dims`.
+    pub fn dims_by_selectivity(&self) -> Vec<usize> {
+        let mut dims: Vec<(usize, f64)> = self
+            .avg_selectivity
+            .iter()
+            .enumerate()
+            .filter_map(|(d, s)| s.map(|s| (d, s)))
+            .collect();
+        dims.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("selectivities are finite"));
+        dims.into_iter().map(|(d, _)| d).collect()
+    }
+
+    /// Average selectivity (flattened width) of `dim`, if ever filtered.
+    pub fn selectivity(&self, dim: usize) -> Option<f64> {
+        self.avg_selectivity[dim]
+    }
+
+    /// Estimate the per-query statistics of layout `(order, cols)` — the
+    /// cost-model inputs, without building anything (§4.2 step 3).
+    ///
+    /// `order` lists indexed dims (sort last), `cols` the grid column
+    /// counts (`order.len() - 1` entries).
+    pub fn query_stats(&self, order: &[usize], cols: &[usize]) -> Vec<QueryStatistics> {
+        assert_eq!(cols.len() + 1, order.len());
+        let grid_dims = &order[..order.len() - 1];
+        let sort_dim = *order.last().expect("non-empty order");
+        let total_cells: f64 = cols.iter().map(|&c| c as f64).product::<f64>().max(1.0);
+        let avg_cell = self.full_n as f64 / total_cells;
+
+        let mut out = Vec::with_capacity(self.queries.len());
+        for q in &self.queries {
+            // Projection: exact column ranges per grid dim.
+            let mut nc = 1.0f64;
+            let mut ranges: Vec<(u32, u32, bool)> = Vec::with_capacity(grid_dims.len());
+            for (&d, &c) in grid_dims.iter().zip(cols) {
+                match q.bounds[d] {
+                    Some((lo, hi)) => {
+                        let lo_col = ((lo as f64 * c as f64) as u32).min(c as u32 - 1);
+                        let hi_col = ((hi as f64 * c as f64) as u32).min(c as u32 - 1);
+                        nc *= (hi_col - lo_col + 1) as f64;
+                        ranges.push((lo_col, hi_col, true));
+                    }
+                    None => {
+                        // The query rectangle spans the whole dimension:
+                        // every column contributes to N_c.
+                        nc *= c as f64;
+                        ranges.push((0, c as u32 - 1, false));
+                    }
+                }
+            }
+            let sort_bound = q.bounds[sort_dim];
+            // Any filter on an unindexed dimension forces per-point checks,
+            // so no sub-range can be exact.
+            let has_unindexed_filter = (0..self.n_dims)
+                .any(|d| q.bounds[d].is_some() && !order.contains(&d));
+
+            // Scan estimate from the sample.
+            let mut ns_sample = 0usize;
+            let mut exact_sample = 0usize;
+            'points: for p in 0..self.n_points {
+                let row = &self.flat[p * self.n_dims..(p + 1) * self.n_dims];
+                let mut interior = !has_unindexed_filter;
+                for ((&d, &c), &(lo_col, hi_col, filtered)) in
+                    grid_dims.iter().zip(cols).zip(&ranges)
+                {
+                    let col = ((row[d] as f64 * c as f64) as u32).min(c as u32 - 1);
+                    if col < lo_col || col > hi_col {
+                        continue 'points;
+                    }
+                    if filtered && (col == lo_col || col == hi_col) {
+                        interior = false;
+                    }
+                }
+                if let Some((lo, hi)) = sort_bound {
+                    let v = row[sort_dim];
+                    if v < lo || v > hi {
+                        continue 'points;
+                    }
+                }
+                ns_sample += 1;
+                if interior {
+                    exact_sample += 1;
+                }
+            }
+            let ns = ns_sample as f64 * self.scale;
+            let exact = exact_sample as f64 * self.scale;
+            out.push(QueryStatistics {
+                nc,
+                ns,
+                total_cells,
+                avg_cell_size: avg_cell,
+                // Flattening keeps cells near-uniform; estimate the median
+                // at the mean and the tail at twice it (measured values are
+                // used during calibration, estimates only during search).
+                median_cell_size: avg_cell,
+                p95_cell_size: avg_cell * 2.0,
+                dims_filtered: q.dims_filtered as f64,
+                avg_visited_per_cell: ns / nc.max(1.0),
+                exact_points: exact,
+                sort_filtered: sort_bound.is_some(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        let n = 4_000u64;
+        Table::from_columns(vec![
+            (0..n).map(|i| i % 1_000).collect(),
+            (0..n).map(|i| (i * i) % 10_000).collect(),
+            (0..n).collect(),
+        ])
+    }
+
+    fn space(queries: &[RangeQuery], sample: usize) -> SampleSpace {
+        let mut rng = StdRng::seed_from_u64(3);
+        SampleSpace::build(&table(), queries, sample, &mut rng)
+    }
+
+    #[test]
+    fn selectivity_ordering() {
+        let qs = vec![
+            RangeQuery::all(3).with_range(0, 0, 9).with_range(1, 0, 9_000),
+            RangeQuery::all(3).with_range(0, 10, 29).with_range(1, 0, 8_000),
+        ];
+        let s = space(&qs, 2_000);
+        // Dim 0 is ~1-3% selective, dim 1 ~80-90%; dim 2 never filtered.
+        assert_eq!(s.dims_by_selectivity(), vec![0, 1]);
+        assert!(s.selectivity(2).is_none());
+        assert!(s.selectivity(0).expect("filtered") < s.selectivity(1).expect("filtered"));
+    }
+
+    #[test]
+    fn ns_estimate_tracks_truth() {
+        // Query selecting ~10% of dim 0 with full sample (scale = 1).
+        let qs = vec![RangeQuery::all(3).with_range(0, 0, 99)];
+        let s = space(&qs, usize::MAX);
+        // Layout: grid on dim 0 with 10 columns, sort dim 2.
+        let stats = s.query_stats(&[0, 2], &[10]);
+        assert_eq!(stats.len(), 1);
+        let st = &stats[0];
+        // True matching fraction is 10%; the scanned estimate covers whole
+        // boundary columns so it is ≥ the true count but ≤ ~3 columns.
+        let truth = 400.0; // 4000 rows * 10%
+        assert!(st.ns >= truth * 0.8, "ns {}", st.ns);
+        assert!(st.ns <= truth * 3.5, "ns {}", st.ns);
+        assert!(st.nc >= 1.0 && st.nc <= 3.0, "nc {}", st.nc);
+        assert!(!st.sort_filtered);
+    }
+
+    #[test]
+    fn finer_grids_scan_fewer_points() {
+        let qs = vec![RangeQuery::all(3).with_range(1, 0, 400)];
+        let s = space(&qs, usize::MAX);
+        let coarse = &s.query_stats(&[1, 2], &[2])[0];
+        let fine = &s.query_stats(&[1, 2], &[64])[0];
+        assert!(
+            fine.ns <= coarse.ns,
+            "finer grid must not scan more: {} vs {}",
+            fine.ns,
+            coarse.ns
+        );
+        assert!(fine.nc >= coarse.nc);
+    }
+
+    #[test]
+    fn sort_filter_reduces_ns_via_refinement() {
+        let qs = vec![
+            RangeQuery::all(3).with_range(0, 0, 499).with_range(2, 0, 399),
+        ];
+        let s = space(&qs, usize::MAX);
+        // Sort dim = 2 → refinement prunes to ~10% of dim 2.
+        let with_sort = &s.query_stats(&[0, 2], &[4])[0];
+        // Sort dim = 1 (unfiltered sort) → dim 2 filter is unindexed → all
+        // points in matching columns scanned.
+        let without = &s.query_stats(&[0, 1], &[4])[0];
+        assert!(
+            with_sort.ns < without.ns,
+            "refinement should prune: {} vs {}",
+            with_sort.ns,
+            without.ns
+        );
+        assert!(with_sort.sort_filtered);
+        assert!(!without.sort_filtered);
+        // The unindexed dim-2 filter kills exactness in the second layout.
+        assert_eq!(without.exact_points, 0.0);
+    }
+
+    #[test]
+    fn scale_extrapolates_sample_counts() {
+        let qs = vec![RangeQuery::all(3).with_range(0, 0, 999)];
+        let full = space(&qs, usize::MAX);
+        let sampled = space(&qs, 500);
+        let a = &full.query_stats(&[0, 2], &[1])[0];
+        let b = &sampled.query_stats(&[0, 2], &[1])[0];
+        // Everything matches in both; scaled counts should agree.
+        assert_eq!(a.ns, 4_000.0);
+        assert!((b.ns - 4_000.0).abs() < 1e-6, "scaled ns {}", b.ns);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the Flood index: equivalence with brute force under
+//! every configuration axis (flattening × refinement × compression ×
+//! cumulative columns), and grid/cell-table invariants.
+
+use flood_core::{Flattening, FloodBuilder, Layout, Refinement};
+use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, SumVisitor, Table};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..300, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        Table::from_columns(
+            (0..3)
+                .map(|d| {
+                    let domain = [32u64, 5_000, 1 << 30][d];
+                    (0..n).map(|_| next() % domain).collect()
+                })
+                .collect(),
+        )
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = RangeQuery> {
+    let bound = prop_oneof![
+        Just(None),
+        (0u64..5_000, 0u64..5_000).prop_map(|(a, b)| Some((a.min(b), a.max(b)))),
+    ];
+    proptest::collection::vec(bound, 3).prop_map(|bs| {
+        let mut q = RangeQuery::all(3);
+        for (d, b) in bs.into_iter().enumerate() {
+            if let Some((lo, hi)) = b {
+                q = q.with_range(d, lo, hi);
+            }
+        }
+        q
+    })
+}
+
+fn oracle_count(t: &Table, q: &RangeQuery) -> u64 {
+    (0..t.len()).filter(|&r| q.matches(&t.row(r))).count() as u64
+}
+
+fn oracle_sum(t: &Table, q: &RangeQuery, agg: usize) -> u64 {
+    (0..t.len())
+        .filter(|&r| q.matches(&t.row(r)))
+        .fold(0u64, |acc, r| acc.wrapping_add(t.value(r, agg)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn all_configurations_match_oracle(
+        t in arb_table(),
+        q in arb_query(),
+        uniform in any::<bool>(),
+        binsearch in any::<bool>(),
+        compress in any::<bool>(),
+    ) {
+        let mut b = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![5, 4]))
+            .compress(compress);
+        if uniform {
+            b = b.flattening(Flattening::Uniform);
+        }
+        if binsearch {
+            b = b.refinement(Refinement::BinarySearch);
+        }
+        let idx = b.build(&t);
+        let mut v = CountVisitor::default();
+        idx.execute(&q, None, &mut v);
+        prop_assert_eq!(v.count, oracle_count(&t, &q));
+    }
+
+    #[test]
+    fn sum_with_cumulative_matches_oracle(t in arb_table(), q in arb_query()) {
+        let idx = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 2, 1], vec![4, 4]))
+            .cumulative_sum(1)
+            .build(&t);
+        let mut v = SumVisitor::default();
+        idx.execute(&q, Some(1), &mut v);
+        prop_assert_eq!(v.sum, oracle_sum(&t, &q, 1));
+    }
+
+    #[test]
+    fn sort_only_layout_matches_oracle(t in arb_table(), q in arb_query()) {
+        let idx = FloodBuilder::new().layout(Layout::sort_only(1)).build(&t);
+        let mut v = CountVisitor::default();
+        idx.execute(&q, None, &mut v);
+        prop_assert_eq!(v.count, oracle_count(&t, &q));
+    }
+
+    #[test]
+    fn cell_table_partitions_the_data(t in arb_table()) {
+        let idx = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![6, 6]))
+            .build(&t);
+        // Cell sizes sum to the table size; data within each cell is sorted
+        // by the sort dimension.
+        let sizes = idx.cell_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), t.len());
+        let data = idx.data();
+        let sort_dim = idx.layout().sort_dim();
+        let mut at = 0usize;
+        for sz in sizes {
+            for i in at + 1..at + sz {
+                prop_assert!(
+                    data.value(i - 1, sort_dim) <= data.value(i, sort_dim),
+                    "cell not sorted at row {i}"
+                );
+            }
+            at += sz;
+        }
+    }
+
+    #[test]
+    fn stats_scan_overhead_at_least_one(t in arb_table(), q in arb_query()) {
+        let idx = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![4, 4]))
+            .build(&t);
+        let mut v = CountVisitor::default();
+        let stats = idx.execute(&q, None, &mut v);
+        if let Some(so) = stats.scan_overhead() {
+            prop_assert!(so >= 1.0, "scan overhead below 1: {so}");
+        }
+    }
+}

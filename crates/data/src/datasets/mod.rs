@@ -1,0 +1,171 @@
+//! The four evaluation datasets (§7.3, Table 1), as synthetic generators,
+//! plus the uniform d-dimensional dataset of the §7.5 dimensionality sweep.
+//!
+//! | paper dataset | records (paper) | dims | our generator |
+//! |---------------|-----------------|------|----------------|
+//! | sales         | 30 M            | 6    | [`sales`]      |
+//! | tpc-h         | 300 M (SF 50)   | 7    | [`tpch`]       |
+//! | osm           | 105 M           | 6    | [`osm`]        |
+//! | perfmon       | 230 M           | 6    | [`perfmon`]    |
+//!
+//! Generators take an explicit row count: the paper's full sizes run on a
+//! 64 GB testbed, harnesses here default to laptop-scale and accept
+//! `--scale` to grow.
+
+pub mod osm;
+pub mod perfmon;
+pub mod sales;
+pub mod tpch;
+pub mod uniform;
+
+use crate::workloads::QueryTemplate;
+use flood_store::Table;
+use serde::{Deserialize, Serialize};
+
+/// Which evaluation dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Commercial sales database (6 dims; mixed categorical/monetary/date).
+    Sales,
+    /// TPC-H `lineitem` (7 dims; §7.3's filter columns + revenue).
+    TpcH,
+    /// OpenStreetMap US-Northeast (6 dims; clustered geo + time).
+    Osm,
+    /// University performance-monitoring logs (6 dims; heavy skew).
+    Perfmon,
+}
+
+impl DatasetKind {
+    /// All four paper datasets, in Table 1 order.
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::Sales,
+        DatasetKind::TpcH,
+        DatasetKind::Osm,
+        DatasetKind::Perfmon,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Sales => "sales",
+            DatasetKind::TpcH => "tpc-h",
+            DatasetKind::Osm => "osm",
+            DatasetKind::Perfmon => "perfmon",
+        }
+    }
+
+    /// Number of attributes (Table 1).
+    pub fn dims(self) -> usize {
+        match self {
+            DatasetKind::TpcH => 7,
+            _ => 6,
+        }
+    }
+
+    /// Generate `n` rows with the given seed.
+    pub fn generate(self, n: usize, seed: u64) -> Dataset {
+        let table = match self {
+            DatasetKind::Sales => sales::generate(n, seed),
+            DatasetKind::TpcH => tpch::generate(n, seed),
+            DatasetKind::Osm => osm::generate(n, seed),
+            DatasetKind::Perfmon => perfmon::generate(n, seed),
+        };
+        Dataset { kind: self, table }
+    }
+
+    /// The aggregation column used by this dataset's workloads
+    /// (e.g. TPC-H SUMs revenue).
+    pub fn agg_dim(self) -> usize {
+        match self {
+            DatasetKind::Sales => sales::COL_PRICE,
+            DatasetKind::TpcH => tpch::COL_PRICE,
+            DatasetKind::Osm => osm::COL_ID,
+            DatasetKind::Perfmon => perfmon::COL_CPU,
+        }
+    }
+
+    /// The default OLAP query templates for this dataset (the Fig 7
+    /// workloads).
+    pub fn olap_templates(self) -> Vec<QueryTemplate> {
+        match self {
+            DatasetKind::Sales => sales::templates(),
+            DatasetKind::TpcH => tpch::templates(),
+            DatasetKind::Osm => osm::templates(),
+            DatasetKind::Perfmon => perfmon::templates(),
+        }
+    }
+
+    /// Primary-key-like dimensions for OLTP point-lookup workloads (Fig 9).
+    pub fn key_dims(self) -> Vec<usize> {
+        match self {
+            DatasetKind::Sales => vec![sales::COL_STORE, sales::COL_PRODUCT],
+            DatasetKind::TpcH => vec![tpch::COL_ORDER_KEY, tpch::COL_SUPP_KEY],
+            DatasetKind::Osm => vec![osm::COL_ID, osm::COL_TIMESTAMP],
+            DatasetKind::Perfmon => vec![perfmon::COL_MACHINE, perfmon::COL_TIME],
+        }
+    }
+}
+
+/// A generated dataset: the table plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which paper dataset this models.
+    pub kind: DatasetKind,
+    /// The data.
+    pub table: Table,
+}
+
+impl Dataset {
+    /// Dataset name (Table 1).
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_with_declared_dims() {
+        for kind in DatasetKind::ALL {
+            let ds = kind.generate(2_000, 1);
+            assert_eq!(ds.table.len(), 2_000, "{}", kind.name());
+            assert_eq!(ds.table.dims(), kind.dims(), "{}", kind.name());
+            assert!(ds.kind.agg_dim() < ds.table.dims());
+            for d in ds.kind.key_dims() {
+                assert!(d < ds.table.dims());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for kind in DatasetKind::ALL {
+            let a = kind.generate(500, 7).table;
+            let b = kind.generate(500, 7).table;
+            for r in (0..500).step_by(97) {
+                assert_eq!(a.row(r), b.row(r), "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetKind::Sales.generate(500, 1).table;
+        let b = DatasetKind::Sales.generate(500, 2).table;
+        let same = (0..500).filter(|&r| a.row(r) == b.row(r)).count();
+        assert!(same < 50, "seeds should change the data ({same} identical rows)");
+    }
+
+    #[test]
+    fn templates_reference_valid_dims() {
+        for kind in DatasetKind::ALL {
+            for t in kind.olap_templates() {
+                for f in &t.filters {
+                    assert!(f.dim() < kind.dims(), "{}: template {}", kind.name(), t.name);
+                }
+            }
+        }
+    }
+}

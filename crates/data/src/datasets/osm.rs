@@ -1,0 +1,160 @@
+//! OpenStreetMap-style generator (§7.3).
+//!
+//! The paper uses all 105M elements of the US-Northeast extract: an id, a
+//! timestamp, GPS coordinates on 90% of records, and categorical type /
+//! landmark attributes. Geographic mass concentrates around cities — the
+//! skew that makes flattening worth 20–30× (§5.1) — so latitude/longitude
+//! come from a Gaussian mixture over northeast-US metro areas; timestamps
+//! grow with id (edits accumulate over the project's life) with heavy
+//! recency skew.
+
+use crate::dist::{GaussianMixture2D, Zipf};
+use crate::workloads::{DimFilter, QueryTemplate};
+use flood_store::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Element id (unique, increasing).
+pub const COL_ID: usize = 0;
+/// Edit timestamp (seconds; correlated with id, recency-skewed).
+pub const COL_TIMESTAMP: usize = 1;
+/// Latitude ×10⁶, offset to be non-negative; 0 = missing (10% of rows).
+pub const COL_LAT: usize = 2;
+/// Longitude ×10⁶, offset to be non-negative; 0 = missing.
+pub const COL_LON: usize = 3;
+/// Record type (node/way/relation/changeset, skewed).
+pub const COL_TYPE: usize = 4;
+/// Landmark category (Zipf over 100 categories).
+pub const COL_CATEGORY: usize = 5;
+
+/// Generate `n` rows.
+pub fn generate(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x05E4);
+    // Metro clusters: (lat, lon) in micro-degrees, shifted positive.
+    // Rough NE-US: lat 39–45°N, lon 68–80°W.
+    let metros = GaussianMixture2D::new(vec![
+        (40_700_000.0, 74_000_000.0, 300_000.0, 8.0), // NYC
+        (42_360_000.0, 71_060_000.0, 250_000.0, 4.0), // Boston
+        (39_950_000.0, 75_160_000.0, 250_000.0, 4.0), // Philadelphia
+        (43_050_000.0, 76_150_000.0, 400_000.0, 1.5), // upstate NY
+        (41_760_000.0, 72_670_000.0, 200_000.0, 1.0), // Hartford
+        (44_000_000.0, 73_000_000.0, 900_000.0, 1.5), // rural spread
+    ]);
+    let category_z = Zipf::new(100, 1.3);
+    let mut cols: Vec<Vec<u64>> = (0..6).map(|_| Vec::with_capacity(n)).collect();
+    for i in 0..n {
+        let id = i as u64;
+        // Timestamp: grows with id; recent edits denser (quadratic ramp),
+        // plus jitter. Domain ≈ 15 years of seconds.
+        let frac = (i as f64 / n.max(1) as f64).powf(0.5);
+        let ts = (frac * 4.7e8) as u64 + rng.gen_range(0..2_000_000);
+        let (lat, lon) = if rng.gen_bool(0.9) {
+            let (la, lo) = metros.sample(&mut rng);
+            (
+                la.clamp(39_000_000.0, 45_000_000.0) as u64,
+                lo.clamp(68_000_000.0, 80_000_000.0) as u64,
+            )
+        } else {
+            (0, 0) // missing coordinates
+        };
+        // Types: nodes dominate real OSM dumps.
+        let ty = match rng.gen_range(0..100u32) {
+            0..=84 => 0u64, // node
+            85..=97 => 1,   // way
+            98 => 2,        // relation
+            _ => 3,         // changeset
+        };
+        cols[COL_ID].push(id);
+        cols[COL_TIMESTAMP].push(ts);
+        cols[COL_LAT].push(lat);
+        cols[COL_LON].push(lon);
+        cols[COL_TYPE].push(ty);
+        cols[COL_CATEGORY].push(category_z.sample(&mut rng) as u64);
+    }
+    Table::from_named_columns(
+        cols,
+        ["id", "timestamp", "lat", "lon", "type", "category"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    )
+}
+
+/// Analytics templates (§7.3): "How many nodes were added in a time
+/// interval?", "How many buildings in a lat-lon rectangle?" — 1–3 dims,
+/// ranges on timestamp/lat/lon, equalities on type/category.
+pub fn templates() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate::new(
+            "nodes_in_time_interval",
+            vec![DimFilter::point(COL_TYPE), DimFilter::range(COL_TIMESTAMP, 0.012)],
+        ),
+        QueryTemplate::new(
+            "latlon_rectangle",
+            vec![DimFilter::range(COL_LAT, 0.04), DimFilter::range(COL_LON, 0.04)],
+        ),
+        QueryTemplate::new(
+            "buildings_in_rectangle",
+            vec![
+                DimFilter::point(COL_CATEGORY),
+                DimFilter::range(COL_LAT, 0.15),
+                DimFilter::range(COL_LON, 0.15),
+            ],
+        ),
+        QueryTemplate::new("recent_edits", vec![DimFilter::range(COL_TIMESTAMP, 0.001)]),
+        QueryTemplate::new(
+            "category_activity",
+            vec![
+                DimFilter::point(COL_CATEGORY),
+                DimFilter::range(COL_TIMESTAMP, 0.3),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ninety_percent_have_coordinates() {
+        let t = generate(20_000, 5);
+        let with_coords = (0..t.len()).filter(|&r| t.value(r, COL_LAT) != 0).count();
+        let frac = with_coords as f64 / t.len() as f64;
+        assert!((0.87..0.93).contains(&frac), "coord fraction {frac}");
+    }
+
+    #[test]
+    fn geo_mass_clusters_near_nyc() {
+        let t = generate(20_000, 5);
+        let near_nyc = (0..t.len())
+            .filter(|&r| {
+                let lat = t.value(r, COL_LAT);
+                let lon = t.value(r, COL_LON);
+                lat != 0
+                    && (40_000_000..41_400_000).contains(&lat)
+                    && (73_300_000..74_700_000).contains(&lon)
+            })
+            .count();
+        // NYC weight is 8/20 of coord mass; its ±0.7° box should hold a
+        // large share.
+        assert!(near_nyc > t.len() / 8, "near-NYC count {near_nyc}");
+    }
+
+    #[test]
+    fn timestamps_monotone_in_trend() {
+        let t = generate(10_000, 5);
+        // Mean of the last decile of ids >> mean of the first decile.
+        let n = t.len();
+        let head: u64 = (0..n / 10).map(|r| t.value(r, COL_TIMESTAMP)).sum::<u64>() / (n / 10) as u64;
+        let tail: u64 = (n - n / 10..n).map(|r| t.value(r, COL_TIMESTAMP)).sum::<u64>() / (n / 10) as u64;
+        assert!(tail > head * 2, "head {head}, tail {tail}");
+    }
+
+    #[test]
+    fn nodes_dominate() {
+        let t = generate(10_000, 5);
+        let nodes = (0..t.len()).filter(|&r| t.value(r, COL_TYPE) == 0).count();
+        assert!(nodes > t.len() * 3 / 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Performance-monitoring dataset generator (§7.3).
+//!
+//! The paper's perfmon data logs all machines of a major US university for a
+//! year: time, machine name, CPU, memory, swap and load average. "The data
+//! in each dimension is non-uniform and often highly skewed" — so every
+//! numeric column here is heavy-tailed or bimodal, machine names are Zipf
+//! (chatty servers log more), and swap is mostly zero with a long tail.
+
+use crate::dist::{log_normal, to_u64, Zipf};
+use crate::workloads::{DimFilter, QueryTemplate};
+use flood_store::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Timestamp, seconds within one year.
+pub const COL_TIME: usize = 0;
+/// Machine name (dictionary code, Zipf over 2000 hosts).
+pub const COL_MACHINE: usize = 1;
+/// CPU usage ×100 (bimodal: idle fleet + busy tail).
+pub const COL_CPU: usize = 2;
+/// Memory usage MB (log-normal).
+pub const COL_MEM: usize = 3;
+/// Swap usage MB (mostly zero, heavy tail).
+pub const COL_SWAP: usize = 4;
+/// Load average ×100 (heavy tail).
+pub const COL_LOAD: usize = 5;
+
+/// Generate `n` rows.
+pub fn generate(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E4F);
+    let machine_z = Zipf::new(2_000, 1.1);
+    let mut cols: Vec<Vec<u64>> = (0..6).map(|_| Vec::with_capacity(n)).collect();
+    const YEAR: u64 = 365 * 24 * 3_600;
+    for _ in 0..n {
+        // Business hours log ~3× the volume of nights/weekends.
+        let t = loop {
+            let t = rng.gen_range(0..YEAR);
+            let hour = (t / 3_600) % 24;
+            let day = (t / 86_400) % 7;
+            if (8..20).contains(&hour) && day < 5 || rng.gen_bool(0.33) {
+                break t;
+            }
+        };
+        let cpu = if rng.gen_bool(0.7) {
+            // Idle fleet: 0–15%.
+            to_u64(log_normal(&mut rng, 1.0, 0.8), 0.0, 1_500.0)
+        } else {
+            // Busy: 40–100%.
+            to_u64(4_000.0 + log_normal(&mut rng, 7.0, 0.8), 0.0, 10_000.0)
+        };
+        let mem = to_u64(log_normal(&mut rng, 7.5, 1.0), 16.0, 1_048_576.0);
+        let swap = if rng.gen_bool(0.85) {
+            0
+        } else {
+            to_u64(log_normal(&mut rng, 5.0, 1.5), 1.0, 262_144.0)
+        };
+        let load = to_u64(log_normal(&mut rng, 0.0, 1.3) * 100.0, 0.0, 12_800.0);
+        cols[COL_TIME].push(t);
+        cols[COL_MACHINE].push(machine_z.sample(&mut rng) as u64);
+        cols[COL_CPU].push(cpu);
+        cols[COL_MEM].push(mem);
+        cols[COL_SWAP].push(swap);
+        cols[COL_LOAD].push(load);
+    }
+    Table::from_named_columns(
+        cols,
+        ["time", "machine", "cpu", "mem", "swap", "load"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    )
+}
+
+/// Ops-style query templates: filters over time, machine name, CPU, memory,
+/// swap and load average (§7.3).
+pub fn templates() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate::new(
+            "machine_day",
+            vec![DimFilter::point(COL_MACHINE), DimFilter::range(COL_TIME, 0.003)],
+        ),
+        QueryTemplate::new(
+            "hot_cpu_window",
+            vec![DimFilter::range(COL_CPU, 0.02), DimFilter::range(COL_TIME, 0.05)],
+        ),
+        QueryTemplate::new(
+            "swapping_machines",
+            vec![DimFilter::range(COL_SWAP, 0.05), DimFilter::range(COL_TIME, 0.1)],
+        ),
+        QueryTemplate::new(
+            "overloaded",
+            vec![
+                DimFilter::range(COL_LOAD, 0.02),
+                DimFilter::range(COL_CPU, 0.3),
+                DimFilter::range(COL_TIME, 0.2),
+            ],
+        ),
+        QueryTemplate::new(
+            "memory_pressure",
+            vec![
+                DimFilter::range(COL_MEM, 0.05),
+                DimFilter::range(COL_SWAP, 0.2),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_mostly_zero() {
+        let t = generate(10_000, 9);
+        let zeros = (0..t.len()).filter(|&r| t.value(r, COL_SWAP) == 0).count();
+        let frac = zeros as f64 / t.len() as f64;
+        assert!((0.8..0.9).contains(&frac), "zero-swap fraction {frac}");
+    }
+
+    #[test]
+    fn cpu_is_bimodal() {
+        let t = generate(20_000, 9);
+        let idle = (0..t.len()).filter(|&r| t.value(r, COL_CPU) < 1_500).count();
+        let busy = (0..t.len()).filter(|&r| t.value(r, COL_CPU) >= 4_000).count();
+        let middle = t.len() - idle - busy;
+        assert!(idle > t.len() / 2, "idle {idle}");
+        assert!(busy > t.len() / 5, "busy {busy}");
+        assert!(middle < t.len() / 10, "valley should be sparse: {middle}");
+    }
+
+    #[test]
+    fn business_hours_dominate() {
+        let t = generate(20_000, 9);
+        let biz = (0..t.len())
+            .filter(|&r| {
+                let v = t.value(r, COL_TIME);
+                let hour = (v / 3_600) % 24;
+                let day = (v / 86_400) % 7;
+                (8..20).contains(&hour) && day < 5
+            })
+            .count();
+        assert!(biz > t.len() / 2, "business-hours rows {biz}");
+    }
+}

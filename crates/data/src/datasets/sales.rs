@@ -1,0 +1,148 @@
+//! Sales dataset generator.
+//!
+//! The paper's sales data is a 30M-row, 6-attribute extract from a
+//! commercial sales database with an anonymizing transformation, queried by
+//! analyst report templates. We model the shape such data exposes to an
+//! index: two Zipf-skewed categorical keys (store, product), a small uniform
+//! categorical (segment), a log-normal monetary column, a small skewed count
+//! and a date column with weekly seasonality.
+
+use crate::dist::{log_normal, to_u64, Zipf};
+use crate::workloads::{DimFilter, QueryTemplate};
+use flood_store::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Store id (Zipf over 500 stores).
+pub const COL_STORE: usize = 0;
+/// Product id (Zipf over 5000 products).
+pub const COL_PRODUCT: usize = 1;
+/// Customer segment (uniform over 20).
+pub const COL_SEGMENT: usize = 2;
+/// Price in cents (log-normal).
+pub const COL_PRICE: usize = 3;
+/// Quantity (geometric-ish, 1–50).
+pub const COL_QUANTITY: usize = 4;
+/// Date as day number over two years, with weekly seasonality.
+pub const COL_DATE: usize = 5;
+
+/// Generate `n` rows.
+pub fn generate(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A1E5);
+    let store_z = Zipf::new(500, 1.05);
+    let product_z = Zipf::new(5_000, 1.1);
+    let mut cols: Vec<Vec<u64>> = (0..6).map(|_| Vec::with_capacity(n)).collect();
+    for _ in 0..n {
+        cols[COL_STORE].push(store_z.sample(&mut rng) as u64);
+        cols[COL_PRODUCT].push(product_z.sample(&mut rng) as u64);
+        cols[COL_SEGMENT].push(rng.gen_range(0..20));
+        cols[COL_PRICE].push(to_u64(log_normal(&mut rng, 7.0, 1.2), 1.0, 5_000_000.0));
+        // Quantity: mostly small orders, occasionally bulk.
+        let q = if rng.gen_bool(0.9) {
+            rng.gen_range(1..=5)
+        } else {
+            rng.gen_range(6..=50)
+        };
+        cols[COL_QUANTITY].push(q);
+        // Date: 730 days; weekends carry ~half the weekday volume.
+        let day = loop {
+            let d = rng.gen_range(0..730u64);
+            if d % 7 < 5 || rng.gen_bool(0.5) {
+                break d;
+            }
+        };
+        cols[COL_DATE].push(day);
+    }
+    Table::from_named_columns(
+        cols,
+        ["store", "product", "segment", "price", "quantity", "date"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    )
+}
+
+/// Report-style analyst query templates (the paper's workload is a real
+/// query log; these reproduce its shape: 2–4 dims per query, mixing
+/// equality filters on categorical keys with ranges on date and price).
+pub fn templates() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate::new(
+            "store_monthly_revenue",
+            vec![DimFilter::point(COL_STORE), DimFilter::range(COL_DATE, 0.045)],
+        ),
+        QueryTemplate::new(
+            "product_quarter",
+            vec![DimFilter::point(COL_PRODUCT), DimFilter::range(COL_DATE, 0.12)],
+        ),
+        QueryTemplate::new(
+            "segment_price_band",
+            vec![
+                DimFilter::point(COL_SEGMENT),
+                DimFilter::range(COL_PRICE, 0.1),
+                DimFilter::range(COL_DATE, 0.1),
+            ],
+        ),
+        QueryTemplate::new(
+            "store_product_drilldown",
+            vec![
+                DimFilter::point(COL_STORE),
+                DimFilter::range(COL_PRODUCT, 0.02),
+                DimFilter::range(COL_DATE, 0.25),
+            ],
+        ),
+        QueryTemplate::new(
+            "bulk_orders",
+            vec![
+                DimFilter::range(COL_QUANTITY, 0.05),
+                DimFilter::range(COL_DATE, 0.05),
+            ],
+        ),
+        QueryTemplate::new(
+            "price_outliers_week",
+            vec![DimFilter::range(COL_PRICE, 0.01), DimFilter::range(COL_DATE, 0.01)],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_column_is_skewed() {
+        let t = generate(20_000, 3);
+        let mut counts = std::collections::HashMap::new();
+        for r in 0..t.len() {
+            *counts.entry(t.value(r, COL_STORE)).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().expect("non-empty");
+        let avg = t.len() / counts.len();
+        assert!(max > avg * 5, "store ids should be Zipf-skewed: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn date_has_weekly_seasonality() {
+        let t = generate(50_000, 3);
+        let mut weekday = 0usize;
+        let mut weekend = 0usize;
+        for r in 0..t.len() {
+            if t.value(r, COL_DATE) % 7 < 5 {
+                weekday += 1;
+            } else {
+                weekend += 1;
+            }
+        }
+        // 5 weekday slots vs 2 weekend slots at half rate → ratio ≈ 5:1.
+        assert!(weekday > weekend * 3, "weekday {weekday} weekend {weekend}");
+    }
+
+    #[test]
+    fn quantities_in_domain() {
+        let t = generate(5_000, 3);
+        for r in 0..t.len() {
+            let q = t.value(r, COL_QUANTITY);
+            assert!((1..=50).contains(&q));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! TPC-H `lineitem` generator (§7.3): the fact table's filterable columns at
+//! the distributions the TPC-H specification prescribes for dbgen.
+//!
+//! Columns follow the spec: `shipdate = orderdate + U[1,121]` over a 7-year
+//! order window, `receiptdate = shipdate + U[1,30]`, `quantity ∈ U[1,50]`,
+//! `discount ∈ U[0,10]` (percent), uniform order/supplier keys, and
+//! `extendedprice` derived from quantity (the SUM/COUNT aggregation column).
+
+use crate::workloads::{DimFilter, QueryTemplate};
+use flood_store::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ship date, days since 1992-01-01 (domain ≈ 0..2557).
+pub const COL_SHIP_DATE: usize = 0;
+/// Receipt date, `shipdate + U[1,30]`.
+pub const COL_RECEIPT_DATE: usize = 1;
+/// Quantity, `U[1,50]`.
+pub const COL_QUANTITY: usize = 2;
+/// Discount in percent, `U[0,10]`.
+pub const COL_DISCOUNT: usize = 3;
+/// Order key (uniform, sparse like dbgen's).
+pub const COL_ORDER_KEY: usize = 4;
+/// Supplier key (uniform).
+pub const COL_SUPP_KEY: usize = 5;
+/// Extended price in cents (quantity × part price).
+pub const COL_PRICE: usize = 6;
+
+/// Generate `n` rows.
+pub fn generate(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x79C4);
+    let mut cols: Vec<Vec<u64>> = (0..7).map(|_| Vec::with_capacity(n)).collect();
+    // Scale key domains with n the way dbgen scales with SF.
+    let orders = (n as u64 / 4).max(100);
+    let suppliers = (n as u64 / 300).max(10);
+    for _ in 0..n {
+        // Order date over ~7 years minus the max ship lag (spec 4.2.3).
+        let order_date = rng.gen_range(0..2_405u64);
+        let ship = order_date + rng.gen_range(1..=121);
+        let receipt = ship + rng.gen_range(1..=30);
+        let quantity = rng.gen_range(1..=50u64);
+        let discount = rng.gen_range(0..=10u64);
+        // Part price ~ U[90k, 110k] cents; extended = qty × price.
+        let price = quantity * rng.gen_range(90_000..110_000u64);
+        cols[COL_SHIP_DATE].push(ship);
+        cols[COL_RECEIPT_DATE].push(receipt);
+        cols[COL_QUANTITY].push(quantity);
+        cols[COL_DISCOUNT].push(discount);
+        cols[COL_ORDER_KEY].push(rng.gen_range(0..orders) * 4 + 1);
+        cols[COL_SUPP_KEY].push(rng.gen_range(0..suppliers));
+        cols[COL_PRICE].push(price);
+    }
+    Table::from_named_columns(
+        cols,
+        [
+            "shipdate",
+            "receiptdate",
+            "quantity",
+            "discount",
+            "orderkey",
+            "suppkey",
+            "extendedprice",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    )
+}
+
+/// Query templates with "filters commonly found in the TPC-H query
+/// workload" (§7.3): shipping-window revenue (Q6-style), receipt lag,
+/// per-supplier activity, order lookups.
+pub fn templates() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate::new(
+            "q6_revenue_window",
+            vec![
+                DimFilter::range(COL_SHIP_DATE, 0.08),
+                DimFilter::range(COL_DISCOUNT, 0.25),
+                DimFilter::range(COL_QUANTITY, 0.45),
+            ],
+        ),
+        QueryTemplate::new(
+            "ship_receipt_lag",
+            vec![
+                DimFilter::range(COL_SHIP_DATE, 0.05),
+                DimFilter::range(COL_RECEIPT_DATE, 0.05),
+            ],
+        ),
+        QueryTemplate::new(
+            "supplier_period",
+            vec![
+                DimFilter::point(COL_SUPP_KEY),
+                DimFilter::range(COL_SHIP_DATE, 0.3),
+            ],
+        ),
+        QueryTemplate::new(
+            "order_range",
+            vec![DimFilter::range(COL_ORDER_KEY, 0.001)],
+        ),
+        QueryTemplate::new(
+            "discounted_bulk",
+            vec![
+                DimFilter::range(COL_DISCOUNT, 0.15),
+                DimFilter::range(COL_QUANTITY, 0.1),
+                DimFilter::range(COL_SHIP_DATE, 0.15),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receipt_follows_ship() {
+        let t = generate(5_000, 11);
+        for r in 0..t.len() {
+            let ship = t.value(r, COL_SHIP_DATE);
+            let receipt = t.value(r, COL_RECEIPT_DATE);
+            assert!(receipt > ship && receipt <= ship + 30);
+        }
+    }
+
+    #[test]
+    fn spec_domains() {
+        let t = generate(5_000, 11);
+        for r in 0..t.len() {
+            assert!((1..=50).contains(&t.value(r, COL_QUANTITY)));
+            assert!(t.value(r, COL_DISCOUNT) <= 10);
+            let price = t.value(r, COL_PRICE);
+            assert!((90_000..=50 * 110_000).contains(&price));
+        }
+    }
+
+    #[test]
+    fn quantity_roughly_uniform() {
+        let t = generate(50_000, 11);
+        let mut counts = [0usize; 51];
+        for r in 0..t.len() {
+            counts[t.value(r, COL_QUANTITY) as usize] += 1;
+        }
+        let expect = 50_000 / 50;
+        for (q, &c) in counts.iter().enumerate().skip(1) {
+            assert!((expect / 2..expect * 2).contains(&c), "quantity {q}: {c}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Sampling primitives for the dataset generators: Zipf, log-normal,
+//! Gaussian and mixtures — implemented inline so the workspace needs no
+//! distribution crate.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal via Box–Muller.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    mean + std * gaussian(rng)
+}
+
+/// Log-normal: `exp(N(mu, sigma))`.
+pub fn log_normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// A Zipf sampler over `{0, …, n-1}` with exponent `s` (frequency of rank k
+/// ∝ 1/(k+1)^s), using inverse-CDF lookup on a precomputed table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `{0, …, n-1}`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the domain is empty (unconstructible).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// A mixture of 2-D Gaussians (cluster centers for OSM-like geo data).
+#[derive(Debug, Clone)]
+pub struct GaussianMixture2D {
+    /// `(cx, cy, std, weight)` per component; weights need not normalize.
+    components: Vec<(f64, f64, f64, f64)>,
+    total_weight: f64,
+}
+
+impl GaussianMixture2D {
+    /// Build from components `(center_x, center_y, std, weight)`.
+    pub fn new(components: Vec<(f64, f64, f64, f64)>) -> Self {
+        assert!(!components.is_empty());
+        let total_weight = components.iter().map(|c| c.3).sum();
+        GaussianMixture2D {
+            components,
+            total_weight,
+        }
+    }
+
+    /// Draw an `(x, y)` pair.
+    pub fn sample(&self, rng: &mut StdRng) -> (f64, f64) {
+        let mut pick = rng.gen_range(0.0..self.total_weight);
+        for &(cx, cy, std, w) in &self.components {
+            if pick < w {
+                return (normal(rng, cx, std), normal(rng, cy, std));
+            }
+            pick -= w;
+        }
+        let &(cx, cy, std, _) = self.components.last().expect("non-empty");
+        (normal(rng, cx, std), normal(rng, cy, std))
+    }
+}
+
+/// Clamp a float into `[lo, hi]` and round to u64.
+pub fn to_u64(v: f64, lo: f64, hi: f64) -> u64 {
+    v.clamp(lo, hi).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let z = Zipf::new(1_000, 1.2);
+        let mut r = rng();
+        let mut counts = vec![0usize; 1_000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[500].max(1) / 2);
+        // Rank 0 should dominate: >5% of mass at s=1.2 over 1000 items.
+        assert!(counts[0] > 1_000, "head count {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_000..3_500).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..10_000).map(|_| log_normal(&mut r, 3.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "log-normal should be right-skewed");
+    }
+
+    #[test]
+    fn mixture_concentrates_at_centers() {
+        let m = GaussianMixture2D::new(vec![
+            (0.0, 0.0, 1.0, 1.0),
+            (100.0, 100.0, 1.0, 1.0),
+        ]);
+        let mut r = rng();
+        let mut near0 = 0;
+        let mut near100 = 0;
+        for _ in 0..1_000 {
+            let (x, y) = m.sample(&mut r);
+            if x.abs() < 10.0 && y.abs() < 10.0 {
+                near0 += 1;
+            }
+            if (x - 100.0).abs() < 10.0 && (y - 100.0).abs() < 10.0 {
+                near100 += 1;
+            }
+        }
+        assert!(near0 > 300 && near100 > 300, "{near0} / {near100}");
+    }
+
+    #[test]
+    fn to_u64_clamps() {
+        assert_eq!(to_u64(-5.0, 0.0, 10.0), 0);
+        assert_eq!(to_u64(15.0, 0.0, 10.0), 10);
+        assert_eq!(to_u64(5.4, 0.0, 10.0), 5);
+    }
+}

@@ -1,0 +1,242 @@
+//! Template instantiation: ranks → value ranges, plus selectivity
+//! calibration ("filter ranges scaled so that the average query selectivity
+//! is 0.1%", §7.3).
+
+use super::{DimFilter, QueryTemplate, Workload};
+use flood_store::{RangeQuery, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum rows sampled when measuring a query's selectivity during
+/// calibration.
+const CALIBRATION_SAMPLE: usize = 4_000;
+
+/// Instantiates query templates against a concrete table.
+#[derive(Debug)]
+pub struct QueryBuilder<'a> {
+    table: &'a Table,
+    /// Per-dimension sorted values (rank space), built lazily.
+    sorted: Vec<Option<Vec<u64>>>,
+    rng: StdRng,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// New builder with a deterministic RNG.
+    pub fn new(table: &'a Table, seed: u64) -> Self {
+        QueryBuilder {
+            table,
+            sorted: vec![None; table.dims()],
+            rng: StdRng::seed_from_u64(seed ^ 0x9B1D),
+        }
+    }
+
+    fn sorted_dim(&mut self, dim: usize) -> &[u64] {
+        if self.sorted[dim].is_none() {
+            let mut v = self.table.column(dim).to_vec();
+            v.sort_unstable();
+            self.sorted[dim] = Some(v);
+        }
+        self.sorted[dim].as_deref().expect("just built")
+    }
+
+    /// Instantiate one template; `scale` multiplies every range filter's
+    /// rank width (calibration knob).
+    pub fn query(&mut self, template: &QueryTemplate, scale: f64) -> RangeQuery {
+        let mut q = RangeQuery::all(self.table.dims());
+        for f in &template.filters {
+            match *f {
+                DimFilter::Point { dim } => {
+                    let n = self.table.len();
+                    let rank = self.rng.gen_range(0..n);
+                    let v = self.sorted_dim(dim)[rank];
+                    q = q.with_eq(dim, v);
+                }
+                DimFilter::Range { dim, selectivity } => {
+                    let n = self.table.len();
+                    let sel = (selectivity * scale).clamp(0.0, 1.0);
+                    let width = ((sel * n as f64) as usize).max(1);
+                    let center = self.rng.gen_range(0..n);
+                    let lo_rank = center.saturating_sub(width / 2);
+                    let hi_rank = (lo_rank + width - 1).min(n - 1);
+                    let vals = self.sorted_dim(dim);
+                    let (lo, hi) = (vals[lo_rank], vals[hi_rank]);
+                    q = q.with_range(dim, lo, hi);
+                }
+            }
+        }
+        q
+    }
+
+    /// Measured selectivity of `q` on a row sample.
+    pub fn measure_selectivity(&mut self, q: &RangeQuery) -> f64 {
+        let n = self.table.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let step = (n / CALIBRATION_SAMPLE).max(1);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        let mut row_buf = Vec::with_capacity(self.table.dims());
+        let mut r = self.rng.gen_range(0..step);
+        while r < n {
+            self.table.row_into(r, &mut row_buf);
+            if q.matches(&row_buf) {
+                hits += 1;
+            }
+            total += 1;
+            r += step;
+        }
+        hits as f64 / total.max(1) as f64
+    }
+
+    /// Generate a calibrated workload: `n` train + `n` test queries drawn
+    /// from `templates` with the given type `weights`. When
+    /// `target_selectivity` is set, each query's range widths are rescaled
+    /// (up to 4 rounds) until its measured selectivity approaches the
+    /// target.
+    pub fn workload(
+        &mut self,
+        name: &str,
+        templates: &[QueryTemplate],
+        weights: &[f64],
+        n: usize,
+        target_selectivity: Option<f64>,
+    ) -> Workload {
+        assert_eq!(templates.len(), weights.len());
+        assert!(!templates.is_empty(), "need at least one template");
+        let total_w: f64 = weights.iter().sum();
+        let gen_split = |count: usize, me: &mut Self| -> Vec<RangeQuery> {
+            (0..count)
+                .map(|_| {
+                    // Weighted template choice.
+                    let mut pick = me.rng.gen_range(0.0..total_w);
+                    let mut ti = templates.len() - 1;
+                    for (i, &w) in weights.iter().enumerate() {
+                        if pick < w {
+                            ti = i;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    me.calibrated_query(&templates[ti], target_selectivity)
+                })
+                .collect()
+        };
+        let train = gen_split(n, self);
+        let test = gen_split(n, self);
+        Workload {
+            name: name.to_string(),
+            train,
+            test,
+        }
+    }
+
+    /// One query, rescaled toward the target total selectivity.
+    pub fn calibrated_query(
+        &mut self,
+        template: &QueryTemplate,
+        target: Option<f64>,
+    ) -> RangeQuery {
+        let n_ranges = template
+            .filters
+            .iter()
+            .filter(|f| matches!(f, DimFilter::Range { .. }))
+            .count();
+        let mut scale = 1.0f64;
+        let mut q = self.query(template, scale);
+        let Some(target) = target else {
+            return q;
+        };
+        if n_ranges == 0 {
+            return q; // nothing scalable (pure point lookups)
+        }
+        for _ in 0..4 {
+            let sel = self.measure_selectivity(&q);
+            if sel <= 0.0 {
+                scale *= 2.0;
+            } else {
+                let ratio = target / sel;
+                if (0.5..2.0).contains(&ratio) {
+                    break;
+                }
+                scale *= ratio.powf(1.0 / n_ranges as f64);
+            }
+            q = self.query(template, scale);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let n = 30_000u64;
+        Table::from_columns(vec![
+            (0..n).map(|i| (i * 2654435761) % 100_000).collect(),
+            (0..n).map(|i| (i * i) % 50_000).collect(),
+            (0..n).collect(),
+        ])
+    }
+
+    #[test]
+    fn range_filter_hits_requested_selectivity() {
+        let t = table();
+        let mut b = QueryBuilder::new(&t, 1);
+        let template = QueryTemplate::new("r", vec![DimFilter::range(0, 0.05)]);
+        let mut total = 0.0;
+        for _ in 0..20 {
+            let q = b.query(&template, 1.0);
+            total += b.measure_selectivity(&q);
+        }
+        let avg = total / 20.0;
+        assert!((0.02..0.10).contains(&avg), "avg selectivity {avg}");
+    }
+
+    #[test]
+    fn point_filter_is_equality() {
+        let t = table();
+        let mut b = QueryBuilder::new(&t, 1);
+        let template = QueryTemplate::new("p", vec![DimFilter::point(1)]);
+        let q = b.query(&template, 1.0);
+        let (lo, hi) = q.bound(1).expect("filtered");
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn calibration_converges() {
+        let t = table();
+        let mut b = QueryBuilder::new(&t, 5);
+        // Deliberately mis-sized template: 30% per dim on two dims = 9%
+        // joint; calibrate down to 0.1%.
+        let template = QueryTemplate::new(
+            "wide",
+            vec![DimFilter::range(0, 0.3), DimFilter::range(2, 0.3)],
+        );
+        let mut avg = 0.0;
+        for _ in 0..10 {
+            let q = b.calibrated_query(&template, Some(0.001));
+            avg += b.measure_selectivity(&q);
+        }
+        avg /= 10.0;
+        assert!(
+            (0.0001..0.01).contains(&avg),
+            "calibrated selectivity {avg}, want ≈0.001"
+        );
+    }
+
+    #[test]
+    fn scale_parameter_widens_ranges() {
+        let t = table();
+        let mut b = QueryBuilder::new(&t, 9);
+        let template = QueryTemplate::new("r", vec![DimFilter::range(2, 0.01)]);
+        let narrow = b.query(&template, 1.0);
+        let wide = b.query(&template, 10.0);
+        let w = |q: &RangeQuery| {
+            let (lo, hi) = q.bound(2).expect("filtered");
+            hi - lo
+        };
+        assert!(w(&wide) > w(&narrow) * 3, "{} vs {}", w(&wide), w(&narrow));
+    }
+}

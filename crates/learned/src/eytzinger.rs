@@ -1,0 +1,154 @@
+//! A cache-optimized implicit search tree (Eytzinger / BFS layout).
+//!
+//! The PLM "records the smallest v in each slice and forms a cache-optimized
+//! B-Tree over those values" (§5.2). We use the Eytzinger layout: the sorted
+//! keys are stored in breadth-first order of an implicit binary tree, so a
+//! search touches one cache line per level near the root and needs no
+//! pointers.
+
+use serde::{Deserialize, Serialize};
+
+/// Sorted keys in Eytzinger (BFS) order, supporting predecessor queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Eytzinger {
+    /// Keys in BFS order; index 0 unused (1-based tree arithmetic).
+    keys: Vec<u64>,
+    /// `ranks[i]` = position of `keys[i]` in the original sorted order.
+    ranks: Vec<u32>,
+    len: usize,
+}
+
+impl Eytzinger {
+    /// Build from a sorted slice.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `sorted` is not sorted.
+    pub fn build(sorted: &[u64]) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let n = sorted.len();
+        let mut keys = vec![0u64; n + 1];
+        let mut ranks = vec![0u32; n + 1];
+        let mut next = 0usize; // next rank in sorted order to place
+        fill(sorted, &mut keys, &mut ranks, &mut next, 1);
+        Eytzinger {
+            keys,
+            ranks,
+            len: n,
+        }
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rank (position in sorted order) of the last key `≤ key`, or `None`
+    /// if all keys are greater.
+    #[inline]
+    pub fn predecessor(&self, key: u64) -> Option<usize> {
+        let mut i = 1usize;
+        let mut best: usize = 0; // 0 = sentinel "none"
+        while i <= self.len {
+            if self.keys[i] <= key {
+                best = i;
+                i = 2 * i + 1;
+            } else {
+                i *= 2;
+            }
+        }
+        if best == 0 {
+            None
+        } else {
+            Some(self.ranks[best] as usize)
+        }
+    }
+
+    /// Heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.ranks.len() * 4
+    }
+}
+
+/// In-order traversal of the implicit tree assigns sorted elements to BFS
+/// slots: recursing left, placing, recursing right yields the layout.
+fn fill(sorted: &[u64], keys: &mut [u64], ranks: &mut [u32], next: &mut usize, node: usize) {
+    if node > sorted.len() {
+        return;
+    }
+    fill(sorted, keys, ranks, next, 2 * node);
+    keys[node] = sorted[*next];
+    ranks[node] = *next as u32;
+    *next += 1;
+    fill(sorted, keys, ranks, next, 2 * node + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(sorted: &[u64], key: u64) -> Option<usize> {
+        let r = sorted.partition_point(|&x| x <= key);
+        if r == 0 {
+            None
+        } else {
+            Some(r - 1)
+        }
+    }
+
+    #[test]
+    fn predecessor_matches_binary_search() {
+        let sorted: Vec<u64> = vec![3, 7, 7, 10, 15, 15, 15, 22, 100];
+        let e = Eytzinger::build(&sorted);
+        for key in 0..120 {
+            assert_eq!(e.predecessor(key), reference(&sorted, key), "key={key}");
+        }
+    }
+
+    #[test]
+    fn works_across_sizes() {
+        for n in [0usize, 1, 2, 3, 7, 8, 9, 100, 1023, 1024, 1025] {
+            let sorted: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+            let e = Eytzinger::build(&sorted);
+            assert_eq!(e.len(), n);
+            for key in [0u64, 1, 2, 3, 4, 50, 3 * n as u64, 3 * n as u64 + 10] {
+                assert_eq!(
+                    e.predecessor(key),
+                    reference(&sorted, key),
+                    "n={n} key={key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let e = Eytzinger::build(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.predecessor(5), None);
+    }
+
+    #[test]
+    fn all_duplicates() {
+        let sorted = vec![9u64; 33];
+        let e = Eytzinger::build(&sorted);
+        assert_eq!(e.predecessor(8), None);
+        // Any occurrence is acceptable for duplicates; ours returns the last.
+        assert_eq!(e.predecessor(9), Some(32));
+        assert_eq!(e.predecessor(10), Some(32));
+    }
+
+    #[test]
+    fn max_key() {
+        let sorted = vec![1, u64::MAX];
+        let e = Eytzinger::build(&sorted);
+        assert_eq!(e.predecessor(u64::MAX), Some(1));
+        assert_eq!(e.predecessor(u64::MAX - 1), Some(0));
+    }
+}

@@ -1,0 +1,239 @@
+//! A single CART regression tree (variance-reduction splits).
+
+use super::RandomForestConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Flat node-array representation of a binary regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+enum Node {
+    /// Internal split: go left when `x[feature] <= threshold`.
+    Split {
+        feature: u16,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+    /// Leaf with the mean target of its training samples.
+    Leaf { value: f64 },
+}
+
+impl RegressionTree {
+    /// Fit a tree on the rows of `xs`/`ys` selected by `sample`
+    /// (a bootstrap index multiset).
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        sample: &[usize],
+        cfg: RandomForestConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        let mut idx: Vec<usize> = sample.to_vec();
+        build(xs, ys, &mut idx, 0, cfg, rng, &mut nodes);
+        RegressionTree { nodes }
+    }
+
+    /// Predict the target for feature vector `x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            match self.nodes[at] {
+                Node::Leaf { value } => return value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if x[feature as usize] <= threshold {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Recursively build the subtree over `idx`; returns the node id.
+fn build(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: &mut [usize],
+    depth: usize,
+    cfg: RandomForestConfig,
+    rng: &mut StdRng,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    let id = nodes.len() as u32;
+    let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64;
+    nodes.push(Node::Leaf { value: mean });
+
+    if depth >= cfg.max_depth || idx.len() < 2 * cfg.min_leaf {
+        return id;
+    }
+    let Some((feature, threshold)) = best_split(xs, ys, idx, cfg, rng) else {
+        return id;
+    };
+
+    // Partition in place around the split.
+    let mid = partition(xs, idx, feature, threshold);
+    if mid < cfg.min_leaf || idx.len() - mid < cfg.min_leaf {
+        return id;
+    }
+    let (li, ri) = idx.split_at_mut(mid);
+    let left = build(xs, ys, li, depth + 1, cfg, rng, nodes);
+    let right = build(xs, ys, ri, depth + 1, cfg, rng, nodes);
+    nodes[id as usize] = Node::Split {
+        feature: feature as u16,
+        threshold,
+        left,
+        right,
+    };
+    id
+}
+
+/// Stable two-way partition of `idx` by `x[feature] <= threshold`;
+/// returns the size of the left side.
+fn partition(xs: &[Vec<f64>], idx: &mut [usize], feature: usize, threshold: f64) -> usize {
+    idx.sort_by(|&a, &b| {
+        let la = xs[a][feature] <= threshold;
+        let lb = xs[b][feature] <= threshold;
+        lb.cmp(&la) // "left" rows first
+    });
+    idx.iter()
+        .position(|&i| xs[i][feature] > threshold)
+        .unwrap_or(idx.len())
+}
+
+/// Find the variance-minimizing split over a random feature subset.
+/// Returns `None` when no split reduces the SSE.
+fn best_split(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: &[usize],
+    cfg: RandomForestConfig,
+    rng: &mut StdRng,
+) -> Option<(usize, f64)> {
+    let n_features = xs[0].len();
+    let k = ((n_features as f64 * cfg.feature_frac).ceil() as usize).clamp(1, n_features);
+    let mut feats: Vec<usize> = (0..n_features).collect();
+    feats.shuffle(rng);
+    feats.truncate(k);
+
+    let total: f64 = idx.iter().map(|&i| ys[i]).sum();
+    let total_sq: f64 = idx.iter().map(|&i| ys[i] * ys[i]).sum();
+    let n = idx.len() as f64;
+    let parent_sse = total_sq - total * total / n;
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+    for &f in &feats {
+        order.clear();
+        order.extend_from_slice(idx);
+        order.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).expect("no NaN features"));
+
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+            let y = ys[i];
+            left_sum += y;
+            left_sq += y * y;
+            let x_here = xs[i][f];
+            let x_next = xs[order[pos + 1]][f];
+            if x_here == x_next {
+                continue; // cannot split between equal feature values
+            }
+            let ln = (pos + 1) as f64;
+            let rn = n - ln;
+            if (ln as usize) < cfg.min_leaf || (rn as usize) < cfg.min_leaf {
+                continue;
+            }
+            let right_sum = total - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / ln) + (right_sq - right_sum * right_sum / rn);
+            if best.map_or(sse < parent_sse - 1e-12, |(_, _, b)| sse < b) {
+                best = Some((f, (x_here + x_next) / 2.0, sse));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg() -> RandomForestConfig {
+        RandomForestConfig {
+            n_trees: 1,
+            max_depth: 10,
+            min_leaf: 1,
+            feature_frac: 1.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn perfect_step_function() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 9.0 }).collect();
+        let idx: Vec<usize> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = RegressionTree::fit(&xs, &ys, &idx, cfg(), &mut rng);
+        assert_eq!(t.predict(&[10.0]), 1.0);
+        assert_eq!(t.predict(&[90.0]), 9.0);
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 0 is noise; feature 1 determines y.
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i * 37 % 100) as f64, (i % 2) as f64])
+            .collect();
+        let ys: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect();
+        let idx: Vec<usize> = (0..200).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = RegressionTree::fit(&xs, &ys, &idx, cfg(), &mut rng);
+        assert_eq!(t.predict(&[50.0, 0.0]), 0.0);
+        assert_eq!(t.predict(&[50.0, 1.0]), 100.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let idx: Vec<usize> = (0..64).collect();
+        let mut shallow_cfg = cfg();
+        shallow_cfg.max_depth = 1;
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = RegressionTree::fit(&xs, &ys, &idx, shallow_cfg, &mut rng);
+        // Depth-1 tree: at most 3 nodes.
+        assert!(t.num_nodes() <= 3);
+    }
+
+    #[test]
+    fn constant_features_become_leaf() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|_| vec![5.0]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let idx: Vec<usize> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = RegressionTree::fit(&xs, &ys, &idx, cfg(), &mut rng);
+        assert_eq!(t.num_nodes(), 1);
+        assert!((t.predict(&[5.0]) - 4.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! Linear building blocks: 1-D least squares, monotone linear splines, and
+//! multivariate OLS (used by the cost-model ablation in §4.1.2).
+
+use serde::{Deserialize, Serialize};
+
+/// A 1-D linear model `y = slope * x + intercept` fit by least squares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Least-squares fit over `(x, y)` pairs. Degenerate inputs (all-equal
+    /// x, or fewer than 2 points) fall back to a constant model at the mean.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        let n = xs.len() as f64;
+        if xs.is_empty() {
+            return LinearModel {
+                slope: 0.0,
+                intercept: 0.0,
+            };
+        }
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            sxx += (x - mean_x) * (x - mean_x);
+            sxy += (x - mean_x) * (y - mean_y);
+        }
+        if sxx <= f64::EPSILON {
+            return LinearModel {
+                slope: 0.0,
+                intercept: mean_y,
+            };
+        }
+        let slope = sxy / sxx;
+        LinearModel {
+            slope,
+            intercept: mean_y - slope * mean_x,
+        }
+    }
+
+    /// A monotone (non-negative slope) fit: like [`LinearModel::fit`] but the
+    /// slope is clamped at zero, preserving weak monotonicity for CDF use.
+    pub fn fit_monotone(xs: &[f64], ys: &[f64]) -> Self {
+        let mut m = Self::fit(xs, ys);
+        if m.slope < 0.0 {
+            let n = ys.len() as f64;
+            m.slope = 0.0;
+            m.intercept = if ys.is_empty() {
+                0.0
+            } else {
+                ys.iter().sum::<f64>() / n
+            };
+        }
+        m
+    }
+
+    /// Evaluate the model at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A monotone linear spline through a fixed set of `(x, y)` knots, used as
+/// the RMI root model (the paper's non-leaf layers are "linear spline models
+/// to ensure that the models accessed in the following layer are monotonic",
+/// Appendix A).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearSpline {
+    knots_x: Vec<f64>,
+    knots_y: Vec<f64>,
+}
+
+impl LinearSpline {
+    /// Build a spline from knots sorted by x with non-decreasing y.
+    ///
+    /// # Panics
+    /// Panics if the knot sequence is unsorted in x or decreasing in y.
+    pub fn new(knots_x: Vec<f64>, knots_y: Vec<f64>) -> Self {
+        assert_eq!(knots_x.len(), knots_y.len());
+        assert!(!knots_x.is_empty(), "spline needs at least one knot");
+        for w in knots_x.windows(2) {
+            assert!(w[0] <= w[1], "spline knots must be sorted in x");
+        }
+        for w in knots_y.windows(2) {
+            assert!(w[0] <= w[1], "spline knot values must be non-decreasing");
+        }
+        LinearSpline { knots_x, knots_y }
+    }
+
+    /// Evaluate with linear interpolation; clamps outside the knot range.
+    pub fn predict(&self, x: f64) -> f64 {
+        let n = self.knots_x.len();
+        if x <= self.knots_x[0] {
+            return self.knots_y[0];
+        }
+        if x >= self.knots_x[n - 1] {
+            return self.knots_y[n - 1];
+        }
+        // First knot strictly greater than x.
+        let hi = self.knots_x.partition_point(|&k| k <= x);
+        let lo = hi - 1;
+        let (x0, x1) = (self.knots_x[lo], self.knots_x[hi]);
+        let (y0, y1) = (self.knots_y[lo], self.knots_y[hi]);
+        if x1 <= x0 {
+            return y0;
+        }
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.knots_x.len()
+    }
+
+    /// True when the spline has no knots (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.knots_x.is_empty()
+    }
+}
+
+/// Multivariate linear regression fit by ordinary least squares via normal
+/// equations (features are few — ≤ a dozen cost-model statistics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiLinearModel {
+    /// Per-feature coefficients.
+    pub coefficients: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+}
+
+impl MultiLinearModel {
+    /// Fit `y ≈ X·β + b`. Uses ridge-stabilized normal equations
+    /// (λ = 1e-9) solved by Gaussian elimination with partial pivoting.
+    ///
+    /// # Panics
+    /// Panics when rows have inconsistent widths or `xs.len() != ys.len()`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return MultiLinearModel {
+                coefficients: Vec::new(),
+                intercept: 0.0,
+            };
+        }
+        let d = xs[0].len();
+        for row in xs {
+            assert_eq!(row.len(), d, "inconsistent feature width");
+        }
+        // Augmented design: [x, 1] to absorb the intercept.
+        let m = d + 1;
+        let mut ata = vec![vec![0.0f64; m]; m];
+        let mut atb = vec![0.0f64; m];
+        for (row, &y) in xs.iter().zip(ys) {
+            for i in 0..m {
+                let xi = if i < d { row[i] } else { 1.0 };
+                atb[i] += xi * y;
+                for j in 0..m {
+                    let xj = if j < d { row[j] } else { 1.0 };
+                    ata[i][j] += xi * xj;
+                }
+            }
+        }
+        for (i, row) in ata.iter_mut().enumerate() {
+            row[i] += 1e-9; // ridge stabilizer for singular designs
+        }
+        let beta = solve(&mut ata, &mut atb);
+        MultiLinearModel {
+            coefficients: beta[..d].to_vec(),
+            intercept: beta[d],
+        }
+    }
+
+    /// Evaluate at feature vector `x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.coefficients.len());
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+}
+
+/// Solve `A·x = b` in place with partial pivoting; returns `x`.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let piv = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let diag = a[col][col];
+        if diag.abs() < 1e-30 {
+            continue; // singular direction; ridge term usually prevents this
+        }
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot = &pivot_rows[col];
+        let b_col = b[col];
+        for (off, row_vec) in rest.iter_mut().enumerate() {
+            let f = row_vec[col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for (rv, &pv) in row_vec[col..].iter_mut().zip(&pivot[col..]) {
+                *rv -= f * pv;
+            }
+            b[col + 1 + off] -= f * b_col;
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-30 {
+            0.0
+        } else {
+            acc / a[col][col]
+        };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        let m = LinearModel::fit(&xs, &ys);
+        assert!((m.slope - 3.0).abs() < 1e-9);
+        assert!((m.intercept - 2.0).abs() < 1e-9);
+        assert!((m.predict(100.0) - 302.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_x() {
+        let m = LinearModel::fit(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(m.slope, 0.0);
+        assert!((m.intercept - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_fit_clamps_negative_slope() {
+        let m = LinearModel::fit_monotone(&[0.0, 1.0, 2.0], &[10.0, 5.0, 0.0]);
+        assert_eq!(m.slope, 0.0);
+        assert!((m.intercept - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spline_interpolates_and_clamps() {
+        let s = LinearSpline::new(vec![0.0, 10.0, 20.0], vec![0.0, 100.0, 110.0]);
+        assert_eq!(s.predict(-5.0), 0.0);
+        assert_eq!(s.predict(25.0), 110.0);
+        assert!((s.predict(5.0) - 50.0).abs() < 1e-9);
+        assert!((s.predict(15.0) - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spline_is_monotone() {
+        let s = LinearSpline::new(vec![0.0, 1.0, 1.0, 3.0], vec![0.0, 2.0, 2.0, 9.0]);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=300 {
+            let y = s.predict(i as f64 * 0.01);
+            assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn spline_rejects_decreasing_y() {
+        let _ = LinearSpline::new(vec![0.0, 1.0], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn multilinear_recovers_plane() {
+        // y = 2a - 3b + 7
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 11) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 7.0).collect();
+        let m = MultiLinearModel::fit(&xs, &ys);
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-6);
+        assert!((m.coefficients[1] + 3.0).abs() < 1e-6);
+        assert!((m.intercept - 7.0).abs() < 1e-6);
+        assert!((m.predict(&[1.0, 1.0]) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multilinear_handles_collinear_features() {
+        // Second feature duplicates the first: ridge keeps this solvable.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 4.0 * i as f64).collect();
+        let m = MultiLinearModel::fit(&xs, &ys);
+        for (i, x) in xs.iter().enumerate() {
+            assert!((m.predict(x) - ys[i]).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Piecewise Linear Model (PLM) over a sorted value list (§5.2).
+//!
+//! The PLM models the CDF of the sort-dimension values within a cell. It
+//! partitions the distinct values into *slices*, each modeled by a linear
+//! segment, under two invariants:
+//!
+//! * **Lower bound**: `P(v) ≤ D(v)` for every stored value `v`, where `D(v)`
+//!   is the index of the first occurrence of `v`. Achieved by setting each
+//!   segment's slope to the running minimum of `(D(v) − D(v₀)) / (v − v₀)`.
+//! * **Average error budget**: within every slice the mean of
+//!   `D(v) − P(v)` over all values (duplicates included) stays `≤ δ`.
+//!   The greedy builder closes a slice as soon as admitting the next value
+//!   would blow the budget.
+//!
+//! Slice-start keys are indexed with a cache-optimized [`Eytzinger`] layout;
+//! mispredictions at query time are rectified with exponential search.
+//! δ trades size for speed (Fig 17b); the paper settles on δ = 50.
+
+use crate::eytzinger::Eytzinger;
+use crate::search::{exponential_search_lb, exponential_search_ub};
+use serde::{Deserialize, Serialize};
+
+/// Default average-error budget (the paper's chosen δ, Fig 17b).
+pub const DEFAULT_DELTA: f64 = 50.0;
+
+/// One linear segment: predicts `base_idx + slope · (v − base_key)`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Segment {
+    base_key: u64,
+    base_idx: u64,
+    slope: f64,
+}
+
+impl Segment {
+    #[inline]
+    fn predict(&self, v: u64) -> f64 {
+        self.base_idx as f64 + self.slope * (v.saturating_sub(self.base_key)) as f64
+    }
+}
+
+/// A piecewise linear CDF model over one cell's sort-dimension values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PiecewiseLinearModel {
+    segments: Vec<Segment>,
+    index: Eytzinger,
+    n: usize,
+    delta: f64,
+}
+
+impl PiecewiseLinearModel {
+    /// Build over `values`, which must be sorted (duplicates allowed).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `values` is unsorted, or if `delta < 0`.
+    pub fn build(values: &[u64], delta: f64) -> Self {
+        assert!(delta >= 0.0, "delta must be non-negative");
+        debug_assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        let n = values.len();
+        if n == 0 {
+            return PiecewiseLinearModel {
+                segments: Vec::new(),
+                index: Eytzinger::build(&[]),
+                n: 0,
+                delta,
+            };
+        }
+
+        // Distinct (key, first_index, count) triples.
+        let mut segments = Vec::new();
+        let mut seg_keys = Vec::new();
+
+        // Greedy slice state.
+        let mut base_key = values[0];
+        let mut base_idx = 0u64;
+        let mut slope = f64::INFINITY; // no second distinct key yet
+        // Running sums over the open slice, duplicate-weighted:
+        //   s_i = Σ cnt·(D(v) − base_idx),  s_k = Σ cnt·(v − base_key)
+        let mut s_i = 0.0f64;
+        let mut s_k = 0.0f64;
+        let mut m = 0.0f64; // number of values (incl. duplicates) in slice
+
+        let close = |segments: &mut Vec<Segment>,
+                         seg_keys: &mut Vec<u64>,
+                         base_key: u64,
+                         base_idx: u64,
+                         slope: f64| {
+            segments.push(Segment {
+                base_key,
+                base_idx,
+                slope: if slope.is_finite() { slope } else { 0.0 },
+            });
+            seg_keys.push(base_key);
+        };
+
+        let mut i = 0usize;
+        while i < n {
+            let key = values[i];
+            let first = i as u64;
+            let mut cnt = 1usize;
+            while i + cnt < n && values[i + cnt] == key {
+                cnt += 1;
+            }
+            i += cnt;
+
+            if key == base_key {
+                // The slice's base value: zero error by construction.
+                m += cnt as f64;
+                continue;
+            }
+
+            // Candidate slope must keep the lower-bound property for every
+            // point in the slice: running minimum of the secant slopes.
+            let secant = (first - base_idx) as f64 / (key - base_key) as f64;
+            let cand_slope = slope.min(secant);
+            let cand_si = s_i + cnt as f64 * (first - base_idx) as f64;
+            let cand_sk = s_k + cnt as f64 * (key - base_key) as f64;
+            let cand_m = m + cnt as f64;
+            // Mean error with the candidate slope (lower bound ⇒ all errors
+            // are non-negative, so the sum telescopes):
+            let err = cand_si - cand_slope * cand_sk;
+            if err / cand_m > delta {
+                // Close current slice; start fresh at this key.
+                close(&mut segments, &mut seg_keys, base_key, base_idx, slope);
+                base_key = key;
+                base_idx = first;
+                slope = f64::INFINITY;
+                s_i = 0.0;
+                s_k = 0.0;
+                m = cnt as f64;
+            } else {
+                slope = cand_slope;
+                s_i = cand_si;
+                s_k = cand_sk;
+                m = cand_m;
+            }
+        }
+        close(&mut segments, &mut seg_keys, base_key, base_idx, slope);
+
+        PiecewiseLinearModel {
+            index: Eytzinger::build(&seg_keys),
+            segments,
+            n,
+            delta,
+        }
+    }
+
+    /// Build with the paper's default δ = 50.
+    pub fn build_default(values: &[u64]) -> Self {
+        Self::build(values, DEFAULT_DELTA)
+    }
+
+    /// Number of values modeled.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when built over no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of linear segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The δ this model was built with.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Predicted index of the first occurrence of `v`, clamped to `[0, n)`.
+    /// A lower bound for stored values; a hint elsewhere.
+    #[inline]
+    pub fn predict(&self, v: u64) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        match self.index.predecessor(v) {
+            None => 0, // v precedes every stored value
+            Some(rank) => {
+                let seg = &self.segments[rank];
+                (seg.predict(v) as usize).min(self.n - 1)
+            }
+        }
+    }
+
+    /// Exact first index with `get(i) >= v` (refinement start point I₁),
+    /// rectified by exponential search against the actual storage.
+    #[inline]
+    pub fn lookup_lb(&self, v: u64, get: impl Fn(usize) -> u64) -> usize {
+        exponential_search_lb(self.n, self.predict(v), v, get)
+    }
+
+    /// Exact one-past-last index with `get(i) <= v` (refinement end I₂ + 1).
+    #[inline]
+    pub fn lookup_ub(&self, v: u64, get: impl Fn(usize) -> u64) -> usize {
+        exponential_search_ub(self.n, self.predict(v), v, get)
+    }
+
+    /// Approximate heap size in bytes (segments + Eytzinger index).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.segments.len() * std::mem::size_of::<Segment>()
+            + self.index.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First-occurrence index of each distinct value.
+    fn d_of(values: &[u64]) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            if out.last().map(|&(k, _)| k) != Some(v) {
+                out.push((v, i));
+            }
+        }
+        out
+    }
+
+    fn check_invariants(values: &[u64], delta: f64) {
+        let plm = PiecewiseLinearModel::build(values, delta);
+        // Lower-bound property on every stored distinct value.
+        let mut total_err = 0.0;
+        for &(v, d) in &d_of(values) {
+            let p = plm.predict(v);
+            assert!(p <= d, "P({v})={p} > D({v})={d}");
+            total_err += (d - p) as f64;
+        }
+        // Global mean error across values is within a small factor of δ
+        // (the builder bounds each slice's duplicate-weighted mean by δ).
+        if !values.is_empty() {
+            let mean = total_err / values.len() as f64;
+            assert!(
+                mean <= delta * 2.0 + 1.0,
+                "mean error {mean} far exceeds delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn invariants_uniform() {
+        let values: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
+        check_invariants(&values, 50.0);
+    }
+
+    #[test]
+    fn invariants_skewed() {
+        let mut values: Vec<u64> = (0..10_000u64).map(|i| (i * i * 31) % 100_000).collect();
+        values.sort_unstable();
+        check_invariants(&values, 50.0);
+        check_invariants(&values, 5.0);
+        check_invariants(&values, 500.0);
+    }
+
+    #[test]
+    fn invariants_heavy_duplicates() {
+        let mut values = Vec::new();
+        for v in 0..100u64 {
+            values.extend(std::iter::repeat_n(v * 7, (v % 13 + 1) as usize * 10));
+        }
+        check_invariants(&values, 20.0);
+    }
+
+    #[test]
+    fn lookups_are_exact() {
+        let mut values: Vec<u64> = (0..5_000u64).map(|i| (i * 2654435761) % 100_000).collect();
+        values.sort_unstable();
+        let plm = PiecewiseLinearModel::build(&values, 50.0);
+        for probe in (0..100_100u64).step_by(977) {
+            assert_eq!(
+                plm.lookup_lb(probe, |i| values[i]),
+                values.partition_point(|&x| x < probe),
+                "lb {probe}"
+            );
+            assert_eq!(
+                plm.lookup_ub(probe, |i| values[i]),
+                values.partition_point(|&x| x <= probe),
+                "ub {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_delta_more_segments() {
+        let mut values: Vec<u64> = (0..20_000u64).map(|i| (i * i) % 1_000_000).collect();
+        values.sort_unstable();
+        let coarse = PiecewiseLinearModel::build(&values, 200.0);
+        let fine = PiecewiseLinearModel::build(&values, 2.0);
+        assert!(
+            fine.num_segments() > coarse.num_segments(),
+            "fine {} vs coarse {}",
+            fine.num_segments(),
+            coarse.num_segments()
+        );
+        assert!(fine.size_bytes() > coarse.size_bytes());
+    }
+
+    #[test]
+    fn delta_zero_is_exact_on_distinct_keys() {
+        let values: Vec<u64> = (0..500u64).map(|i| i * 11 + (i % 3)).collect();
+        let plm = PiecewiseLinearModel::build(&values, 0.0);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(plm.predict(v), i, "value {v}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let plm = PiecewiseLinearModel::build(&[], 50.0);
+        assert_eq!(plm.predict(10), 0);
+        assert_eq!(plm.lookup_lb(10, |_| unreachable!()), 0);
+        let one = [42u64];
+        let plm = PiecewiseLinearModel::build(&one, 50.0);
+        assert_eq!(plm.lookup_lb(42, |i| one[i]), 0);
+        assert_eq!(plm.lookup_ub(42, |i| one[i]), 1);
+        assert_eq!(plm.lookup_lb(43, |i| one[i]), 1);
+    }
+
+    #[test]
+    fn constant_values() {
+        let values = vec![7u64; 1000];
+        let plm = PiecewiseLinearModel::build(&values, 50.0);
+        assert_eq!(plm.num_segments(), 1);
+        assert_eq!(plm.lookup_lb(7, |i| values[i]), 0);
+        assert_eq!(plm.lookup_ub(7, |i| values[i]), 1000);
+    }
+
+    #[test]
+    fn linear_data_compresses_to_one_segment() {
+        let values: Vec<u64> = (0..10_000u64).map(|i| i * 5).collect();
+        let plm = PiecewiseLinearModel::build(&values, 1.0);
+        // Perfectly linear data should need exactly one segment even at a
+        // tight budget.
+        assert_eq!(plm.num_segments(), 1);
+    }
+}

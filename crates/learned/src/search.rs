@@ -1,0 +1,134 @@
+//! Exponential (galloping) search used to rectify model mispredictions.
+//!
+//! A learned model predicts an approximate position; when the prediction is
+//! off, the true position is found by doubling steps outward from the guess
+//! and then binary-searching the bracketed range. Cost is O(log error), so
+//! accurate models pay almost nothing (§5.2, §7.8 "inference and an
+//! exponential search rectification phase").
+
+/// First index `i` in the sorted access sequence with `get(i) >= key`
+/// (lower bound), starting from the hint `guess`. Returns `len` when all
+/// values are `< key`.
+///
+/// `get` must be monotone non-decreasing over `0..len`.
+pub fn exponential_search_lb(len: usize, guess: usize, key: u64, get: impl Fn(usize) -> u64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let mut lo;
+    let hi;
+    let g = guess.min(len - 1);
+    if get(g) >= key {
+        // True position is at or before g: gallop left.
+        let mut step = 1usize;
+        hi = g;
+        loop {
+            if step > hi {
+                lo = 0;
+                break;
+            }
+            let probe = hi - step;
+            if get(probe) < key {
+                lo = probe + 1;
+                break;
+            }
+            step <<= 1;
+        }
+        // Invariant: get(lo-1) < key (or lo == 0), get(hi) >= key.
+        partition_point(lo, hi + 1, |i| get(i) < key)
+    } else {
+        // True position is after g: gallop right.
+        let mut step = 1usize;
+        lo = g + 1;
+        loop {
+            let probe = g + step;
+            if probe >= len {
+                hi = len;
+                break;
+            }
+            if get(probe) >= key {
+                hi = probe;
+                break;
+            }
+            lo = probe + 1;
+            step <<= 1;
+        }
+        partition_point(lo, hi, |i| get(i) < key)
+    }
+}
+
+/// One past the last index with `get(i) <= key` (upper bound), starting from
+/// the hint `guess`. Returns 0 when all values are `> key`.
+pub fn exponential_search_ub(len: usize, guess: usize, key: u64, get: impl Fn(usize) -> u64) -> usize {
+    if key == u64::MAX {
+        return len;
+    }
+    exponential_search_lb(len, guess, key + 1, get)
+}
+
+/// Binary search: first index in `[lo, hi)` where `pred` is false.
+/// `pred` must be monotone (true-prefix, false-suffix).
+fn partition_point(mut lo: usize, mut hi: usize, pred: impl Fn(usize) -> bool) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lb_ref(v: &[u64], key: u64) -> usize {
+        v.partition_point(|&x| x < key)
+    }
+
+    fn ub_ref(v: &[u64], key: u64) -> usize {
+        v.partition_point(|&x| x <= key)
+    }
+
+    #[test]
+    fn matches_std_partition_point_all_guesses() {
+        let v: Vec<u64> = vec![2, 4, 4, 4, 9, 15, 15, 20];
+        for key in 0..25 {
+            for guess in 0..v.len() + 2 {
+                assert_eq!(
+                    exponential_search_lb(v.len(), guess, key, |i| v[i]),
+                    lb_ref(&v, key),
+                    "lb key={key} guess={guess}"
+                );
+                assert_eq!(
+                    exponential_search_ub(v.len(), guess, key, |i| v[i]),
+                    ub_ref(&v, key),
+                    "ub key={key} guess={guess}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(exponential_search_lb(0, 0, 5, |_| 0), 0);
+        assert_eq!(exponential_search_ub(0, 0, 5, |_| 0), 0);
+    }
+
+    #[test]
+    fn max_key_upper_bound() {
+        let v = [1, 2, u64::MAX];
+        assert_eq!(exponential_search_ub(v.len(), 0, u64::MAX, |i| v[i]), 3);
+        assert_eq!(exponential_search_lb(v.len(), 0, u64::MAX, |i| v[i]), 2);
+    }
+
+    #[test]
+    fn large_array_far_guess() {
+        let v: Vec<u64> = (0..10_000).map(|i| i * 3).collect();
+        // Guess far from the true position on both sides.
+        assert_eq!(exponential_search_lb(v.len(), 9_999, 30, |i| v[i]), 10);
+        assert_eq!(exponential_search_lb(v.len(), 0, 29_700, |i| v[i]), 9_900);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the learned models: the PLM's lower-bound and
+//! error-budget invariants, RMI monotonicity, Eytzinger vs binary search,
+//! exponential search vs `partition_point`.
+
+use flood_learned::eytzinger::Eytzinger;
+use flood_learned::plm::PiecewiseLinearModel;
+use flood_learned::rmi::{Rmi, RmiConfig};
+use flood_learned::search::{exponential_search_lb, exponential_search_ub};
+use proptest::prelude::*;
+
+fn sorted_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1_000_000, 1..800).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn plm_lower_bound_invariant(values in sorted_values(), delta in 0.0f64..200.0) {
+        let plm = PiecewiseLinearModel::build(&values, delta);
+        // P(v) <= D(v) for every stored value.
+        let mut seen = None;
+        for (i, &v) in values.iter().enumerate() {
+            if seen == Some(v) {
+                continue;
+            }
+            seen = Some(v);
+            prop_assert!(plm.predict(v) <= i, "P({v}) > D({v})");
+        }
+    }
+
+    #[test]
+    fn plm_lookups_exact(values in sorted_values(), probes in proptest::collection::vec(0u64..1_100_000, 20)) {
+        let plm = PiecewiseLinearModel::build(&values, 50.0);
+        for p in probes {
+            prop_assert_eq!(
+                plm.lookup_lb(p, |i| values[i]),
+                values.partition_point(|&x| x < p)
+            );
+            prop_assert_eq!(
+                plm.lookup_ub(p, |i| values[i]),
+                values.partition_point(|&x| x <= p)
+            );
+        }
+    }
+
+    #[test]
+    fn rmi_is_monotone_and_bounded(values in sorted_values(), probes in proptest::collection::vec(0u64..1_100_000, 30)) {
+        let rmi = Rmi::build(&values, RmiConfig::default());
+        let mut sorted_probes = probes;
+        sorted_probes.sort_unstable();
+        let mut prev = -1.0f64;
+        for p in sorted_probes {
+            let pred = rmi.predict(p);
+            prop_assert!(pred >= 0.0 && pred <= values.len() as f64);
+            prop_assert!(pred >= prev, "RMI prediction not monotone");
+            prev = pred;
+        }
+    }
+
+    #[test]
+    fn rmi_lookups_exact(values in sorted_values(), probes in proptest::collection::vec(0u64..1_100_000, 20)) {
+        let rmi = Rmi::build(&values, RmiConfig::default());
+        for p in probes {
+            prop_assert_eq!(
+                rmi.lookup_lb(p, |i| values[i]),
+                values.partition_point(|&x| x < p)
+            );
+        }
+    }
+
+    #[test]
+    fn eytzinger_predecessor_matches_binary_search(values in sorted_values(), probes in proptest::collection::vec(0u64..1_100_000, 30)) {
+        let e = Eytzinger::build(&values);
+        for p in probes {
+            let want = match values.partition_point(|&x| x <= p) {
+                0 => None,
+                r => Some(r - 1),
+            };
+            prop_assert_eq!(e.predecessor(p), want);
+        }
+    }
+
+    #[test]
+    fn exponential_search_matches_partition_point(
+        values in sorted_values(),
+        probe in 0u64..1_100_000,
+        guess in 0usize..1_000,
+    ) {
+        let lb = exponential_search_lb(values.len(), guess, probe, |i| values[i]);
+        prop_assert_eq!(lb, values.partition_point(|&x| x < probe));
+        let ub = exponential_search_ub(values.len(), guess, probe, |i| values[i]);
+        prop_assert_eq!(ub, values.partition_point(|&x| x <= probe));
+    }
+
+    #[test]
+    fn plm_segment_count_monotone_in_delta(values in sorted_values()) {
+        let tight = PiecewiseLinearModel::build(&values, 1.0);
+        let loose = PiecewiseLinearModel::build(&values, 500.0);
+        prop_assert!(loose.num_segments() <= tight.num_segments());
+    }
+}

@@ -1,0 +1,226 @@
+//! Bit-packed delta blocks: the unit of compression in the column store.
+//!
+//! Each [`Block`] stores up to [`BLOCK_LEN`] (=128) `u64` values as deltas to
+//! the block minimum, packed at the smallest bit width that fits the largest
+//! delta. Random access is constant-time: the value at offset `i` is
+//! `min + extract_bits(packed, i * width, width)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of values per compression block (fixed at 128, per the paper §7.1).
+pub const BLOCK_LEN: usize = 128;
+
+/// A single bit-packed block of up to [`BLOCK_LEN`] values.
+///
+/// Values are stored as `value - min` at `width` bits each, packed
+/// little-endian into `words`. `width == 0` means all values equal `min` and
+/// no words are stored.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    min: u64,
+    width: u8,
+    len: u16,
+    words: Box<[u64]>,
+}
+
+impl Block {
+    /// Compress a slice of at most [`BLOCK_LEN`] values.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or longer than [`BLOCK_LEN`].
+    pub fn compress(values: &[u64]) -> Self {
+        assert!(!values.is_empty(), "cannot compress an empty block");
+        assert!(
+            values.len() <= BLOCK_LEN,
+            "block too large: {} > {}",
+            values.len(),
+            BLOCK_LEN
+        );
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let range = max - min;
+        let width = bits_needed(range);
+        let total_bits = width as usize * values.len();
+        let n_words = total_bits.div_ceil(64);
+        let mut words = vec![0u64; n_words].into_boxed_slice();
+        if width > 0 {
+            for (i, &v) in values.iter().enumerate() {
+                pack(&mut words, i * width as usize, width, v - min);
+            }
+        }
+        Block {
+            min,
+            width,
+            len: values.len() as u16,
+            words,
+        }
+    }
+
+    /// Number of values stored in this block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the block holds no values (never constructed by `compress`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Constant-time access to the value at offset `i` within the block.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len as usize);
+        if self.width == 0 {
+            return self.min;
+        }
+        self.min + extract(&self.words, i * self.width as usize, self.width)
+    }
+
+    /// Minimum value in the block (the delta base).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Bit width used for deltas in this block.
+    #[inline]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Decompress the whole block, appending to `out`.
+    pub fn decompress_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            out.push(self.get(i));
+        }
+    }
+
+    /// Heap size of this block in bytes (metadata + packed words).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.words.len() * 8
+    }
+}
+
+/// Number of bits needed to represent `v` (0 needs 0 bits).
+#[inline]
+pub fn bits_needed(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+/// Pack `width` low bits of `v` at bit offset `bit` into `words`.
+#[inline]
+fn pack(words: &mut [u64], bit: usize, width: u8, v: u64) {
+    let w = bit / 64;
+    let off = bit % 64;
+    words[w] |= v << off;
+    let spill = off + width as usize;
+    if spill > 64 {
+        words[w + 1] |= v >> (64 - off);
+    }
+}
+
+/// Extract `width` bits at bit offset `bit` from `words`.
+#[inline]
+fn extract(words: &[u64], bit: usize, width: u8) -> u64 {
+    let w = bit / 64;
+    let off = bit % 64;
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let lo = words[w] >> off;
+    let spill = off + width as usize;
+    let v = if spill > 64 {
+        lo | (words[w + 1] << (64 - off))
+    } else {
+        lo
+    };
+    v & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_needed_boundaries() {
+        assert_eq!(bits_needed(0), 0);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(2), 2);
+        assert_eq!(bits_needed(3), 2);
+        assert_eq!(bits_needed(4), 3);
+        assert_eq!(bits_needed(u64::MAX), 64);
+        assert_eq!(bits_needed(u64::MAX >> 1), 63);
+    }
+
+    #[test]
+    fn roundtrip_constant_block() {
+        let vals = vec![42u64; 100];
+        let b = Block::compress(&vals);
+        assert_eq!(b.width(), 0);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(b.get(i), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_range() {
+        let vals: Vec<u64> = (1000..1128).collect();
+        let b = Block::compress(&vals);
+        assert_eq!(b.len(), 128);
+        assert_eq!(b.width(), 7); // deltas 0..=127
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(b.get(i), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_width() {
+        let vals = vec![0u64, u64::MAX, 1, u64::MAX - 1, 12345];
+        let b = Block::compress(&vals);
+        assert_eq!(b.width(), 64);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(b.get(i), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_straddles_word_boundary() {
+        // width 13 ensures values straddle 64-bit word boundaries.
+        let vals: Vec<u64> = (0..128).map(|i| 5000 + (i * 61) % 8000).collect();
+        let b = Block::compress(&vals);
+        assert!(b.width() >= 13);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(b.get(i), v, "index {i}");
+        }
+    }
+
+    #[test]
+    fn decompress_matches() {
+        let vals: Vec<u64> = (0..77).map(|i| i * i).collect();
+        let b = Block::compress(&vals);
+        let mut out = Vec::new();
+        b.decompress_into(&mut out);
+        assert_eq!(out, vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_block_panics() {
+        let _ = Block::compress(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block too large")]
+    fn oversize_block_panics() {
+        let vals = vec![0u64; BLOCK_LEN + 1];
+        let _ = Block::compress(&vals);
+    }
+}

@@ -1,0 +1,136 @@
+//! Ingestion encoders (§7.1): everything becomes a 64-bit integer.
+//!
+//! * Strings → dictionary codes ([`Dictionary`]).
+//! * Decimals → scaled integers: values are multiplied by the smallest power
+//!   of ten that makes every value integral ([`scale_decimals`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An order-preserving string dictionary: codes are assigned in sorted order
+/// so range predicates on the encoded column match lexicographic ranges.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Dictionary {
+    by_string: BTreeMap<String, u64>,
+    by_code: Vec<String>,
+}
+
+impl Dictionary {
+    /// Build a dictionary over a set of string values; duplicates collapse.
+    pub fn build<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Self {
+        let mut set: Vec<String> = values.into_iter().map(|s| s.as_ref().to_owned()).collect();
+        set.sort_unstable();
+        set.dedup();
+        let by_string = set
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u64))
+            .collect();
+        Dictionary {
+            by_string,
+            by_code: set,
+        }
+    }
+
+    /// Code for a string; `None` when unseen at build time.
+    pub fn encode(&self, s: &str) -> Option<u64> {
+        self.by_string.get(s).copied()
+    }
+
+    /// Encode a full column.
+    ///
+    /// # Panics
+    /// Panics on values absent from the dictionary.
+    pub fn encode_column<S: AsRef<str>>(&self, values: &[S]) -> Vec<u64> {
+        values
+            .iter()
+            .map(|s| {
+                self.encode(s.as_ref())
+                    .unwrap_or_else(|| panic!("unseen dictionary value: {}", s.as_ref()))
+            })
+            .collect()
+    }
+
+    /// String for a code.
+    pub fn decode(&self, code: u64) -> Option<&str> {
+        self.by_code.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.by_code.len()
+    }
+
+    /// True when the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_code.is_empty()
+    }
+}
+
+/// Scale `values` by the smallest power of ten (up to `max_places`) that
+/// makes every value integral; returns `(scaled, scale_factor)`.
+///
+/// Floating-point attributes in the paper "are typically limited to a fixed
+/// number of decimal points (e.g., 2 for price values)".
+pub fn scale_decimals(values: &[f64], max_places: u32) -> (Vec<u64>, u64) {
+    let mut factor = 1u64;
+    'outer: for p in 0..=max_places {
+        factor = 10u64.pow(p);
+        for &v in values {
+            let scaled = v * factor as f64;
+            if (scaled - scaled.round()).abs() > 1e-6 * factor as f64 {
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    let scaled = values
+        .iter()
+        .map(|&v| (v * factor as f64).round().max(0.0) as u64)
+        .collect();
+    (scaled, factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_order_preserving() {
+        let d = Dictionary::build(["cherry", "apple", "banana", "apple"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.encode("apple"), Some(0));
+        assert_eq!(d.encode("banana"), Some(1));
+        assert_eq!(d.encode("cherry"), Some(2));
+        assert_eq!(d.encode("durian"), None);
+        assert_eq!(d.decode(1), Some("banana"));
+    }
+
+    #[test]
+    fn dictionary_column_roundtrip() {
+        let d = Dictionary::build(["x", "y", "z"]);
+        let encoded = d.encode_column(&["z", "x", "y", "z"]);
+        assert_eq!(encoded, vec![2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn decimal_scaling_two_places() {
+        let (scaled, f) = scale_decimals(&[1.25, 3.10, 0.05], 6);
+        assert_eq!(f, 100);
+        assert_eq!(scaled, vec![125, 310, 5]);
+    }
+
+    #[test]
+    fn decimal_scaling_integers_need_no_scale() {
+        let (scaled, f) = scale_decimals(&[3.0, 7.0], 6);
+        assert_eq!(f, 1);
+        assert_eq!(scaled, vec![3, 7]);
+    }
+
+    #[test]
+    fn decimal_scaling_caps_at_max_places() {
+        // 1/3 never becomes integral; we settle at the max.
+        let (_, f) = scale_decimals(&[1.0 / 3.0], 4);
+        assert_eq!(f, 10_000);
+    }
+}

@@ -1,0 +1,32 @@
+//! The common interface every multi-dimensional index in this workspace
+//! implements (Flood and all eight baselines of §7.2).
+//!
+//! The query interface follows Appendix A: the caller provides the start and
+//! end value of the filter range in each dimension and a visitor that
+//! accumulates the aggregation. Execution returns [`ScanStats`] so the
+//! Table 2 performance breakdown can be produced for any index.
+
+use crate::query::RangeQuery;
+use crate::stats::ScanStats;
+use crate::visitor::Visitor;
+
+/// A read-optimized index over a fixed multi-dimensional table.
+pub trait MultiDimIndex {
+    /// Execute `query`, feeding matching rows to `visitor`.
+    ///
+    /// `agg_dim` names the column whose values the visitor aggregates
+    /// (e.g. the SUM column); `None` for COUNT-style visitors.
+    fn execute(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        visitor: &mut dyn Visitor,
+    ) -> ScanStats;
+
+    /// Index structure size in bytes — metadata only, *excluding* the data
+    /// itself (Fig 8's x-axis).
+    fn index_size_bytes(&self) -> usize;
+
+    /// Short display name (used by the benchmark harness).
+    fn name(&self) -> &'static str;
+}

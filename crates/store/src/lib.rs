@@ -1,0 +1,46 @@
+//! # flood-store
+//!
+//! An in-memory, read-optimized column store — the storage substrate that the
+//! Flood index (and every baseline index in this workspace) is built on.
+//!
+//! This reproduces the custom column store described in §7.1 of
+//! *Learning Multi-dimensional Indexes* (SIGMOD 2020):
+//!
+//! * **Block-delta compression**: each column is divided into consecutive
+//!   blocks of 128 values; each value is encoded as a bit-packed delta to the
+//!   minimum value of its block. Access remains constant-time
+//!   ([`CompressedColumn`]).
+//! * **64-bit integer attributes**: strings are dictionary-encoded and floats
+//!   are scaled to integers before ingestion ([`encode`]).
+//! * **Exact-range scan elision**: when a caller can prove that an entire
+//!   physical range matches the query filter, per-value predicate checks are
+//!   skipped ([`scan::scan_exact`]).
+//! * **Cumulative aggregate columns**: a column whose `i`-th value is the
+//!   cumulative aggregation of elements `0..=i`, so a SUM over an exact range
+//!   is just two lookups ([`CumulativeColumn`]).
+//!
+//! The crate also defines the shared query model ([`RangeQuery`]) and the
+//! [`Visitor`] abstraction that all indexes use to process matching records.
+
+pub mod block;
+pub mod column;
+pub mod cumulative;
+pub mod disjunction;
+pub mod encode;
+pub mod index_trait;
+pub mod query;
+pub mod scan;
+pub mod stats;
+pub mod table;
+pub mod visitor;
+
+pub use block::{Block, BLOCK_LEN};
+pub use column::{Column, CompressedColumn};
+pub use cumulative::CumulativeColumn;
+pub use disjunction::{decompose_in_list, execute_disjoint_union};
+pub use index_trait::MultiDimIndex;
+pub use query::{QueryRect, RangeQuery};
+pub use scan::{scan_checked_dims, scan_exact, scan_filtered, scan_full};
+pub use stats::ScanStats;
+pub use table::Table;
+pub use visitor::{CollectVisitor, CountVisitor, MergeVisitor, MinMaxVisitor, SumVisitor, Visitor};

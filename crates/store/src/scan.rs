@@ -1,0 +1,275 @@
+//! Scan kernels shared by all indexes.
+//!
+//! Three flavors, matching §3.2(3) and the §7.1 optimizations:
+//!
+//! * [`scan_filtered`] — check each row of a physical range against the
+//!   query filter, touching only filtered columns.
+//! * [`scan_exact`] — the caller guarantees every row in the range matches;
+//!   skip checks entirely and, when possible, answer from a cumulative column.
+//! * [`scan_full`] — a full table scan (the `Full Scan` baseline's kernel).
+
+use crate::cumulative::CumulativeColumn;
+use crate::query::RangeQuery;
+use crate::stats::ScanStats;
+use crate::table::Table;
+use crate::visitor::Visitor;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// When enabled, the scan kernels accumulate wall-clock time into
+/// [`ScanStats::scan_ns`], letting the harness decompose any index's query
+/// time into scan time (ST) and index time (IT = total − ST) the way
+/// Table 2 reports it. Off by default: the hot path then pays only one
+/// relaxed atomic load per kernel call.
+static SCAN_TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Globally enable or disable scan-kernel timing.
+pub fn set_scan_timing(on: bool) {
+    SCAN_TIMING.store(on, Ordering::Relaxed);
+}
+
+/// Whether scan-kernel timing is currently enabled.
+pub fn scan_timing_enabled() -> bool {
+    SCAN_TIMING.load(Ordering::Relaxed)
+}
+
+/// Run `f`, adding its duration to `stats.scan_ns` when timing is enabled.
+#[inline]
+fn timed(stats: &mut ScanStats, f: impl FnOnce(&mut ScanStats)) {
+    if SCAN_TIMING.load(Ordering::Relaxed) {
+        let t0 = Instant::now();
+        f(stats);
+        stats.scan_ns += t0.elapsed().as_nanos() as u64;
+    } else {
+        f(stats);
+    }
+}
+
+/// Scan rows `[start, end)` of `table`, checking each against `query`;
+/// matching rows are fed to `visitor` with their value in `agg_dim`
+/// (pass `None` for COUNT-style visitors).
+///
+/// Only the columns that appear in the query filter are accessed, plus the
+/// aggregation column for matches — the column-store access pattern from
+/// §7.2(1).
+pub fn scan_filtered(
+    table: &Table,
+    query: &RangeQuery,
+    start: usize,
+    end: usize,
+    agg_dim: Option<usize>,
+    visitor: &mut dyn Visitor,
+    stats: &mut ScanStats,
+) {
+    timed(stats, |stats| {
+        let filtered = query.filtered_dims();
+        stats.points_scanned += end.saturating_sub(start) as u64;
+        'rows: for row in start..end {
+            for &d in &filtered {
+                if !query.matches_dim(d, table.value(row, d)) {
+                    continue 'rows;
+                }
+            }
+            let v = match agg_dim {
+                Some(d) if visitor.needs_value() => table.value(row, d),
+                _ => 0,
+            };
+            visitor.visit(row, v);
+        }
+    });
+}
+
+/// Scan rows `[start, end)` that are all guaranteed to match (an *exact*
+/// range): no per-row checks. With a cumulative column and a visitor that
+/// supports the fast path, this is O(1).
+pub fn scan_exact(
+    table: &Table,
+    start: usize,
+    end: usize,
+    agg_dim: Option<usize>,
+    cumulative: Option<&CumulativeColumn>,
+    visitor: &mut dyn Visitor,
+    stats: &mut ScanStats,
+) {
+    if start >= end {
+        return;
+    }
+    timed(stats, |stats| {
+        stats.points_in_exact_ranges += (end - start) as u64;
+        if visitor.supports_exact() {
+            let sum = match (cumulative, agg_dim) {
+                (Some(c), _) => {
+                    // O(1): difference of prefix sums — no data access at all.
+                    c.range_sum(start, end - 1)
+                }
+                (None, Some(d)) if visitor.needs_value() => {
+                    stats.points_scanned += (end - start) as u64;
+                    let mut s = 0u64;
+                    for row in start..end {
+                        s = s.wrapping_add(table.value(row, d));
+                    }
+                    s
+                }
+                _ => 0,
+            };
+            visitor.visit_exact_sum(end - start, sum);
+        } else {
+            stats.points_scanned += (end - start) as u64;
+            for row in start..end {
+                let v = match agg_dim {
+                    Some(d) if visitor.needs_value() => table.value(row, d),
+                    _ => 0,
+                };
+                visitor.visit(row, v);
+            }
+        }
+    });
+}
+
+/// Scan rows `[start, end)` checking only the listed `(dim, lo, hi)`
+/// constraints — the kernel behind Flood's per-cell scans, where dimensions
+/// proven exact by projection/refinement are dropped from the check list.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_checked_dims(
+    table: &Table,
+    checks: &[(usize, u64, u64)],
+    start: usize,
+    end: usize,
+    agg_dim: Option<usize>,
+    visitor: &mut dyn Visitor,
+    stats: &mut ScanStats,
+) {
+    timed(stats, |stats| {
+        stats.points_scanned += end.saturating_sub(start) as u64;
+        'rows: for row in start..end {
+            for &(d, lo, hi) in checks {
+                let v = table.value(row, d);
+                if v < lo || v > hi {
+                    continue 'rows;
+                }
+            }
+            let v = match agg_dim {
+                Some(d) if visitor.needs_value() => table.value(row, d),
+                _ => 0,
+            };
+            visitor.visit(row, v);
+        }
+    });
+}
+
+/// Scan the entire table against `query` (the Full Scan baseline kernel).
+pub fn scan_full(
+    table: &Table,
+    query: &RangeQuery,
+    agg_dim: Option<usize>,
+    visitor: &mut dyn Visitor,
+    stats: &mut ScanStats,
+) {
+    scan_filtered(table, query, 0, table.len(), agg_dim, visitor, stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visitor::{CountVisitor, SumVisitor};
+
+    fn table() -> Table {
+        // dim0: 0..10, dim1: 10x dim0
+        Table::from_columns(vec![
+            (0..10).collect(),
+            (0..10).map(|i| i * 10).collect(),
+        ])
+    }
+
+    #[test]
+    fn filtered_scan_counts_matches() {
+        let t = table();
+        let q = RangeQuery::all(2).with_range(0, 3, 6);
+        let mut v = CountVisitor::default();
+        let mut s = ScanStats::default();
+        scan_filtered(&t, &q, 0, t.len(), None, &mut v, &mut s);
+        assert_eq!(v.count, 4); // rows 3,4,5,6
+        assert_eq!(s.points_scanned, 10);
+    }
+
+    #[test]
+    fn filtered_scan_subrange() {
+        let t = table();
+        let q = RangeQuery::all(2).with_range(0, 3, 6);
+        let mut v = CountVisitor::default();
+        let mut s = ScanStats::default();
+        scan_filtered(&t, &q, 5, 9, None, &mut v, &mut s);
+        assert_eq!(v.count, 2); // rows 5,6
+        assert_eq!(s.points_scanned, 4);
+    }
+
+    #[test]
+    fn filtered_scan_sums_agg_column() {
+        let t = table();
+        let q = RangeQuery::all(2).with_range(0, 2, 4);
+        let mut v = SumVisitor::default();
+        let mut s = ScanStats::default();
+        scan_filtered(&t, &q, 0, t.len(), Some(1), &mut v, &mut s);
+        assert_eq!(v.sum, 20 + 30 + 40);
+    }
+
+    #[test]
+    fn exact_scan_skips_checks() {
+        let t = table();
+        let mut v = SumVisitor::default();
+        let mut s = ScanStats::default();
+        scan_exact(&t, 2, 5, Some(1), None, &mut v, &mut s);
+        assert_eq!(v.sum, 20 + 30 + 40);
+        assert_eq!(v.count, 3);
+        assert_eq!(s.points_in_exact_ranges, 3);
+    }
+
+    #[test]
+    fn exact_scan_with_cumulative_is_data_free() {
+        let t = table();
+        let c = t.cumulative_sum(1);
+        let mut v = SumVisitor::default();
+        let mut s = ScanStats::default();
+        scan_exact(&t, 0, 10, Some(1), Some(&c), &mut v, &mut s);
+        assert_eq!(v.sum, (0..10u64).map(|i| i * 10).sum());
+        // Prefix-sum path scans nothing.
+        assert_eq!(s.points_scanned, 0);
+        assert_eq!(s.points_in_exact_ranges, 10);
+    }
+
+    #[test]
+    fn exact_scan_empty_range_is_noop() {
+        let t = table();
+        let mut v = CountVisitor::default();
+        let mut s = ScanStats::default();
+        scan_exact(&t, 5, 5, None, None, &mut v, &mut s);
+        assert_eq!(v.count, 0);
+    }
+
+    #[test]
+    fn scan_timing_populates_scan_ns() {
+        let t = table();
+        let q = RangeQuery::all(2).with_range(0, 0, 9);
+        let mut v = CountVisitor::default();
+        let mut s = ScanStats::default();
+        super::set_scan_timing(true);
+        scan_full(&t, &q, None, &mut v, &mut s);
+        super::set_scan_timing(false);
+        assert!(s.scan_ns > 0, "timing enabled must record scan time");
+
+        let mut s2 = ScanStats::default();
+        let mut v2 = CountVisitor::default();
+        scan_full(&t, &q, None, &mut v2, &mut s2);
+        assert_eq!(s2.scan_ns, 0, "timing disabled must record nothing");
+    }
+
+    #[test]
+    fn full_scan_equals_manual_filter() {
+        let t = table();
+        let q = RangeQuery::all(2).with_range(1, 25, 65);
+        let mut v = CountVisitor::default();
+        let mut s = ScanStats::default();
+        scan_full(&t, &q, None, &mut v, &mut s);
+        assert_eq!(v.count, 4); // 30,40,50,60
+    }
+}

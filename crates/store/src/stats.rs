@@ -1,0 +1,117 @@
+//! Execution statistics, the raw material for Table 2 of the paper.
+//!
+//! Scan overhead (SO) = points scanned / result size; it is "implementation
+//! agnostic" and "a good proxy for overall query performance" (§7.4). Every
+//! index records these counters while executing so the performance breakdown
+//! can be regenerated.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected while executing a single query (or accumulated over a
+/// workload).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanStats {
+    /// Rows whose columns were inspected (including non-matching rows).
+    pub points_scanned: u64,
+    /// Rows visited inside *exact* sub-ranges (no per-row checks needed).
+    pub points_in_exact_ranges: u64,
+    /// Rows that matched the query (result size).
+    pub points_matched: u64,
+    /// Cells / pages / leaves the index visited during projection.
+    pub cells_visited: u64,
+    /// Cells inside the query's projected rectangle, including empty ones —
+    /// the cost model's N_c (only meaningful for grid-based indexes).
+    pub cells_projected: u64,
+    /// Refinement operations performed (model or binary-search lookups).
+    pub refinements: u64,
+    /// Physical sub-ranges scanned (for run-length locality statistics).
+    pub ranges_scanned: u64,
+    /// Wall-clock nanoseconds spent in scan kernels; populated only while
+    /// [`crate::scan::set_scan_timing`] is enabled (Table 2's ST).
+    pub scan_ns: u64,
+}
+
+impl ScanStats {
+    /// Scan overhead: total points touched (checked + exact) per matched
+    /// point. 1.0 is a perfect index; `None` when nothing matched.
+    pub fn scan_overhead(&self) -> Option<f64> {
+        if self.points_matched == 0 {
+            return None;
+        }
+        Some((self.points_scanned + self.points_in_exact_ranges) as f64 / self.points_matched as f64)
+    }
+
+    /// Average run length of scanned ranges (locality proxy used by the cost
+    /// model features, §4.1.1 / Fig 5).
+    pub fn avg_run_length(&self) -> f64 {
+        if self.ranges_scanned == 0 {
+            return 0.0;
+        }
+        (self.points_scanned + self.points_in_exact_ranges) as f64 / self.ranges_scanned as f64
+    }
+
+    /// Accumulate another query's stats into this one.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.points_scanned += other.points_scanned;
+        self.points_in_exact_ranges += other.points_in_exact_ranges;
+        self.points_matched += other.points_matched;
+        self.cells_visited += other.cells_visited;
+        self.cells_projected += other.cells_projected;
+        self.refinements += other.refinements;
+        self.ranges_scanned += other.ranges_scanned;
+        self.scan_ns += other.scan_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_overhead() {
+        let s = ScanStats {
+            points_scanned: 90,
+            points_in_exact_ranges: 10,
+            points_matched: 50,
+            ..Default::default()
+        };
+        assert_eq!(s.scan_overhead(), Some(2.0));
+    }
+
+    #[test]
+    fn scan_overhead_no_matches() {
+        let s = ScanStats::default();
+        assert_eq!(s.scan_overhead(), None);
+    }
+
+    #[test]
+    fn run_length() {
+        let s = ScanStats {
+            points_scanned: 100,
+            ranges_scanned: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_run_length(), 25.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ScanStats {
+            points_scanned: 1,
+            points_matched: 1,
+            cells_visited: 2,
+            ..Default::default()
+        };
+        let b = ScanStats {
+            points_scanned: 9,
+            points_matched: 4,
+            refinements: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.points_scanned, 10);
+        assert_eq!(a.points_matched, 5);
+        assert_eq!(a.cells_visited, 2);
+        assert_eq!(a.refinements, 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Geospatial analytics on OpenStreetMap-style data (§7.3's OSM workload):
+//! "How many nodes were added in a time interval?", "How many buildings in
+//! a lat-lon rectangle?" — against Flood and the tree indexes that usually
+//! serve this domain.
+//!
+//! ```text
+//! cargo run --release --example osm_analytics
+//! ```
+
+use flood::baselines::{Hyperoctree, KdTree, RStarTree};
+use flood::core::{CostModel, FloodBuilder, LayoutOptimizer, OptimizerConfig};
+use flood::data::datasets::osm;
+use flood::data::{DatasetKind, Workload, WorkloadKind};
+use flood::store::{CountVisitor, MultiDimIndex, RangeQuery};
+use std::time::Instant;
+
+fn main() {
+    let ds = DatasetKind::Osm.generate(400_000, 11);
+    let workload = Workload::generate(WorkloadKind::OlapSkewed, &ds, 120, 0.001, 11);
+    println!(
+        "osm dataset: {} rows; geo mass clustered around NE-US metros",
+        ds.table.len()
+    );
+
+    // Learn Flood's layout for the analytics workload.
+    let optimizer = LayoutOptimizer::with_config(
+        CostModel::analytic_default(),
+        OptimizerConfig {
+            data_sample: 10_000,
+            query_sample: 30,
+            ..Default::default()
+        },
+    );
+    let learned = optimizer.optimize(&ds.table, &workload.train);
+    println!("learned layout: {}", learned.layout);
+    let flood = FloodBuilder::new().layout(learned.layout).build(&ds.table);
+
+    // Spatial trees on the same attributes.
+    let spatial_dims = vec![osm::COL_LAT, osm::COL_LON, osm::COL_TIMESTAMP];
+    let kd = KdTree::build(&ds.table, spatial_dims.clone());
+    let oct = Hyperoctree::build(&ds.table, spatial_dims.clone());
+    let rtree = RStarTree::build(&ds.table, spatial_dims);
+
+    // A concrete analyst question: buildings near Boston, recent edits.
+    let boston = RangeQuery::all(6)
+        .with_range(osm::COL_LAT, 42_000_000, 42_700_000)
+        .with_range(osm::COL_LON, 70_700_000, 71_400_000)
+        .with_range(osm::COL_TIMESTAMP, 300_000_000, u64::MAX);
+    let mut v = CountVisitor::default();
+    flood.execute(&boston, None, &mut v);
+    println!("\nrecent edits in the Boston rectangle: {}", v.count);
+
+    // Workload comparison.
+    let indexes: Vec<(&str, &dyn MultiDimIndex)> = vec![
+        ("Flood", &flood),
+        ("K-d tree", &kd),
+        ("Hyperoctree", &oct),
+        ("R* tree", &rtree),
+    ];
+    println!("\navg time over {} analytics queries:", workload.test.len());
+    let mut results = Vec::new();
+    for (name, idx) in &indexes {
+        let t0 = Instant::now();
+        let mut matched = 0u64;
+        for q in &workload.test {
+            let mut v = CountVisitor::default();
+            idx.execute(q, None, &mut v);
+            matched += v.count;
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / workload.test.len() as f64;
+        results.push((name, ms, matched));
+    }
+    let reference = results[0].2;
+    for (name, ms, matched) in &results {
+        assert_eq!(*matched, reference, "{name} disagrees on results");
+        println!("  {name:<12} {ms:>8.3} ms");
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build a Flood index by hand, query it, and compare against a
+//! full scan.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flood::core::{FloodBuilder, Layout};
+use flood::store::{CountVisitor, MultiDimIndex, RangeQuery, SumVisitor, Table};
+use std::time::Instant;
+
+fn main() {
+    // 1. A three-attribute table: (category, price, timestamp).
+    let n = 500_000u64;
+    let table = Table::from_named_columns(
+        vec![
+            (0..n).map(|i| i % 64).collect(),                  // category
+            (0..n).map(|i| (i * 7919) % 100_000).collect(),    // price
+            (0..n).collect(),                                  // timestamp
+        ],
+        vec!["category".into(), "price".into(), "timestamp".into()],
+    );
+
+    // 2. A layout: grid on (category × price), sort by timestamp.
+    //    (In production you'd learn this — see the sales_reporting example.)
+    let layout = Layout::new(vec![0, 1, 2], vec![8, 16]);
+    let t0 = Instant::now();
+    let index = FloodBuilder::new()
+        .layout(layout)
+        .cumulative_sum(1) // O(1) exact-range SUM over price
+        .build(&table);
+    println!(
+        "built Flood over {n} rows in {:.2?} ({} cells, index {} bytes)",
+        t0.elapsed(),
+        index.layout().num_cells(),
+        index.index_size_bytes()
+    );
+
+    // 3. SELECT COUNT(*), SUM(price) WHERE category IN 10..=12
+    //    AND price <= 25_000 AND timestamp < 250_000.
+    let query = RangeQuery::all(3)
+        .with_range(0, 10, 12)
+        .with_range(1, 0, 25_000)
+        .with_range(2, 0, 249_999);
+
+    let t0 = Instant::now();
+    let mut count = CountVisitor::default();
+    let stats = index.execute(&query, None, &mut count);
+    let flood_time = t0.elapsed();
+    let mut sum = SumVisitor::default();
+    index.execute(&query, Some(1), &mut sum);
+
+    println!(
+        "flood:     count={}, sum(price)={}, in {flood_time:.2?} \
+         (scanned {} points for {} matches — {:.2}x overhead)",
+        count.count,
+        sum.sum,
+        stats.points_scanned + stats.points_in_exact_ranges,
+        stats.points_matched,
+        stats.scan_overhead().unwrap_or(f64::NAN),
+    );
+
+    // 4. The same query as a full scan.
+    let full = flood::baselines::FullScan::build(&table);
+    let t0 = Instant::now();
+    let mut count2 = CountVisitor::default();
+    full.execute(&query, None, &mut count2);
+    let scan_time = t0.elapsed();
+    println!("full scan: count={}, in {scan_time:.2?}", count2.count);
+    assert_eq!(count.count, count2.count, "index must agree with the scan");
+    println!(
+        "speedup: {:.1}x",
+        scan_time.as_secs_f64() / flood_time.as_secs_f64().max(1e-12)
+    );
+}

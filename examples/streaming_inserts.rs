@@ -1,0 +1,120 @@
+//! The §8 extensions in action: a Flood index that absorbs streaming
+//! inserts through a delta buffer, detects when the query distribution has
+//! drifted, re-learns its layout — and serves kNN queries on the side (§6).
+//!
+//! ```text
+//! cargo run --release --example streaming_inserts
+//! ```
+
+use flood::core::{
+    AdaptiveConfig, AdaptiveFlood, CostModel, DeltaFlood, FloodConfig, KnnSearcher, Layout,
+    LayoutOptimizer, OptimizerConfig,
+};
+use flood::data::DatasetKind;
+use flood::store::{CountVisitor, MultiDimIndex, RangeQuery};
+
+fn main() {
+    let ds = DatasetKind::Osm.generate(150_000, 17);
+
+    // --- Delta-buffered inserts -------------------------------------------
+    let mut delta = DeltaFlood::build(
+        &ds.table,
+        Layout::new(vec![2, 3, 1], vec![16, 16]),
+        FloodConfig::default(),
+        10_000, // merge threshold
+    );
+    let q = RangeQuery::all(6).with_range(2, 40_000_000, 43_000_000);
+    let mut v = CountVisitor::default();
+    delta.execute(&q, None, &mut v);
+    println!("before inserts: {} rows in the lat band", v.count);
+
+    // Stream 12k new points near Boston (triggers one merge at 10k).
+    for i in 0..12_000u64 {
+        let row = [
+            1_000_000 + i,             // id
+            470_000_000 + i,           // timestamp
+            42_360_000 + (i % 50_000), // lat
+            71_060_000 + (i % 50_000), // lon
+            0,                         // type = node
+            3,                         // category
+        ];
+        delta.insert(&row);
+    }
+    let mut v = CountVisitor::default();
+    delta.execute(&q, None, &mut v);
+    println!(
+        "after 12k inserts: {} rows ({} merges, {} still buffered)",
+        v.count,
+        delta.merges(),
+        delta.delta_len()
+    );
+
+    // --- Adaptive retraining ----------------------------------------------
+    let optimizer = LayoutOptimizer::with_config(
+        CostModel::analytic_default(),
+        OptimizerConfig {
+            data_sample: 8_000,
+            query_sample: 25,
+            ..Default::default()
+        },
+    );
+    // Initial workload: time-range queries.
+    let w_time: Vec<RangeQuery> = (0..40)
+        .map(|i| RangeQuery::all(6).with_range(1, i * 10_000_000, i * 10_000_000 + 4_000_000))
+        .collect();
+    let mut adaptive = AdaptiveFlood::build(
+        &ds.table,
+        &w_time,
+        optimizer,
+        FloodConfig::default(),
+        AdaptiveConfig {
+            window: 40,
+            check_every: 20,
+            degradation_factor: 1.3,
+        },
+    );
+    println!(
+        "\nadaptive index starts with layout {}",
+        adaptive.index().layout()
+    );
+
+    // The workload shifts to lat/lon rectangles.
+    let w_geo: Vec<RangeQuery> = (0..60)
+        .map(|i| {
+            let lat = 39_500_000 + (i % 20) * 250_000;
+            RangeQuery::all(6)
+                .with_range(2, lat, lat + 400_000)
+                .with_range(3, 70_000_000, 76_000_000)
+        })
+        .collect();
+    let mut retrains = 0;
+    for q in &w_geo {
+        let mut v = CountVisitor::default();
+        let (_, retrained) = adaptive.execute_adaptive(q, None, &mut v);
+        retrains += retrained as usize;
+    }
+    println!(
+        "after the shift to geo queries: {} retrain(s); layout is now {}",
+        retrains,
+        adaptive.index().layout()
+    );
+
+    // --- kNN on the grid (§6) ----------------------------------------------
+    let knn_index = flood::core::FloodBuilder::new()
+        .layout(Layout::new(vec![2, 3, 1], vec![32, 32]))
+        .build(&ds.table);
+    let searcher = KnnSearcher::new(&knn_index, vec![2, 3]);
+    // Five closest points to downtown Boston.
+    let probe = [0, 0, 42_360_000, 71_060_000, 0, 0];
+    let neighbors = searcher.knn(&probe, 5);
+    println!("\n5 nearest neighbors of downtown Boston:");
+    for n in neighbors {
+        let row = knn_index.data().row(n.row);
+        println!(
+            "  lat={:.4} lon={:.4} (distance {:.5})",
+            row[2] as f64 / 1e6,
+            row[3] as f64 / 1e6,
+            n.distance
+        );
+    }
+}

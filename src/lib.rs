@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the whole Flood workspace under one name.
+#![doc = include_str!("../README.md")]
+
+pub use flood_baselines as baselines;
+pub use flood_core as core;
+pub use flood_data as data;
+pub use flood_learned as learned;
+pub use flood_store as store;

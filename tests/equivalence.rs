@@ -1,0 +1,139 @@
+//! The master correctness oracle: every index in the workspace must return
+//! exactly the same results as a full scan, on every dataset × workload
+//! combination, for COUNT and SUM aggregations.
+
+use flood::baselines::{
+    ClusteredIndex, FullScan, GridFile, Hyperoctree, KdTree, RStarTree, UbTree, ZOrderIndex,
+};
+use flood::core::{FloodBuilder, Layout};
+use flood::data::{DatasetKind, Workload, WorkloadKind};
+use flood::store::{CountVisitor, MultiDimIndex, RangeQuery, SumVisitor, Table};
+
+const N: usize = 8_000;
+const QUERIES: usize = 25;
+
+fn oracle_count(t: &Table, q: &RangeQuery) -> u64 {
+    let full = FullScan::build(t);
+    let mut v = CountVisitor::default();
+    full.execute(q, None, &mut v);
+    v.count
+}
+
+fn oracle_sum(t: &Table, q: &RangeQuery, agg: usize) -> u64 {
+    let full = FullScan::build(t);
+    let mut v = SumVisitor::default();
+    full.execute(q, Some(agg), &mut v);
+    v.sum
+}
+
+fn check_index(idx: &dyn MultiDimIndex, t: &Table, queries: &[RangeQuery], agg: usize) {
+    for (i, q) in queries.iter().enumerate() {
+        let mut count = CountVisitor::default();
+        let stats = idx.execute(q, None, &mut count);
+        assert_eq!(
+            count.count,
+            oracle_count(t, q),
+            "{}: COUNT mismatch on query {i}",
+            idx.name()
+        );
+        assert_eq!(
+            stats.points_matched,
+            count.count,
+            "{}: stats mismatch on query {i}",
+            idx.name()
+        );
+        let mut sum = SumVisitor::default();
+        idx.execute(q, Some(agg), &mut sum);
+        assert_eq!(
+            sum.sum,
+            oracle_sum(t, q, agg),
+            "{}: SUM mismatch on query {i}",
+            idx.name()
+        );
+    }
+}
+
+fn all_dims(t: &Table) -> Vec<usize> {
+    (0..t.dims()).collect()
+}
+
+fn run_dataset(kind: DatasetKind, wkind: WorkloadKind) {
+    let ds = kind.generate(N, 0xE0);
+    let w = Workload::generate(wkind, &ds, QUERIES, 0.002, 0xE0);
+    let queries: Vec<RangeQuery> = w.train.into_iter().chain(w.test).collect();
+    let t = &ds.table;
+    let agg = kind.agg_dim();
+    let dims = all_dims(t);
+
+    check_index(&ClusteredIndex::build(t, 0), t, &queries, agg);
+    check_index(&ZOrderIndex::build(t, dims.clone()), t, &queries, agg);
+    check_index(&UbTree::build(t, dims.clone()), t, &queries, agg);
+    check_index(&Hyperoctree::build(t, dims.clone()), t, &queries, agg);
+    check_index(&KdTree::build(t, dims.clone()), t, &queries, agg);
+    check_index(&RStarTree::build(t, dims.clone()), t, &queries, agg);
+    if let Ok(gf) = GridFile::build(t, dims.clone()) {
+        check_index(&gf, t, &queries, agg);
+    }
+    // Flood with a hand layout over the first three dims.
+    let flood = FloodBuilder::new()
+        .layout(Layout::new(vec![0, 1, 2], vec![6, 5]))
+        .build(t);
+    check_index(&flood, t, &queries, agg);
+    // Flood histogram variant.
+    let hist = FloodBuilder::new()
+        .layout(Layout::histogram(vec![0, 1], vec![8, 8]))
+        .build(t);
+    check_index(&hist, t, &queries, agg);
+}
+
+#[test]
+fn sales_olap() {
+    run_dataset(DatasetKind::Sales, WorkloadKind::OlapSkewed);
+}
+
+#[test]
+fn tpch_olap() {
+    run_dataset(DatasetKind::TpcH, WorkloadKind::OlapSkewed);
+}
+
+#[test]
+fn osm_olap() {
+    run_dataset(DatasetKind::Osm, WorkloadKind::OlapSkewed);
+}
+
+#[test]
+fn perfmon_olap() {
+    run_dataset(DatasetKind::Perfmon, WorkloadKind::OlapSkewed);
+}
+
+#[test]
+fn tpch_point_lookups() {
+    run_dataset(DatasetKind::TpcH, WorkloadKind::OltpTwoKeys);
+}
+
+#[test]
+fn sales_mixed() {
+    run_dataset(DatasetKind::Sales, WorkloadKind::Mixed);
+}
+
+#[test]
+fn osm_many_dims() {
+    run_dataset(DatasetKind::Osm, WorkloadKind::ManyDims);
+}
+
+#[test]
+fn disjunction_union_on_flood_matches_per_branch_oracle() {
+    use flood::store::execute_disjoint_union;
+    let ds = DatasetKind::Sales.generate(N, 0xD15);
+    let t = &ds.table;
+    let flood = FloodBuilder::new()
+        .layout(Layout::new(vec![0, 5, 3], vec![8, 8]))
+        .build(t);
+    // store IN {0, 3, 11} AND date in a window — §3's OR decomposition.
+    let base = RangeQuery::all(t.dims()).with_range(5, 100, 400);
+    let branches = flood::store::decompose_in_list(&base, 0, &[0, 3, 11]);
+    let mut v = CountVisitor::default();
+    execute_disjoint_union(&flood, &branches, None, &mut v).expect("disjoint branches");
+    let want: u64 = branches.iter().map(|q| oracle_count(t, q)).sum();
+    assert_eq!(v.count, want);
+}

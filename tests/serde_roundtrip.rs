@@ -1,0 +1,99 @@
+//! Serialization round-trips: layouts, queries, stats and learned models
+//! all serialize (models so a learned configuration can be persisted and
+//! shipped, per the paper's "calibrate once per machine" workflow).
+
+use flood::core::cost::calibration::{calibrate, CalibrationConfig};
+use flood::core::{CostModel, Layout};
+use flood::learned::{PiecewiseLinearModel, Rmi};
+use flood::learned::rmi::RmiConfig;
+use flood::store::{RangeQuery, ScanStats};
+
+#[test]
+fn layout_roundtrip() {
+    let l = Layout::new(vec![2, 0, 1], vec![8, 16]);
+    let json = serde_json::to_string(&l).expect("serialize");
+    let back: Layout = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(l, back);
+    let h = Layout::histogram(vec![0, 1], vec![4, 4]);
+    let back: Layout = serde_json::from_str(&serde_json::to_string(&h).expect("serialize"))
+        .expect("deserialize");
+    assert_eq!(h, back);
+    assert!(!back.has_sort_dim());
+}
+
+#[test]
+fn query_roundtrip() {
+    let q = RangeQuery::all(4).with_range(1, 5, 10).with_eq(3, 7);
+    let json = serde_json::to_string(&q).expect("serialize");
+    let back: RangeQuery = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(q, back);
+}
+
+#[test]
+fn stats_roundtrip() {
+    let s = ScanStats {
+        points_scanned: 10,
+        points_matched: 5,
+        cells_visited: 3,
+        ..Default::default()
+    };
+    let back: ScanStats =
+        serde_json::from_str(&serde_json::to_string(&s).expect("serialize")).expect("deserialize");
+    assert_eq!(s, back);
+}
+
+#[test]
+fn plm_roundtrip_preserves_predictions() {
+    let values: Vec<u64> = (0..5_000u64).map(|i| i * 7 + (i % 7)).collect();
+    let plm = PiecewiseLinearModel::build(&values, 25.0);
+    let json = serde_json::to_string(&plm).expect("serialize");
+    let back: PiecewiseLinearModel = serde_json::from_str(&json).expect("deserialize");
+    for probe in (0..15_000).step_by(97) {
+        assert_eq!(plm.predict(probe), back.predict(probe));
+    }
+}
+
+#[test]
+fn rmi_roundtrip_preserves_predictions() {
+    let keys: Vec<u64> = (0..10_000u64).map(|i| i * 5).collect();
+    let rmi = Rmi::build(&keys, RmiConfig::default());
+    let json = serde_json::to_string(&rmi).expect("serialize");
+    let back: Rmi = serde_json::from_str(&json).expect("deserialize");
+    for probe in (0..50_000).step_by(503) {
+        assert_eq!(rmi.predict(probe), back.predict(probe));
+    }
+}
+
+#[test]
+fn cost_model_roundtrip_preserves_predictions() {
+    // A tiny calibration so the forest is real.
+    let table = flood::data::datasets::uniform::generate(3_000, 3, 1);
+    let queries: Vec<RangeQuery> = (0..6)
+        .map(|i| RangeQuery::all(3).with_range(0, i * 100, i * 100 + (1 << 30)))
+        .collect();
+    let (weights, _) = calibrate(
+        &table,
+        &queries,
+        CalibrationConfig {
+            n_layouts: 2,
+            max_cells_log2: 6,
+            ..Default::default()
+        },
+    );
+    let model = CostModel::new(weights);
+    let json = serde_json::to_string(&model).expect("serialize");
+    let back: CostModel = serde_json::from_str(&json).expect("deserialize");
+    let stats = flood::core::cost::QueryStatistics {
+        nc: 10.0,
+        ns: 1_000.0,
+        total_cells: 64.0,
+        avg_cell_size: 47.0,
+        median_cell_size: 47.0,
+        p95_cell_size: 94.0,
+        dims_filtered: 2.0,
+        avg_visited_per_cell: 100.0,
+        exact_points: 0.0,
+        sort_filtered: true,
+    };
+    assert_eq!(model.predict(&stats).time_ns, back.predict(&stats).time_ns);
+}
