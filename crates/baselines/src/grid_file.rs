@@ -37,7 +37,10 @@ impl std::fmt::Display for GridFileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GridFileError::DirectoryBlowup { blocks } => {
-                write!(f, "grid-file directory exceeded block budget ({blocks} blocks)")
+                write!(
+                    f,
+                    "grid-file directory exceeded block budget ({blocks} blocks)"
+                )
             }
         }
     }
@@ -197,7 +200,10 @@ impl GridFile {
         *rr_dim = (split_dim + 1) % k;
 
         // Split the bucket's block box in half along split_dim.
-        let (blo, bhi) = (self.buckets[b].blo[split_dim], self.buckets[b].bhi[split_dim]);
+        let (blo, bhi) = (
+            self.buckets[b].blo[split_dim],
+            self.buckets[b].bhi[split_dim],
+        );
         debug_assert!(bhi > blo);
         let cut = blo + (bhi - blo) / 2; // left keeps [blo, cut]
         let mut right = Bucket {
@@ -249,17 +255,18 @@ impl GridFile {
 
     /// Insert a new boundary value on dim `i` and rebuild the directory
     /// (every bucket's block box stretches across the new column).
-    fn add_boundary(&mut self, i: usize, value: u64, max_blocks: usize) -> Result<(), GridFileError> {
+    fn add_boundary(
+        &mut self,
+        i: usize,
+        value: u64,
+        max_blocks: usize,
+    ) -> Result<(), GridFileError> {
         let pos = self.boundaries[i].partition_point(|&b| b < value);
         if self.boundaries[i].get(pos) == Some(&value) {
             return Ok(()); // boundary already exists
         }
         self.boundaries[i].insert(pos, value);
-        let new_blocks: usize = self
-            .boundaries
-            .iter()
-            .map(|b| b.len() + 1)
-            .product();
+        let new_blocks: usize = self.boundaries.iter().map(|b| b.len() + 1).product();
         if new_blocks > max_blocks {
             return Err(GridFileError::DirectoryBlowup { blocks: new_blocks });
         }
@@ -413,11 +420,15 @@ mod tests {
     fn matches_reference_on_all_queries() {
         let t = table(6_000);
         let gf = GridFile::build_with_page_size(&t, vec![0, 1], 128, 1 << 20).expect("build");
-        let queries = [RangeQuery::all(3),
+        let queries = [
+            RangeQuery::all(3),
             RangeQuery::all(3).with_range(0, 100, 2_000),
-            RangeQuery::all(3).with_range(0, 0, 5_000).with_range(1, 100, 900),
+            RangeQuery::all(3)
+                .with_range(0, 0, 5_000)
+                .with_range(1, 100, 900),
             RangeQuery::all(3).with_range(2, 100, 120),
-            RangeQuery::all(3).with_eq(0, 761)];
+            RangeQuery::all(3).with_eq(0, 761),
+        ];
         for (i, q) in queries.iter().enumerate() {
             let mut v = CountVisitor::default();
             gf.execute(q, None, &mut v);
@@ -429,7 +440,11 @@ mod tests {
     fn buckets_respect_page_size_roughly() {
         let t = table(10_000);
         let gf = GridFile::build_with_page_size(&t, vec![0, 1], 256, 1 << 20).expect("build");
-        assert!(gf.num_buckets() >= 10_000 / 256, "buckets: {}", gf.num_buckets());
+        assert!(
+            gf.num_buckets() >= 10_000 / 256,
+            "buckets: {}",
+            gf.num_buckets()
+        );
         // Directory has at least as many blocks as buckets.
         assert!(gf.num_blocks() >= gf.num_buckets() / 2);
     }

@@ -8,7 +8,9 @@
 //! is no longer used for further partitioning."
 
 use crate::full_scan::CountingVisitor;
-use flood_store::{scan_exact, scan_filtered, MultiDimIndex, RangeQuery, ScanStats, Table, Visitor};
+use flood_store::{
+    scan_exact, scan_filtered, MultiDimIndex, RangeQuery, ScanStats, Table, Visitor,
+};
 
 /// Default page size (points per leaf).
 pub const DEFAULT_PAGE_SIZE: usize = 1_024;
@@ -142,7 +144,11 @@ impl Builder<'_> {
         // split value (guarantees both sides non-empty: the dimension is
         // non-constant, so some value exceeds the median... unless the
         // median is the maximum; then put ties on the right instead).
-        if median < self.table.value(*rows.last().expect("non-empty") as usize, dim) {
+        if median
+            < self
+                .table
+                .value(*rows.last().expect("non-empty") as usize, dim)
+        {
             while mid < rows.len() && self.table.value(rows[mid] as usize, dim) == median {
                 mid += 1;
             }
@@ -256,7 +262,9 @@ mod tests {
         vec![
             RangeQuery::all(3),
             RangeQuery::all(3).with_range(0, 100, 2_000),
-            RangeQuery::all(3).with_range(0, 0, 5_000).with_range(1, 100, 900),
+            RangeQuery::all(3)
+                .with_range(0, 0, 5_000)
+                .with_range(1, 100, 900),
             RangeQuery::all(3).with_range(2, 100, 120),
             RangeQuery::all(3).with_eq(0, 761),
         ]
@@ -279,7 +287,11 @@ mod tests {
         let idx = KdTree::build_with_page_size(&t, vec![0, 1, 2], 128);
         // A median-split tree over 16k points with 128-point leaves has
         // ~128 leaves → ~255 nodes (modulo duplicate-value splits).
-        assert!(idx.num_nodes() >= 200 && idx.num_nodes() <= 400, "{}", idx.num_nodes());
+        assert!(
+            idx.num_nodes() >= 200 && idx.num_nodes() <= 400,
+            "{}",
+            idx.num_nodes()
+        );
     }
 
     #[test]
@@ -298,10 +310,7 @@ mod tests {
     fn duplicate_heavy_dimension() {
         // Dim 0 has only 3 distinct values; the builder must not loop.
         let n = 5_000u64;
-        let t = Table::from_columns(vec![
-            (0..n).map(|i| i % 3).collect(),
-            (0..n).collect(),
-        ]);
+        let t = Table::from_columns(vec![(0..n).map(|i| i % 3).collect(), (0..n).collect()]);
         let idx = KdTree::build_with_page_size(&t, vec![0, 1], 64);
         let q = RangeQuery::all(2).with_eq(0, 1);
         let mut v = CountVisitor::default();

@@ -288,7 +288,11 @@ mod tests {
         let mut coords = vec![0u64; d];
         loop {
             let zz = e.encode_coords(&coords);
-            if zz > z && coords.iter().zip(lo.iter().zip(hi)).all(|(&c, (&l, &h))| c >= l && c <= h)
+            if zz > z
+                && coords
+                    .iter()
+                    .zip(lo.iter().zip(hi))
+                    .all(|(&c, (&l, &h))| c >= l && c <= h)
             {
                 best = Some(best.map_or(zz, |b: u64| b.min(zz)));
             }
@@ -315,7 +319,11 @@ mod tests {
         let mut e = MortonEncoder::new(&t, vec![0, 1]);
         e.bits = 3; // shrink for exhaustiveness
 
-        let rects = [([1u64, 2u64], [5u64, 6u64]), ([0, 0], [7, 7]), ([3, 3], [3, 3])];
+        let rects = [
+            ([1u64, 2u64], [5u64, 6u64]),
+            ([0, 0], [7, 7]),
+            ([3, 3], [3, 3]),
+        ];
         for (lo, hi) in rects {
             for z in 0..64u64 {
                 if e.z_in_rect(z, &lo, &hi) {

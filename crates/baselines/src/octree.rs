@@ -8,7 +8,9 @@
 //! hyperoctants are materialized.
 
 use crate::full_scan::CountingVisitor;
-use flood_store::{scan_exact, scan_filtered, MultiDimIndex, RangeQuery, ScanStats, Table, Visitor};
+use flood_store::{
+    scan_exact, scan_filtered, MultiDimIndex, RangeQuery, ScanStats, Table, Visitor,
+};
 
 /// Default page size (points per leaf).
 pub const DEFAULT_PAGE_SIZE: usize = 1_024;
@@ -65,11 +67,7 @@ impl Hyperoctree {
         };
         let mut rows: Vec<u32> = (0..table.len() as u32).collect();
         // The root's split region spans each dimension's value range.
-        let region: Vec<(u64, u64)> = b
-            .split_dims
-            .iter()
-            .map(|&d| table.dim_bounds(d))
-            .collect();
+        let region: Vec<(u64, u64)> = b.split_dims.iter().map(|&d| table.dim_bounds(d)).collect();
         if !rows.is_empty() {
             b.build_node(&mut rows, &region, 0);
         }
@@ -262,7 +260,9 @@ mod tests {
         vec![
             RangeQuery::all(3),
             RangeQuery::all(3).with_range(0, 100, 2_000),
-            RangeQuery::all(3).with_range(0, 0, 5_000).with_range(1, 100, 900),
+            RangeQuery::all(3)
+                .with_range(0, 0, 5_000)
+                .with_range(1, 100, 900),
             RangeQuery::all(3).with_range(2, 100, 200),
             RangeQuery::all(3).with_eq(0, 761),
         ]

@@ -6,7 +6,9 @@
 //! reproduces the evaluated read path. (See DESIGN.md's substitution table.)
 
 use crate::full_scan::CountingVisitor;
-use flood_store::{scan_exact, scan_filtered, MultiDimIndex, RangeQuery, ScanStats, Table, Visitor};
+use flood_store::{
+    scan_exact, scan_filtered, MultiDimIndex, RangeQuery, ScanStats, Table, Visitor,
+};
 
 /// Default leaf capacity (points per leaf page).
 pub const DEFAULT_PAGE_SIZE: usize = 1_024;
@@ -130,9 +132,7 @@ fn str_tile(
         return;
     }
     let remaining = dims.len() - depth;
-    let slabs = (target_leaves as f64)
-        .powf(1.0 / remaining as f64)
-        .ceil() as usize;
+    let slabs = (target_leaves as f64).powf(1.0 / remaining as f64).ceil() as usize;
     let d = dims[depth];
     rows.sort_unstable_by_key(|&r| table.value(r as usize, d));
     let per_slab = rows.len().div_ceil(slabs);
@@ -249,7 +249,9 @@ mod tests {
         vec![
             RangeQuery::all(3),
             RangeQuery::all(3).with_range(0, 100, 2_000),
-            RangeQuery::all(3).with_range(0, 0, 5_000).with_range(1, 100, 900),
+            RangeQuery::all(3)
+                .with_range(0, 0, 5_000)
+                .with_range(1, 100, 900),
             RangeQuery::all(3).with_range(2, 100, 120),
             RangeQuery::all(3).with_eq(0, 761),
         ]
@@ -272,7 +274,9 @@ mod tests {
         let idx = RStarTree::build_with_page_size(&t, vec![0, 1], 100, 8);
         // STR over 2 dims with 100 leaves → leaves should be spatially tight:
         // a point query touches far fewer nodes than exist.
-        let q = RangeQuery::all(3).with_range(0, 5_000, 5_010).with_range(1, 5_000, 5_010);
+        let q = RangeQuery::all(3)
+            .with_range(0, 5_000, 5_010)
+            .with_range(1, 5_000, 5_010);
         let mut v = CountVisitor::default();
         let stats = idx.execute(&q, None, &mut v);
         assert_eq!(v.count, reference(&t, &q));

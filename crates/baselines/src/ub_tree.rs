@@ -173,7 +173,9 @@ mod tests {
         vec![
             RangeQuery::all(3),
             RangeQuery::all(3).with_range(0, 100, 700),
-            RangeQuery::all(3).with_range(0, 0, 900).with_range(1, 100, 300),
+            RangeQuery::all(3)
+                .with_range(0, 0, 900)
+                .with_range(1, 100, 300),
             RangeQuery::all(3)
                 .with_range(0, 5_000, 5_100)
                 .with_range(1, 5_000, 5_100)

@@ -168,7 +168,9 @@ mod tests {
         vec![
             RangeQuery::all(3),
             RangeQuery::all(3).with_range(0, 100, 2_000),
-            RangeQuery::all(3).with_range(0, 0, 5_000).with_range(1, 2_000, 3_000),
+            RangeQuery::all(3)
+                .with_range(0, 0, 5_000)
+                .with_range(1, 2_000, 3_000),
             RangeQuery::all(3)
                 .with_range(0, 9_000, 9_999)
                 .with_range(1, 0, 500)

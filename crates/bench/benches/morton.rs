@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     for &d in &[2usize, 4, 6] {
         let mut rng = StdRng::seed_from_u64(1);
         let cols: Vec<Vec<u64>> = (0..d)
-            .map(|_| (0..10_000).map(|_| rng.gen_range(0..1_000_000u64)).collect())
+            .map(|_| {
+                (0..10_000)
+                    .map(|_| rng.gen_range(0..1_000_000u64))
+                    .collect()
+            })
             .collect();
         let t = Table::from_columns(cols);
         let enc = MortonEncoder::new(&t, (0..d).collect());

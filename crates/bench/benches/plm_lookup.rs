@@ -47,21 +47,19 @@ fn bench(c: &mut Criterion) {
     // δ sweep (Fig 17b).
     let values = skewed_sorted(100_000, 7);
     let mut rng = StdRng::seed_from_u64(9);
-    let probes: Vec<u64> = (0..1_000).map(|_| values[rng.gen_range(0..values.len())]).collect();
+    let probes: Vec<u64> = (0..1_000)
+        .map(|_| values[rng.gen_range(0..values.len())])
+        .collect();
     let mut group = c.benchmark_group("plm_delta");
     for &delta in &[2.0f64, 10.0, 50.0, 200.0, 1000.0] {
         let plm = PiecewiseLinearModel::build(&values, delta);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(delta as u64),
-            &delta,
-            |b, _| {
-                let mut i = 0;
-                b.iter(|| {
-                    i = (i + 1) % probes.len();
-                    black_box(plm.lookup_lb(black_box(probes[i]), |j| values[j]))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(delta as u64), &delta, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                black_box(plm.lookup_lb(black_box(probes[i]), |j| values[j]))
+            })
+        });
     }
     group.finish();
 }

@@ -35,8 +35,7 @@ pub fn compare(cfg: &ExpConfig) -> (f64, f64) {
         scan_full(&ds.table, q, None, &mut v, &mut s);
         total_store += v.count;
     }
-    let store_ns =
-        t0.elapsed().as_nanos() as f64 / (ds.table.len() as f64 * w.test.len() as f64);
+    let store_ns = t0.elapsed().as_nanos() as f64 / (ds.table.len() as f64 * w.test.len() as f64);
 
     // Ideal loop: same access pattern, hand-rolled.
     let t0 = Instant::now();

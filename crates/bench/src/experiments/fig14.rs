@@ -102,7 +102,11 @@ pub fn run(cfg: &ExpConfig) {
         "cells", "query(ms)", "scan(ms)", "index(ms)", "SO"
     );
     for p in &points {
-        let marker = if p.cells == learned_cells { "  <- learned optimum" } else { "" };
+        let marker = if p.cells == learned_cells {
+            "  <- learned optimum"
+        } else {
+            ""
+        };
         println!(
             "{:>10} {:>12.3} {:>10.3} {:>10.3} {:>8.2}{marker}",
             p.cells, p.total_ms, p.scan_ms, p.index_ms, p.so

@@ -41,7 +41,10 @@ pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) -> Vec<SampleRow> {
                 seed: cfg.seed.wrapping_add(trial as u64),
                 ..cfg.optimizer(n)
             };
-            let optimizer = LayoutOptimizer::with_config(crate::harness::calibrated_cost_model().clone(), opt_cfg);
+            let optimizer = LayoutOptimizer::with_config(
+                crate::harness::calibrated_cost_model().clone(),
+                opt_cfg,
+            );
             let t0 = Instant::now();
             let learned = optimizer.optimize(&ds.table, &w.train);
             learns.push(t0.elapsed().as_secs_f64());
@@ -55,8 +58,8 @@ pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) -> Vec<SampleRow> {
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let m = mean(&queries);
-        let std = (queries.iter().map(|q| (q - m) * (q - m)).sum::<f64>() / queries.len() as f64)
-            .sqrt();
+        let std =
+            (queries.iter().map(|q| (q - m) * (q - m)).sum::<f64>() / queries.len() as f64).sqrt();
         out.push(SampleRow {
             sample: s,
             learn_s: mean(&learns),

@@ -39,7 +39,9 @@ fn time_lookups(probes: &[u64], mut lookup: impl FnMut(u64) -> usize) -> f64 {
 
 fn probes(values: &[u64], n: usize, seed: u64) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| values[rng.gen_range(0..values.len())]).collect()
+    (0..n)
+        .map(|_| values[rng.gen_range(0..values.len())])
+        .collect()
 }
 
 /// (a) Compare the three per-cell model options on one sorted value set.
@@ -71,7 +73,11 @@ pub fn run(cfg: &ExpConfig) {
     // OSM timestamps (paper: 30k / 6M / 105M). The learned models' win over
     // binary search is a cache effect — it appears once the array outgrows
     // the LLC — so --full adds a 16M-value point.
-    let mut osm_sizes = vec![(30_000, "osm-30k"), (300_000, "osm-300k"), (1_000_000, "osm-1M")];
+    let mut osm_sizes = vec![
+        (30_000, "osm-30k"),
+        (300_000, "osm-300k"),
+        (1_000_000, "osm-1M"),
+    ];
     if cfg.full {
         osm_sizes.push((16_000_000, "osm-16M"));
     }

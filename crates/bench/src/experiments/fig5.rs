@@ -55,7 +55,10 @@ pub fn run(cfg: &ExpConfig) {
         .fold((f64::INFINITY, 0.0f64), |(mn, mx), s| {
             (mn.min(s.0), mx.max(s.0))
         });
-    println!("w_s range across queries: {min:.2} – {max:.2} ns/point ({:.1}x spread)", max / min.max(1e-9));
+    println!(
+        "w_s range across queries: {min:.2} – {max:.2} ns/point ({:.1}x spread)",
+        max / min.max(1e-9)
+    );
 }
 
 fn print_binned(label: &str, samples: &[(f64, f64, f64)], key: impl Fn(&(f64, f64, f64)) -> f64) {
@@ -69,11 +72,6 @@ fn print_binned(label: &str, samples: &[(f64, f64, f64)], key: impl Fn(&(f64, f6
         e.1 += 1;
     }
     for (k, (sum, n)) in bins {
-        println!(
-            "10^{:<15} {:>8} {:>14.2}",
-            k,
-            n,
-            sum / n as f64
-        );
+        println!("10^{:<15} {:>8} {:>14.2}", k, n, sum / n as f64);
     }
 }

@@ -45,7 +45,10 @@ pub fn compare(cfg: &ExpConfig) -> Vec<(String, f64)> {
     set_scan_timing(true);
     for (name, r) in [
         ("K-d tree", measure(&kd, &w.test, None, Default::default())),
-        ("Hyperoctree", measure(&oct, &w.test, None, Default::default())),
+        (
+            "Hyperoctree",
+            measure(&oct, &w.test, None, Default::default()),
+        ),
     ] {
         let st_ms = r.stats.scan_ns as f64 / 1e6 / r.queries.max(1) as f64;
         let tt_ms = r.avg_query.as_secs_f64() * 1e3;

@@ -77,9 +77,11 @@ pub fn run(cfg: &ExpConfig) {
         }));
         let t0 = Instant::now();
         let gf_ok = GridFile::build(table, filtered.clone()).is_ok();
-        rows[8]
-            .1
-            .push(if gf_ok { t0.elapsed().as_secs_f64() } else { f64::NAN });
+        rows[8].1.push(if gf_ok {
+            t0.elapsed().as_secs_f64()
+        } else {
+            f64::NAN
+        });
         rows[9].1.push(time(&|| {
             let _ = RStarTree::build(table, filtered.clone());
         }));

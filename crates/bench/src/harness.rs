@@ -115,7 +115,8 @@ pub fn dims_by_selectivity(table: &Table, queries: &[RangeQuery]) -> Vec<usize> 
     let mut dims: Vec<usize> = (0..table.dims()).collect();
     dims.sort_by(|&a, &b| {
         // Filtered dims first, then by ascending selectivity fraction.
-        avg[b].1
+        avg[b]
+            .1
             .cmp(&avg[a].1)
             .then(avg[a].0.partial_cmp(&avg[b].0).expect("finite"))
     });
@@ -181,11 +182,12 @@ pub fn run_all_indexes(
     };
     let mut out = Vec::new();
 
-    let time = |f: &mut dyn FnMut() -> Box<dyn MultiDimIndex>| -> (Box<dyn MultiDimIndex>, Duration) {
-        let t0 = Instant::now();
-        let idx = f();
-        (idx, t0.elapsed())
-    };
+    let time =
+        |f: &mut dyn FnMut() -> Box<dyn MultiDimIndex>| -> (Box<dyn MultiDimIndex>, Duration) {
+            let t0 = Instant::now();
+            let idx = f();
+            (idx, t0.elapsed())
+        };
 
     // Full scan.
     let (idx, build) = time(&mut || Box::new(FullScan::build(table)));

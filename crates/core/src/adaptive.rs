@@ -116,11 +116,8 @@ impl AdaptiveFlood {
         let learned = self.optimizer.optimize(self.index.data(), &window);
         // Only swap when the optimizer actually found something cheaper.
         if learned.predicted_ns < current {
-            self.index = FloodIndex::build(
-                self.index.data(),
-                learned.layout,
-                self.flood_cfg.clone(),
-            );
+            self.index =
+                FloodIndex::build(self.index.data(), learned.layout, self.flood_cfg.clone());
             self.baseline_cost = learned.predicted_ns;
             self.relearns += 1;
             true
@@ -179,7 +176,11 @@ mod tests {
     fn workload_on(dim: usize, n: usize) -> Vec<RangeQuery> {
         (0..n)
             .map(|i| {
-                RangeQuery::all(3).with_range(dim, (i as u64 * 37) % 9_000, (i as u64 * 37) % 9_000 + 150)
+                RangeQuery::all(3).with_range(
+                    dim,
+                    (i as u64 * 37) % 9_000,
+                    (i as u64 * 37) % 9_000 + 150,
+                )
             })
             .collect()
     }
@@ -233,7 +234,10 @@ mod tests {
             let (_, r) = a.execute_adaptive(q, None, &mut v);
             retrained |= r;
         }
-        assert!(retrained, "shift to an unindexed dim must trigger retraining");
+        assert!(
+            retrained,
+            "shift to an unindexed dim must trigger retraining"
+        );
         assert!(a.relearns() >= 1);
         let after = a.index().layout();
         assert_ne!(&before, after, "retraining should change the layout");

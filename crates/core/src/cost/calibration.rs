@@ -224,9 +224,13 @@ mod tests {
     fn small_queries() -> Vec<RangeQuery> {
         vec![
             RangeQuery::all(3).with_range(0, 10, 50),
-            RangeQuery::all(3).with_range(1, 0, 400).with_range(2, 0, 6_000),
+            RangeQuery::all(3)
+                .with_range(1, 0, 400)
+                .with_range(2, 0, 6_000),
             RangeQuery::all(3).with_range(2, 100, 9_000),
-            RangeQuery::all(3).with_range(0, 0, 96).with_range(1, 100, 900),
+            RangeQuery::all(3)
+                .with_range(0, 0, 96)
+                .with_range(1, 100, 900),
         ]
     }
 
@@ -241,7 +245,10 @@ mod tests {
             cell_counts.push(l.num_cells());
         }
         cell_counts.dedup();
-        assert!(cell_counts.len() > 5, "layouts should vary: {cell_counts:?}");
+        assert!(
+            cell_counts.len() > 5,
+            "layouts should vary: {cell_counts:?}"
+        );
     }
 
     #[test]
@@ -260,8 +267,16 @@ mod tests {
             ..Default::default()
         };
         let (models, report) = calibrate(&small_table(), &small_queries(), cfg);
-        assert!(report.examples.0 >= 12, "wp examples: {:?}", report.examples);
-        assert!(report.examples.2 >= 12, "ws examples: {:?}", report.examples);
+        assert!(
+            report.examples.0 >= 12,
+            "wp examples: {:?}",
+            report.examples
+        );
+        assert!(
+            report.examples.2 >= 12,
+            "ws examples: {:?}",
+            report.examples
+        );
         // Predictions must be finite and non-negative after clamping.
         let feats = [0.0; 10];
         assert!(models.wp.predict(&feats).is_finite());

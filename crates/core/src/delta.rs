@@ -26,12 +26,7 @@ pub struct DeltaFlood {
 impl DeltaFlood {
     /// Build over an initial table; buffered inserts merge once the buffer
     /// reaches `merge_threshold` rows.
-    pub fn build(
-        table: &Table,
-        layout: Layout,
-        cfg: FloodConfig,
-        merge_threshold: usize,
-    ) -> Self {
+    pub fn build(table: &Table, layout: Layout, cfg: FloodConfig, merge_threshold: usize) -> Self {
         assert!(merge_threshold >= 1);
         let dims = table.dims();
         DeltaFlood {
@@ -156,10 +151,7 @@ mod tests {
     use flood_store::CountVisitor;
 
     fn base_table(n: u64) -> Table {
-        Table::from_columns(vec![
-            (0..n).map(|i| i % 100).collect(),
-            (0..n).collect(),
-        ])
+        Table::from_columns(vec![(0..n).map(|i| i % 100).collect(), (0..n).collect()])
     }
 
     fn count(idx: &DeltaFlood, q: &RangeQuery) -> u64 {

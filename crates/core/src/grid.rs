@@ -78,7 +78,11 @@ impl Grid {
     /// Number of cells in the hyper-rectangle spanned by the inclusive
     /// per-dimension column `ranges` (the cost model's N_c).
     pub fn cells_in_ranges(ranges: &[(usize, usize)]) -> usize {
-        ranges.iter().map(|&(lo, hi)| hi - lo + 1).product::<usize>().max(1)
+        ranges
+            .iter()
+            .map(|&(lo, hi)| hi - lo + 1)
+            .product::<usize>()
+            .max(1)
     }
 
     /// Invoke `f(cell_id, cols)` for every cell in the cross product of the
@@ -159,7 +163,10 @@ mod tests {
             seen.push(id);
         });
         assert_eq!(seen.len(), 8);
-        assert!(seen.windows(2).all(|w| w[0] < w[1]), "not ascending: {seen:?}");
+        assert!(
+            seen.windows(2).all(|w| w[0] < w[1]),
+            "not ascending: {seen:?}"
+        );
         // Expected: rows 1..=2 × cols 0..=3 → ids 4..=7 and 8..=11.
         assert_eq!(seen, vec![4, 5, 6, 7, 8, 9, 10, 11]);
     }

@@ -86,7 +86,10 @@ impl FloodIndex {
     /// Panics if the table exceeds `u32::MAX` rows or a layout dimension is
     /// out of bounds.
     pub fn build(table: &Table, layout: Layout, cfg: FloodConfig) -> Self {
-        assert!(table.len() < u32::MAX as usize, "table too large for u32 row ids");
+        assert!(
+            table.len() < u32::MAX as usize,
+            "table too large for u32 row ids"
+        );
         for &d in layout.order() {
             assert!(d < table.dims(), "layout dimension {d} out of bounds");
         }
@@ -218,7 +221,10 @@ impl FloodIndex {
     /// Physical range `[start, end)` of cell `c` in the reordered data.
     #[inline]
     pub fn cell_range(&self, c: usize) -> (usize, usize) {
-        (self.cell_starts[c] as usize, self.cell_starts[c + 1] as usize)
+        (
+            self.cell_starts[c] as usize,
+            self.cell_starts[c + 1] as usize,
+        )
     }
 
     /// Sizes of all non-empty cells (cost-model features, §4.1.1).
@@ -373,9 +379,10 @@ impl FloodIndex {
         let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(grid_dims.len());
         for (&d, &c) in grid_dims.iter().zip(cols) {
             match query.bound(d) {
-                Some((lo, hi)) => {
-                    ranges.push((self.flattener.bucket(d, lo, c), self.flattener.bucket(d, hi, c)))
-                }
+                Some((lo, hi)) => ranges.push((
+                    self.flattener.bucket(d, lo, c),
+                    self.flattener.bucket(d, hi, c),
+                )),
                 None => ranges.push((0, c - 1)),
             }
         }
@@ -522,9 +529,9 @@ mod tests {
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
                 let v = match d % 3 {
-                    0 => (state >> 40) % 1_000,            // uniform small domain
-                    1 => ((state >> 33) % 1_000).pow(2),   // skewed
-                    _ => state >> 20,                      // wide domain
+                    0 => (state >> 40) % 1_000,          // uniform small domain
+                    1 => ((state >> 33) % 1_000).pow(2), // skewed
+                    _ => state >> 20,                    // wide domain
                 };
                 col.push(v);
             }
@@ -740,7 +747,10 @@ mod tests {
         let mut v = CountVisitor::default();
         let (stats, times) = index.execute_profiled(&q, None, &mut v);
         assert!(stats.cells_visited > 0);
-        assert!(stats.refinements > 0, "sort-dim filter must trigger refinement");
+        assert!(
+            stats.refinements > 0,
+            "sort-dim filter must trigger refinement"
+        );
         assert!(times.total_ns() > 0);
         assert!(stats.scan_overhead().unwrap_or(1.0) >= 1.0);
     }
@@ -794,8 +804,7 @@ mod tests {
             for (i, q) in queries(3).iter().enumerate() {
                 let mut seq = CountVisitor::default();
                 let seq_stats = index.execute(q, None, &mut seq);
-                let (par, par_stats) =
-                    index.execute_parallel::<CountVisitor>(q, None, threads);
+                let (par, par_stats) = index.execute_parallel::<CountVisitor>(q, None, threads);
                 assert_eq!(par.count, seq.count, "query {i}, {threads} threads");
                 assert_eq!(
                     par_stats.points_matched, seq_stats.points_matched,

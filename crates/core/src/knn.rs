@@ -65,7 +65,10 @@ impl<'a> KnnSearcher<'a> {
     /// # Panics
     /// Panics if `dims` is empty or out of bounds.
     pub fn new(index: &'a FloodIndex, dims: Vec<usize>) -> Self {
-        assert!(!dims.is_empty(), "kNN needs at least one distance dimension");
+        assert!(
+            !dims.is_empty(),
+            "kNN needs at least one distance dimension"
+        );
         let data = index.data();
         for &d in &dims {
             assert!(d < data.dims(), "distance dimension {d} out of bounds");
@@ -229,10 +232,7 @@ impl<'a> KnnSearcher<'a> {
             return;
         }
         // Iterate the bounding box of the ring and keep exact-distance cells.
-        let lo: Vec<usize> = center
-            .iter()
-            .map(|&c| c.saturating_sub(ring))
-            .collect();
+        let lo: Vec<usize> = center.iter().map(|&c| c.saturating_sub(ring)).collect();
         let hi: Vec<usize> = center
             .iter()
             .zip(cols)

@@ -30,7 +30,10 @@ impl Layout {
     /// Panics if `order` is empty or contains duplicates, if `cols` has the
     /// wrong length, or any column count is zero.
     pub fn new(order: Vec<usize>, cols: Vec<usize>) -> Self {
-        assert!(!order.is_empty(), "layout must index at least one dimension");
+        assert!(
+            !order.is_empty(),
+            "layout must index at least one dimension"
+        );
         assert_eq!(
             cols.len(),
             order.len() - 1,
@@ -44,7 +47,10 @@ impl Layout {
     /// "Simple Grid" baseline of the Fig 11 ablation — a d-dimensional
     /// histogram without within-cell ordering or refinement.
     pub fn histogram(order: Vec<usize>, cols: Vec<usize>) -> Self {
-        assert!(!order.is_empty(), "layout must index at least one dimension");
+        assert!(
+            !order.is_empty(),
+            "layout must index at least one dimension"
+        );
         assert_eq!(
             cols.len(),
             order.len(),

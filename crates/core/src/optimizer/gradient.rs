@@ -37,10 +37,7 @@ impl Default for GdConfig {
 /// Map a log₂-space position to integer column counts, respecting the
 /// per-dimension and total-cell caps.
 pub fn to_cols(x: &[f64], cfg: &GdConfig) -> Vec<usize> {
-    let mut x: Vec<f64> = x
-        .iter()
-        .map(|&v| v.clamp(0.0, cfg.max_col_log2))
-        .collect();
+    let mut x: Vec<f64> = x.iter().map(|&v| v.clamp(0.0, cfg.max_col_log2)).collect();
     // Enforce the total-cell cap by uniformly shrinking in log space.
     let total: f64 = x.iter().sum();
     let cap = (cfg.max_total_cells as f64).log2();
@@ -68,9 +65,7 @@ pub fn descend(
         return (Vec::new(), cost);
     }
     let mut x: Vec<f64> = init.to_vec();
-    let eval = |x: &[f64], obj: &mut dyn FnMut(&[usize]) -> f64| -> f64 {
-        obj(&to_cols(x, cfg))
-    };
+    let eval = |x: &[f64], obj: &mut dyn FnMut(&[usize]) -> f64| -> f64 { obj(&to_cols(x, cfg)) };
     let mut fx = eval(&x, &mut objective);
     let mut best_x = x.clone();
     let mut best_f = fx;

@@ -109,7 +109,10 @@ impl LayoutOptimizer {
     /// # Panics
     /// Panics if the workload is empty or the table has no rows.
     pub fn optimize(&self, table: &Table, workload: &[RangeQuery]) -> OptimizedLayout {
-        assert!(!workload.is_empty(), "cannot optimize for an empty workload");
+        assert!(
+            !workload.is_empty(),
+            "cannot optimize for an empty workload"
+        );
         assert!(!table.is_empty(), "cannot optimize over an empty table");
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
@@ -153,9 +156,7 @@ impl LayoutOptimizer {
                 .collect();
             let k = order.len() - 1;
             let (cols, cost) = if k == 0 {
-                let cost = self
-                    .cost
-                    .predict_workload(&space.query_stats(&order, &[]));
+                let cost = self.cost.predict_workload(&space.query_stats(&order, &[]));
                 (Vec::new(), cost)
             } else {
                 let init = vec![target_cells.log2() / k as f64; k];

@@ -184,8 +184,8 @@ impl SampleSpace {
             let sort_bound = q.bounds[sort_dim];
             // Any filter on an unindexed dimension forces per-point checks,
             // so no sub-range can be exact.
-            let has_unindexed_filter = (0..self.n_dims)
-                .any(|d| q.bounds[d].is_some() && !order.contains(&d));
+            let has_unindexed_filter =
+                (0..self.n_dims).any(|d| q.bounds[d].is_some() && !order.contains(&d));
 
             // Scan estimate from the sample.
             let mut ns_sample = 0usize;
@@ -259,8 +259,12 @@ mod tests {
     #[test]
     fn selectivity_ordering() {
         let qs = vec![
-            RangeQuery::all(3).with_range(0, 0, 9).with_range(1, 0, 9_000),
-            RangeQuery::all(3).with_range(0, 10, 29).with_range(1, 0, 8_000),
+            RangeQuery::all(3)
+                .with_range(0, 0, 9)
+                .with_range(1, 0, 9_000),
+            RangeQuery::all(3)
+                .with_range(0, 10, 29)
+                .with_range(1, 0, 8_000),
         ];
         let s = space(&qs, 2_000);
         // Dim 0 is ~1-3% selective, dim 1 ~80-90%; dim 2 never filtered.
@@ -304,9 +308,9 @@ mod tests {
 
     #[test]
     fn sort_filter_reduces_ns_via_refinement() {
-        let qs = vec![
-            RangeQuery::all(3).with_range(0, 0, 499).with_range(2, 0, 399),
-        ];
+        let qs = vec![RangeQuery::all(3)
+            .with_range(0, 0, 499)
+            .with_range(2, 0, 399)];
         let s = space(&qs, usize::MAX);
         // Sort dim = 2 → refinement prunes to ~10% of dim 2.
         let with_sort = &s.query_stats(&[0, 2], &[4])[0];

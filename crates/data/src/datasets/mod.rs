@@ -155,7 +155,10 @@ mod tests {
         let a = DatasetKind::Sales.generate(500, 1).table;
         let b = DatasetKind::Sales.generate(500, 2).table;
         let same = (0..500).filter(|&r| a.row(r) == b.row(r)).count();
-        assert!(same < 50, "seeds should change the data ({same} identical rows)");
+        assert!(
+            same < 50,
+            "seeds should change the data ({same} identical rows)"
+        );
     }
 
     #[test]
@@ -163,7 +166,12 @@ mod tests {
         for kind in DatasetKind::ALL {
             for t in kind.olap_templates() {
                 for f in &t.filters {
-                    assert!(f.dim() < kind.dims(), "{}: template {}", kind.name(), t.name);
+                    assert!(
+                        f.dim() < kind.dims(),
+                        "{}: template {}",
+                        kind.name(),
+                        t.name
+                    );
                 }
             }
         }

@@ -47,7 +47,7 @@ pub fn generate(n: usize, seed: u64) -> Table {
         // Timestamp: grows with id; recent edits denser (quadratic ramp),
         // plus jitter. Domain ≈ 15 years of seconds.
         let frac = (i as f64 / n.max(1) as f64).powf(0.5);
-        let ts = (frac * 4.7e8) as u64 + rng.gen_range(0..2_000_000);
+        let ts = (frac * 4.7e8) as u64 + rng.gen_range(0..2_000_000u64);
         let (lat, lon) = if rng.gen_bool(0.9) {
             let (la, lo) = metros.sample(&mut rng);
             (
@@ -87,11 +87,17 @@ pub fn templates() -> Vec<QueryTemplate> {
     vec![
         QueryTemplate::new(
             "nodes_in_time_interval",
-            vec![DimFilter::point(COL_TYPE), DimFilter::range(COL_TIMESTAMP, 0.012)],
+            vec![
+                DimFilter::point(COL_TYPE),
+                DimFilter::range(COL_TIMESTAMP, 0.012),
+            ],
         ),
         QueryTemplate::new(
             "latlon_rectangle",
-            vec![DimFilter::range(COL_LAT, 0.04), DimFilter::range(COL_LON, 0.04)],
+            vec![
+                DimFilter::range(COL_LAT, 0.04),
+                DimFilter::range(COL_LON, 0.04),
+            ],
         ),
         QueryTemplate::new(
             "buildings_in_rectangle",
@@ -146,8 +152,12 @@ mod tests {
         let t = generate(10_000, 5);
         // Mean of the last decile of ids >> mean of the first decile.
         let n = t.len();
-        let head: u64 = (0..n / 10).map(|r| t.value(r, COL_TIMESTAMP)).sum::<u64>() / (n / 10) as u64;
-        let tail: u64 = (n - n / 10..n).map(|r| t.value(r, COL_TIMESTAMP)).sum::<u64>() / (n / 10) as u64;
+        let head: u64 =
+            (0..n / 10).map(|r| t.value(r, COL_TIMESTAMP)).sum::<u64>() / (n / 10) as u64;
+        let tail: u64 = (n - n / 10..n)
+            .map(|r| t.value(r, COL_TIMESTAMP))
+            .sum::<u64>()
+            / (n / 10) as u64;
         assert!(tail > head * 2, "head {head}, tail {tail}");
     }
 

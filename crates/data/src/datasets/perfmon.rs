@@ -77,15 +77,24 @@ pub fn templates() -> Vec<QueryTemplate> {
     vec![
         QueryTemplate::new(
             "machine_day",
-            vec![DimFilter::point(COL_MACHINE), DimFilter::range(COL_TIME, 0.003)],
+            vec![
+                DimFilter::point(COL_MACHINE),
+                DimFilter::range(COL_TIME, 0.003),
+            ],
         ),
         QueryTemplate::new(
             "hot_cpu_window",
-            vec![DimFilter::range(COL_CPU, 0.02), DimFilter::range(COL_TIME, 0.05)],
+            vec![
+                DimFilter::range(COL_CPU, 0.02),
+                DimFilter::range(COL_TIME, 0.05),
+            ],
         ),
         QueryTemplate::new(
             "swapping_machines",
-            vec![DimFilter::range(COL_SWAP, 0.05), DimFilter::range(COL_TIME, 0.1)],
+            vec![
+                DimFilter::range(COL_SWAP, 0.05),
+                DimFilter::range(COL_TIME, 0.1),
+            ],
         ),
         QueryTemplate::new(
             "overloaded",
@@ -120,8 +129,12 @@ mod tests {
     #[test]
     fn cpu_is_bimodal() {
         let t = generate(20_000, 9);
-        let idle = (0..t.len()).filter(|&r| t.value(r, COL_CPU) < 1_500).count();
-        let busy = (0..t.len()).filter(|&r| t.value(r, COL_CPU) >= 4_000).count();
+        let idle = (0..t.len())
+            .filter(|&r| t.value(r, COL_CPU) < 1_500)
+            .count();
+        let busy = (0..t.len())
+            .filter(|&r| t.value(r, COL_CPU) >= 4_000)
+            .count();
         let middle = t.len() - idle - busy;
         assert!(idle > t.len() / 2, "idle {idle}");
         assert!(busy > t.len() / 5, "busy {busy}");

@@ -69,11 +69,17 @@ pub fn templates() -> Vec<QueryTemplate> {
     vec![
         QueryTemplate::new(
             "store_monthly_revenue",
-            vec![DimFilter::point(COL_STORE), DimFilter::range(COL_DATE, 0.045)],
+            vec![
+                DimFilter::point(COL_STORE),
+                DimFilter::range(COL_DATE, 0.045),
+            ],
         ),
         QueryTemplate::new(
             "product_quarter",
-            vec![DimFilter::point(COL_PRODUCT), DimFilter::range(COL_DATE, 0.12)],
+            vec![
+                DimFilter::point(COL_PRODUCT),
+                DimFilter::range(COL_DATE, 0.12),
+            ],
         ),
         QueryTemplate::new(
             "segment_price_band",
@@ -100,7 +106,10 @@ pub fn templates() -> Vec<QueryTemplate> {
         ),
         QueryTemplate::new(
             "price_outliers_week",
-            vec![DimFilter::range(COL_PRICE, 0.01), DimFilter::range(COL_DATE, 0.01)],
+            vec![
+                DimFilter::range(COL_PRICE, 0.01),
+                DimFilter::range(COL_DATE, 0.01),
+            ],
         ),
     ]
 }
@@ -118,7 +127,10 @@ mod tests {
         }
         let max = *counts.values().max().expect("non-empty");
         let avg = t.len() / counts.len();
-        assert!(max > avg * 5, "store ids should be Zipf-skewed: max {max}, avg {avg}");
+        assert!(
+            max > avg * 5,
+            "store ids should be Zipf-skewed: max {max}, avg {avg}"
+        );
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub fn generate(n: usize, seed: u64) -> Table {
     for _ in 0..n {
         // Order date over ~7 years minus the max ship lag (spec 4.2.3).
         let order_date = rng.gen_range(0..2_405u64);
-        let ship = order_date + rng.gen_range(1..=121);
-        let receipt = ship + rng.gen_range(1..=30);
+        let ship = order_date + rng.gen_range(1..=121u64);
+        let receipt = ship + rng.gen_range(1..=30u64);
         let quantity = rng.gen_range(1..=50u64);
         let discount = rng.gen_range(0..=10u64);
         // Part price ~ U[90k, 110k] cents; extended = qty × price.
@@ -94,10 +94,7 @@ pub fn templates() -> Vec<QueryTemplate> {
                 DimFilter::range(COL_SHIP_DATE, 0.3),
             ],
         ),
-        QueryTemplate::new(
-            "order_range",
-            vec![DimFilter::range(COL_ORDER_KEY, 0.001)],
-        ),
+        QueryTemplate::new("order_range", vec![DimFilter::range(COL_ORDER_KEY, 0.001)]),
         QueryTemplate::new(
             "discounted_bulk",
             vec![

@@ -31,9 +31,7 @@ mod tests {
     fn dimensions_are_uniform() {
         let t = generate(20_000, 3, 42);
         for d in 0..3 {
-            let below_half = (0..t.len())
-                .filter(|&r| t.value(r, d) < DOMAIN / 2)
-                .count();
+            let below_half = (0..t.len()).filter(|&r| t.value(r, d) < DOMAIN / 2).count();
             let frac = below_half as f64 / t.len() as f64;
             assert!((0.47..0.53).contains(&frac), "dim {d}: {frac}");
         }

@@ -165,10 +165,7 @@ mod tests {
 
     #[test]
     fn mixture_concentrates_at_centers() {
-        let m = GaussianMixture2D::new(vec![
-            (0.0, 0.0, 1.0, 1.0),
-            (100.0, 100.0, 1.0, 1.0),
-        ]);
+        let m = GaussianMixture2D::new(vec![(0.0, 0.0, 1.0, 1.0), (100.0, 100.0, 1.0, 1.0)]);
         let mut r = rng();
         let mut near0 = 0;
         let mut near100 = 0;

@@ -10,8 +10,8 @@
 //! All generators are deterministic given a seed, so experiments are
 //! reproducible run-to-run.
 
-pub mod dist;
 pub mod datasets;
+pub mod dist;
 pub mod workloads;
 
 pub use datasets::{Dataset, DatasetKind};

@@ -153,7 +153,10 @@ impl Workload {
                 (olap, w)
             }
             WorkloadKind::OltpSingleKey => (
-                vec![QueryTemplate::new("point_1key", vec![DimFilter::point(keys[0])])],
+                vec![QueryTemplate::new(
+                    "point_1key",
+                    vec![DimFilter::point(keys[0])],
+                )],
                 vec![1.0],
             ),
             WorkloadKind::OltpTwoKeys => (
@@ -224,7 +227,11 @@ impl Workload {
             &templates,
             &weights,
             n,
-            if calibrate { Some(target_selectivity) } else { None },
+            if calibrate {
+                Some(target_selectivity)
+            } else {
+                None
+            },
         )
     }
 
@@ -314,7 +321,10 @@ mod tests {
                 }
             }
         }
-        assert!(used.len() < ds.table.dims(), "must be a strict subset: {used:?}");
+        assert!(
+            used.len() < ds.table.dims(),
+            "must be a strict subset: {used:?}"
+        );
     }
 
     #[test]

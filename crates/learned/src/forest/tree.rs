@@ -164,7 +164,8 @@ fn best_split(
             }
             let right_sum = total - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / ln) + (right_sq - right_sum * right_sum / rn);
+            let sse =
+                (left_sq - left_sum * left_sum / ln) + (right_sq - right_sum * right_sum / rn);
             if best.map_or(sse < parent_sse - 1e-12, |(_, _, b)| sse < b) {
                 best = Some((f, (x_here + x_next) / 2.0, sse));
             }
@@ -205,7 +206,9 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..200)
             .map(|i| vec![(i * 37 % 100) as f64, (i % 2) as f64])
             .collect();
-        let ys: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect();
+        let ys: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 100.0 })
+            .collect();
         let idx: Vec<usize> = (0..200).collect();
         let mut rng = StdRng::seed_from_u64(2);
         let t = RegressionTree::fit(&xs, &ys, &idx, cfg(), &mut rng);

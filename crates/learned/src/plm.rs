@@ -73,17 +73,17 @@ impl PiecewiseLinearModel {
         let mut base_key = values[0];
         let mut base_idx = 0u64;
         let mut slope = f64::INFINITY; // no second distinct key yet
-        // Running sums over the open slice, duplicate-weighted:
-        //   s_i = Σ cnt·(D(v) − base_idx),  s_k = Σ cnt·(v − base_key)
+                                       // Running sums over the open slice, duplicate-weighted:
+                                       //   s_i = Σ cnt·(D(v) − base_idx),  s_k = Σ cnt·(v − base_key)
         let mut s_i = 0.0f64;
         let mut s_k = 0.0f64;
         let mut m = 0.0f64; // number of values (incl. duplicates) in slice
 
         let close = |segments: &mut Vec<Segment>,
-                         seg_keys: &mut Vec<u64>,
-                         base_key: u64,
-                         base_idx: u64,
-                         slope: f64| {
+                     seg_keys: &mut Vec<u64>,
+                     base_key: u64,
+                     base_idx: u64,
+                     slope: f64| {
             segments.push(Segment {
                 base_key,
                 base_idx,

@@ -135,7 +135,9 @@ impl Rmi {
             return 0.0;
         }
         let leaf = &self.leaves[route(&self.root, self.leaves.len(), key)];
-        leaf.model.predict(key as f64).clamp(leaf.pos_lo, leaf.pos_hi)
+        leaf.model
+            .predict(key as f64)
+            .clamp(leaf.pos_lo, leaf.pos_hi)
     }
 
     /// Predicted position plus the leaf's observed max training error.
@@ -146,7 +148,10 @@ impl Rmi {
         }
         let li = route(&self.root, self.leaves.len(), key);
         let leaf = &self.leaves[li];
-        let p = leaf.model.predict(key as f64).clamp(leaf.pos_lo, leaf.pos_hi);
+        let p = leaf
+            .model
+            .predict(key as f64)
+            .clamp(leaf.pos_lo, leaf.pos_hi);
         (p as usize, leaf.max_err)
     }
 

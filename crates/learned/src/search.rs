@@ -11,7 +11,12 @@
 /// values are `< key`.
 ///
 /// `get` must be monotone non-decreasing over `0..len`.
-pub fn exponential_search_lb(len: usize, guess: usize, key: u64, get: impl Fn(usize) -> u64) -> usize {
+pub fn exponential_search_lb(
+    len: usize,
+    guess: usize,
+    key: u64,
+    get: impl Fn(usize) -> u64,
+) -> usize {
     if len == 0 {
         return 0;
     }
@@ -59,7 +64,12 @@ pub fn exponential_search_lb(len: usize, guess: usize, key: u64, get: impl Fn(us
 
 /// One past the last index with `get(i) <= key` (upper bound), starting from
 /// the hint `guess`. Returns 0 when all values are `> key`.
-pub fn exponential_search_ub(len: usize, guess: usize, key: u64, get: impl Fn(usize) -> u64) -> usize {
+pub fn exponential_search_ub(
+    len: usize,
+    guess: usize,
+    key: u64,
+    get: impl Fn(usize) -> u64,
+) -> usize {
     if key == u64::MAX {
         return len;
     }

@@ -147,7 +147,9 @@ mod tests {
     use super::*;
 
     fn sample(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| 1_000_000 + (i * 37) % 5_000).collect()
+        (0..n as u64)
+            .map(|i| 1_000_000 + (i * 37) % 5_000)
+            .collect()
     }
 
     #[test]

@@ -144,7 +144,10 @@ mod tests {
         assert!(!queries_overlap(&a, &c));
         assert_eq!(
             check_disjoint(&[a.clone(), b]),
-            Err(OverlapError { first: 0, second: 1 })
+            Err(OverlapError {
+                first: 0,
+                second: 1
+            })
         );
         assert_eq!(check_disjoint(&[a, c]), Ok(()));
     }

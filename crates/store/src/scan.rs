@@ -175,10 +175,7 @@ mod tests {
 
     fn table() -> Table {
         // dim0: 0..10, dim1: 10x dim0
-        Table::from_columns(vec![
-            (0..10).collect(),
-            (0..10).map(|i| i * 10).collect(),
-        ])
+        Table::from_columns(vec![(0..10).collect(), (0..10).map(|i| i * 10).collect()])
     }
 
     #[test]

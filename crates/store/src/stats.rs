@@ -38,7 +38,9 @@ impl ScanStats {
         if self.points_matched == 0 {
             return None;
         }
-        Some((self.points_scanned + self.points_in_exact_ranges) as f64 / self.points_matched as f64)
+        Some(
+            (self.points_scanned + self.points_in_exact_ranges) as f64 / self.points_matched as f64,
+        )
     }
 
     /// Average run length of scanned ranges (locality proxy used by the cost

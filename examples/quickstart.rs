@@ -14,9 +14,9 @@ fn main() {
     let n = 500_000u64;
     let table = Table::from_named_columns(
         vec![
-            (0..n).map(|i| i % 64).collect(),                  // category
-            (0..n).map(|i| (i * 7919) % 100_000).collect(),    // price
-            (0..n).collect(),                                  // timestamp
+            (0..n).map(|i| i % 64).collect(),               // category
+            (0..n).map(|i| (i * 7919) % 100_000).collect(), // price
+            (0..n).collect(),                               // timestamp
         ],
         vec!["category".into(), "price".into(), "timestamp".into()],
     );

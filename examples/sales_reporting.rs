@@ -75,7 +75,10 @@ fn main() {
     let f = avg_ms(&flood, &workload.test, agg);
     let c = avg_ms(&clustered, &workload.test, agg);
     let z = avg_ms(&zorder, &workload.test, agg);
-    println!("\navg query time over {} report queries:", workload.test.len());
+    println!(
+        "\navg query time over {} report queries:",
+        workload.test.len()
+    );
     println!("  Flood (learned):      {f:.3} ms");
     println!("  Clustered on date:    {c:.3} ms  ({:.1}x slower)", c / f);
     println!("  Z-order (3 attrs):    {z:.3} ms  ({:.1}x slower)", z / f);

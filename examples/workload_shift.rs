@@ -48,7 +48,10 @@ fn main() {
     let zorder = ZOrderIndex::build(&ds.table, dims.clone());
     let kd = KdTree::build(&ds.table, dims);
     let (flood_a, t_learn) = learn(&ds.table, &wl_a.train);
-    println!("workload A (layout {} learned in {t_learn:.2?}):", flood_a.layout());
+    println!(
+        "workload A (layout {} learned in {t_learn:.2?}):",
+        flood_a.layout()
+    );
     println!("  Flood   {:>8.3} ms", avg_ms(&flood_a, &wl_a.test));
     println!("  Z-order {:>8.3} ms", avg_ms(&zorder, &wl_a.test));
     println!("  K-d     {:>8.3} ms", avg_ms(&kd, &wl_a.test));

@@ -4,9 +4,7 @@
 //! metric rather than flaky wall-clock times.
 
 use flood::core::cost::calibration::{calibrate, CalibrationConfig};
-use flood::core::{
-    CostModel, Flattening, FloodBuilder, Layout, LayoutOptimizer, OptimizerConfig,
-};
+use flood::core::{CostModel, Flattening, FloodBuilder, Layout, LayoutOptimizer, OptimizerConfig};
 use flood::data::{DatasetKind, Workload, WorkloadKind};
 use flood::store::{CountVisitor, MultiDimIndex, RangeQuery, ScanStats, Table};
 
@@ -45,8 +43,7 @@ fn calibrated_pipeline_end_to_end() {
     );
     assert!(report.examples.0 >= 30, "wp examples {:?}", report.examples);
 
-    let optimizer =
-        LayoutOptimizer::with_config(CostModel::new(weights), fast_opt(ds.table.len()));
+    let optimizer = LayoutOptimizer::with_config(CostModel::new(weights), fast_opt(ds.table.len()));
     let learned = optimizer.optimize(&ds.table, &w.train);
     assert!(learned.predicted_ns.is_finite() && learned.predicted_ns > 0.0);
 
@@ -84,7 +81,10 @@ fn learned_layout_beats_unindexed_dims() {
         .filter(|d| !touched.contains(d))
         .take(2)
         .collect();
-    assert!(untouched.len() >= 2, "single-type workload leaves dims free");
+    assert!(
+        untouched.len() >= 2,
+        "single-type workload leaves dims free"
+    );
     let bad = FloodBuilder::new()
         .layout(Layout::new(
             vec![untouched[0], untouched[1], touched[0]],

@@ -4,8 +4,8 @@
 
 use flood::core::cost::calibration::{calibrate, CalibrationConfig};
 use flood::core::{CostModel, Layout};
-use flood::learned::{PiecewiseLinearModel, Rmi};
 use flood::learned::rmi::RmiConfig;
+use flood::learned::{PiecewiseLinearModel, Rmi};
 use flood::store::{RangeQuery, ScanStats};
 
 #[test]
@@ -15,8 +15,8 @@ fn layout_roundtrip() {
     let back: Layout = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(l, back);
     let h = Layout::histogram(vec![0, 1], vec![4, 4]);
-    let back: Layout = serde_json::from_str(&serde_json::to_string(&h).expect("serialize"))
-        .expect("deserialize");
+    let back: Layout =
+        serde_json::from_str(&serde_json::to_string(&h).expect("serialize")).expect("deserialize");
     assert_eq!(h, back);
     assert!(!back.has_sort_dim());
 }

@@ -1,0 +1,368 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the serde surface it actually uses: `#[derive(Serialize, Deserialize)]` on
+//! structs and (externally tagged) enums, round-tripped through JSON by the
+//! sibling vendored `serde_json`.
+//!
+//! Instead of upstream serde's visitor architecture, this subset serializes
+//! through an owned [`Value`] tree — dramatically simpler, and sufficient
+//! because every `Serialize`/`Deserialize` impl in the workspace comes from
+//! the derive in the sibling `serde_derive` crate, which targets exactly this
+//! trait shape. The JSON text produced matches what upstream
+//! `serde_json::to_string` emits for the same types (externally tagged enums,
+//! newtype transparency), so persisted artifacts stay compatible.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (kept exact; never routed through `f64`).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, as ordered key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the pairs if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Mirror of upstream `serde::de` for error paths.
+pub mod de {
+    pub use crate::Error;
+}
+
+/// Mirror of upstream `serde::ser` for error paths.
+pub mod ser {
+    pub use crate::Error;
+}
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Convert from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a struct field in a map, treating a missing field as `null` (so
+/// `Option` fields tolerate omission, as with upstream serde).
+///
+/// Used by derive-generated code; not part of the public API surface.
+#[doc(hidden)]
+pub fn __get_field<T: Deserialize>(
+    m: &[(String, Value)],
+    field: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match m.iter().find(|(k, _)| k == field) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("{ty}.{field}: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{field}` in {ty}"))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {:?}"),
+                            other
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        concat!("value {} out of range for ", stringify!($t)),
+                        raw
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| {
+                        Error::custom(format!("value {n} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {:?}"),
+                            other
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        concat!("value {} out of range for ", stringify!($t)),
+                        raw
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    // Upstream serde_json writes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const ARITY: usize = [$($idx),+].len();
+                let items = v
+                    .as_seq()
+                    .ok_or_else(|| Error::custom(format!("expected tuple, got {v:?}")))?;
+                if items.len() != ARITY {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {ARITY}, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

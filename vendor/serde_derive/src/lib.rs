@@ -1,0 +1,472 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Hand-rolled on top of `proc_macro` alone (the environment has no `syn` /
+//! `quote`). Supports exactly the shapes the workspace uses:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   upstream serde's default representation);
+//! * no generic parameters, no `#[serde(...)]` attributes.
+//!
+//! Unsupported shapes produce a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes of a field list.
+enum Fields {
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `(T, U)` — field count.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed `struct` or `enum` definition.
+enum Parsed {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Parsed) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! literal"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing --
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip attributes and visibility until `struct` / `enum`.
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => {
+                return Err(format!("serde derive: unexpected token `{other}`"));
+            }
+            None => return Err("serde derive: no struct/enum found".into()),
+        }
+    };
+
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+
+    match toks.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "serde derive: generic type `{name}` is not supported by the vendored subset"
+        )),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Parsed::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(g.stream())?),
+                })
+            } else {
+                Ok(Parsed::Enum {
+                    name,
+                    variants: parse_variants(g.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("serde derive: malformed enum".into());
+            }
+            Ok(Parsed::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Parsed::Struct {
+            name,
+            fields: Fields::Unit,
+        }),
+        other => Err(format!(
+            "serde derive: unexpected token after `{name}`: {other:?}"
+        )),
+    }
+}
+
+/// Parse `attr* vis? ident : Type (, ...)*` — names only; types are never
+/// inspected (the generated code lets inference pick the right impl).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match toks.next() {
+            None => return Ok(names),
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(other) => {
+                return Err(format!("serde derive: expected field name, got `{other}`"))
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde derive: expected `:`, got {other:?}")),
+        }
+        // Consume the type: tokens until a comma outside angle brackets.
+        // Angle brackets are bare puncts (not groups), so track their depth.
+        let mut angle = 0i32;
+        loop {
+            match toks.peek() {
+                None => return Ok(names),
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant by top-level commas.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut saw_tokens = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1; // no trailing comma after the last field
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes (e.g. doc comments, `#[default]`).
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let name = match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!("serde derive: expected variant name, got `{other}`"))
+            }
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                toks.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => {
+                return Err(format!(
+                    "serde derive: expected `,` between variants, got `{other}` \
+                     (explicit discriminants are not supported)"
+                ))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- codegen --
+
+fn gen_serialize(parsed: &Parsed) -> String {
+    match parsed {
+        Parsed::Struct { name, fields } => {
+            let body = serialize_fields_expr(fields, &FieldAccess::SelfDot);
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(::std::string::String::from({vn:?}), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let pairs: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(::std::string::String::from({vn:?}), ::serde::Value::Map(vec![{}]))]),\n",
+                            fs.join(", "),
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// How serialized fields are reached in the generated expression.
+enum FieldAccess {
+    /// `&self.field` / `&self.0`.
+    SelfDot,
+}
+
+fn serialize_fields_expr(fields: &Fields, _access: &FieldAccess) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fs) => {
+            let pairs: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", pairs.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(parsed: &Parsed) -> String {
+    let body = match parsed {
+        Parsed::Struct { name, fields } => match fields {
+            Fields::Unit => format!("let _ = v; Ok({name})"),
+            Fields::Tuple(1) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let __seq = v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                         format!(\"expected sequence for {name}, got {{v:?}}\")))?;\n\
+                     if __seq.len() != {n} {{\n\
+                         return Err(::serde::Error::custom(format!(\
+                             \"expected {n} elements for {name}, got {{}}\", __seq.len())));\n\
+                     }}\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__get_field(__m, {f:?}, {name:?})?"))
+                    .collect();
+                format!(
+                    "let __m = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                         format!(\"expected map for {name}, got {{v:?}}\")))?;\n\
+                     Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        },
+        Parsed::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let __seq = __inner.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                                     \"expected sequence payload for {name}::{vn}\"))?;\n\
+                                 if __seq.len() != {n} {{\n\
+                                     return Err(::serde::Error::custom(format!(\
+                                         \"expected {n} elements for {name}::{vn}, got {{}}\", __seq.len())));\n\
+                                 }}\n\
+                                 return Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__get_field(__mm, {f:?}, \"{name}::{vn}\")?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let __mm = __inner.as_map().ok_or_else(|| ::serde::Error::custom(\
+                                     \"expected map payload for {name}::{vn}\"))?;\n\
+                                 return Ok({name}::{vn} {{ {} }});\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__s) => {{\n\
+                         match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                         Err(::serde::Error::custom(format!(\
+                             \"unknown {name} variant `{{__s}}`\")))\n\
+                     }}\n\
+                     ::serde::Value::Map(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         match __tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                         Err(::serde::Error::custom(format!(\
+                             \"unknown {name} variant `{{__tag}}`\")))\n\
+                     }}\n\
+                     __other => Err(::serde::Error::custom(format!(\
+                         \"expected {name}, got {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match parsed {
+        Parsed::Struct { name, .. } | Parsed::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
