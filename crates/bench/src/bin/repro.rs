@@ -1,109 +1,161 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale F] [--queries N] [--seed N] [--full]
-//!
-//! experiments:
-//!   tab1 tab2 tab3 tab4
-//!   fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//!   colstore lookup
-//!   all          # everything above, in order
+//! repro <experiment> [--scale F] [--queries N] [--seed N] [--full] [--verbose]
+//! repro list
 //! ```
 //!
-//! `--scale` multiplies the default dataset sizes (1.0 ≈ 60k–400k rows per
-//! dataset); `--full` switches sweeps to the paper-sized grids. Absolute
-//! numbers differ from the paper's testbed; the reproduction target is the
-//! *shape* of each result (see EXPERIMENTS.md).
+//! `--scale` multiplies the default dataset sizes (1.0 ≈ 30k–200k rows per
+//! dataset); `--full` switches sweeps to the paper-sized grids; `--verbose`
+//! streams per-phase progress to stderr. Absolute numbers differ from the
+//! paper's testbed; the reproduction target is the *shape* of each result.
+//! A per-phase wall-clock summary (data gen, calibration, layout
+//! optimization, index builds, query execution) prints after every run.
 
 use flood_bench::experiments::{self as exp, ExpConfig};
+use flood_bench::phases;
 use std::process::ExitCode;
+
+/// CLI name, what it reproduces, entry point.
+type Experiment = (&'static str, &'static str, fn(&ExpConfig));
+
+/// Every experiment, in paper order.
+const EXPERIMENTS: &[Experiment] = &[
+    ("tab1", "Table 1: dataset summary", exp::tab1::run),
+    (
+        "colstore",
+        "§3: column-store scan kernels",
+        exp::colstore::run,
+    ),
+    ("fig5", "Fig 5: w_s is not constant", exp::fig5::run),
+    (
+        "fig7",
+        "Fig 7: query time, all indexes x datasets",
+        exp::fig7::run,
+    ),
+    ("fig8", "Fig 8: index size vs query time", exp::fig8::run),
+    ("fig9", "Fig 9: workload variants", exp::fig9::run),
+    ("fig10", "Fig 10: 30 random workloads", exp::fig10::run),
+    ("tab2", "Table 2: performance breakdown", exp::tab2::run),
+    ("fig11", "Fig 11: component ablation", exp::fig11::run),
+    (
+        "fig12",
+        "Fig 12: dataset size & selectivity scaling",
+        exp::fig12::run,
+    ),
+    ("fig13", "Fig 13: scaling dimensions", exp::fig13::run),
+    (
+        "fig14",
+        "Fig 14: cells vs query time surface",
+        exp::fig14::run,
+    ),
+    ("tab3", "Table 3: cost-model transfer", exp::tab3::run),
+    ("tab4", "Table 4: loading/learning time", exp::tab4::run),
+    ("fig15", "Fig 15: data-sample size sweep", exp::fig15::run),
+    ("fig16", "Fig 16: query-sample size sweep", exp::fig16::run),
+    ("fig17", "Fig 17: per-cell CDF models", exp::fig17::run),
+    (
+        "costmodel",
+        "§4.1.2: cost-model accuracy",
+        exp::costmodel::run,
+    ),
+    (
+        "lookup",
+        "§6: cell identification latency",
+        exp::lookup::run,
+    ),
+];
+
+fn print_experiment_list() {
+    eprintln!("experiments:");
+    for (name, about, _) in EXPERIMENTS {
+        eprintln!("  {name:<10} {about}");
+    }
+    eprintln!("  {:<10} everything above, in paper order", "all");
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <experiment> [--scale F] [--queries N] [--seed N] [--full] [--verbose]"
+    );
+    eprintln!("       repro list");
+    print_experiment_list();
+}
+
+/// Parse a flag value, reporting the flag name on failure instead of
+/// panicking.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag}: cannot parse {v:?} as a number"))
+}
+
+fn parse_config(args: &[String]) -> Result<ExpConfig, String> {
+    let mut cfg = ExpConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                cfg.scale = parse_value("--scale", it.next())?;
+                if !(cfg.scale.is_finite() && cfg.scale > 0.0) {
+                    return Err(format!("--scale must be positive, got {}", cfg.scale));
+                }
+            }
+            "--queries" => {
+                cfg.queries = parse_value("--queries", it.next())?;
+                if cfg.queries == 0 {
+                    return Err("--queries must be at least 1".to_string());
+                }
+            }
+            "--seed" => cfg.seed = parse_value("--seed", it.next())?,
+            "--full" => cfg.full = true,
+            "--verbose" | "-v" => phases::set_verbose(true),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(cfg)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first().cloned() else {
-        eprintln!("usage: repro <experiment> [--scale F] [--queries N] [--seed N] [--full]");
-        eprintln!("experiments: tab1 tab2 tab3 tab4 fig5 fig7..fig17 colstore lookup all");
+        usage();
         return ExitCode::FAILURE;
     };
-    let mut cfg = ExpConfig::default();
-    let mut it = args[1..].iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scale" => {
-                cfg.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a number")
-            }
-            "--queries" => {
-                cfg.queries = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--queries needs a number")
-            }
-            "--seed" => {
-                cfg.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs a number")
-            }
-            "--full" => cfg.full = true,
-            other => {
-                eprintln!("unknown flag: {other}");
-                return ExitCode::FAILURE;
-            }
-        }
+    if which == "list" || which == "--help" || which == "-h" {
+        usage();
+        return ExitCode::SUCCESS;
     }
+    let cfg = match parse_config(&args[1..]) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "# repro {which} (scale={}, queries={}, seed={}, full={})",
         cfg.scale, cfg.queries, cfg.seed, cfg.full
     );
     let t0 = std::time::Instant::now();
-    match which.as_str() {
-        "tab1" => exp::tab1::run(&cfg),
-        "fig5" => exp::fig5::run(&cfg),
-        "fig7" => exp::fig7::run(&cfg),
-        "fig8" => exp::fig8::run(&cfg),
-        "fig9" => exp::fig9::run(&cfg),
-        "fig10" => exp::fig10::run(&cfg),
-        "tab2" => exp::tab2::run(&cfg),
-        "fig11" => exp::fig11::run(&cfg),
-        "fig12" => exp::fig12::run(&cfg),
-        "fig13" => exp::fig13::run(&cfg),
-        "fig14" => exp::fig14::run(&cfg),
-        "tab3" => exp::tab3::run(&cfg),
-        "tab4" => exp::tab4::run(&cfg),
-        "fig15" => exp::fig15::run(&cfg),
-        "fig16" => exp::fig16::run(&cfg),
-        "fig17" => exp::fig17::run(&cfg),
-        "colstore" => exp::colstore::run(&cfg),
-        "costmodel" => exp::costmodel::run(&cfg),
-        "lookup" => exp::lookup::run(&cfg),
-        "all" => {
-            exp::tab1::run(&cfg);
-            exp::colstore::run(&cfg);
-            exp::fig5::run(&cfg);
-            exp::fig7::run(&cfg);
-            exp::fig8::run(&cfg);
-            exp::fig9::run(&cfg);
-            exp::fig10::run(&cfg);
-            exp::tab2::run(&cfg);
-            exp::fig11::run(&cfg);
-            exp::fig12::run(&cfg);
-            exp::fig13::run(&cfg);
-            exp::fig14::run(&cfg);
-            exp::tab3::run(&cfg);
-            exp::tab4::run(&cfg);
-            exp::fig15::run(&cfg);
-            exp::fig16::run(&cfg);
-            exp::fig17::run(&cfg);
-            exp::costmodel::run(&cfg);
-            exp::lookup::run(&cfg);
+    if which == "all" {
+        for (name, _, run) in EXPERIMENTS {
+            // Attribute phase time per experiment, not across the suite.
+            phases::reset_phases();
+            let t = std::time::Instant::now();
+            run(&cfg);
+            phases::print_phase_summary();
+            println!("\n[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
         }
-        other => {
-            eprintln!("unknown experiment: {other}");
+    } else {
+        let Some((_, _, run)) = EXPERIMENTS.iter().find(|(name, _, _)| *name == which) else {
+            eprintln!("unknown experiment: {which}\n");
+            print_experiment_list();
             return ExitCode::FAILURE;
-        }
+        };
+        run(&cfg);
+        phases::print_phase_summary();
     }
     println!("\n[{which} done in {:.1}s]", t0.elapsed().as_secs_f64());
     ExitCode::SUCCESS

@@ -13,7 +13,7 @@ use std::time::Instant;
 #[allow(clippy::needless_range_loop)] // the raw loop indexes parallel columns
 pub fn compare(cfg: &ExpConfig) -> (f64, f64) {
     let kind = DatasetKind::TpcH;
-    let ds = kind.generate(cfg.rows(kind), cfg.seed);
+    let ds = crate::phases::time_phase("data-gen", || kind.generate(cfg.rows(kind), cfg.seed));
     let w = Workload::generate(
         WorkloadKind::OlapUniform,
         &ds,

@@ -12,7 +12,9 @@
 //! layouts (held-out), against the measured query times.
 
 use super::ExpConfig;
-use flood_core::cost::calibration::{calibrate, random_layout, CalibrationConfig, WeightModelKind};
+use flood_core::cost::calibration::{
+    calibrate_cached, random_layout, CalibrationConfig, WeightModelKind,
+};
 use flood_core::cost::features::{cell_size_quantiles, QueryStatistics};
 use flood_core::{CostModel, FloodConfig, FloodIndex};
 use flood_data::DatasetKind;
@@ -30,15 +32,18 @@ pub fn errors(cfg: &ExpConfig) -> (f64, f64, f64) {
         seed: cfg.seed,
         ..Default::default()
     };
-    let (forest, _) = calibrate(&ds.table, &w.train, cal);
-    let (linear, _) = calibrate(
-        &ds.table,
-        &w.train,
-        CalibrationConfig {
-            kind: WeightModelKind::Linear,
-            ..cal
-        },
-    );
+    let (forest, linear) = crate::phases::time_phase("calibration", || {
+        let (forest, _) = calibrate_cached(&ds.table, &w.train, cal);
+        let (linear, _) = calibrate_cached(
+            &ds.table,
+            &w.train,
+            CalibrationConfig {
+                kind: WeightModelKind::Linear,
+                ..cal
+            },
+        );
+        (forest, linear)
+    });
     let models = [
         CostModel::new(forest),
         CostModel::new(linear),

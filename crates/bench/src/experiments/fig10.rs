@@ -23,7 +23,7 @@ pub struct Round {
 /// Run the rounds; returns one entry per random workload.
 pub fn rounds(cfg: &ExpConfig) -> Vec<Round> {
     let kind = DatasetKind::TpcH;
-    let ds = kind.generate(cfg.rows(kind), cfg.seed);
+    let ds = crate::phases::time_phase("data-gen", || kind.generate(cfg.rows(kind), cfg.seed));
     let tuned_for = Workload::generate(
         WorkloadKind::OlapSkewed,
         &ds,
@@ -47,7 +47,9 @@ pub fn rounds(cfg: &ExpConfig) -> Vec<Round> {
         fixed.push(Box::new(gf));
     }
     let agg = Some(kind.agg_dim());
-    let n_rounds = if cfg.full { 30 } else { 10 };
+    // The paper runs 30 random workloads; 6 already show the median story
+    // at default scale.
+    let n_rounds = if cfg.full { 30 } else { 6 };
     let keys = kind.key_dims();
 
     let mut out = Vec::new();

@@ -44,7 +44,7 @@ pub fn run(cfg: &ExpConfig) {
     };
     let n = cfg.rows(flood_data::DatasetKind::Osm);
     for d in dims {
-        let table = uniform::generate(n, d, cfg.seed);
+        let table = crate::phases::time_phase("data-gen", || uniform::generate(n, d, cfg.seed));
         let w = dimensional_workload(&table, cfg.queries, cfg.target_selectivity(), cfg.seed);
         let results = run_all_indexes(
             &table,

@@ -62,6 +62,20 @@ pub fn compare(values: &[u64], label: &str, n_probes: usize, seed: u64) {
     );
 }
 
+/// `base × scale`, floored so models still have something to learn.
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale) as usize).max(2_000)
+}
+
+/// Human label for a value count ("30k", "1.0M").
+fn fmt_count(n: usize) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else {
+        format!("{}k", n / 1_000)
+    }
+}
+
 /// Run both panels.
 pub fn run(cfg: &ExpConfig) {
     println!("\n=== Fig 17a: per-cell model lookup time (ns) ===");
@@ -69,42 +83,65 @@ pub fn run(cfg: &ExpConfig) {
         "{:<22} {:>10} {:>10} {:>10} {:>9} {:>10}",
         "dataset", "PLM", "RMI", "binary", "segments", "PLM size"
     );
-    let n_probes = if cfg.full { 200_000 } else { 50_000 };
+    let n_probes = if cfg.full {
+        200_000
+    } else {
+        scaled(50_000, cfg.scale)
+    };
     // OSM timestamps (paper: 30k / 6M / 105M). The learned models' win over
     // binary search is a cache effect — it appears once the array outgrows
     // the LLC — so --full adds a 16M-value point.
     let mut osm_sizes = vec![
-        (30_000, "osm-30k"),
-        (300_000, "osm-300k"),
-        (1_000_000, "osm-1M"),
+        scaled(30_000, cfg.scale),
+        scaled(300_000, cfg.scale),
+        scaled(1_000_000, cfg.scale),
     ];
     if cfg.full {
-        osm_sizes.push((16_000_000, "osm-16M"));
+        osm_sizes.push(16_000_000);
     }
-    for (n, label) in osm_sizes {
-        let table = osm::generate(n, cfg.seed);
+    // Tiny --scale values can collapse sizes onto scaled()'s floor; the
+    // sizes are ascending, so one dedup keeps each row distinct.
+    osm_sizes.dedup();
+    for n in osm_sizes {
+        let ts = crate::phases::time_phase("data-gen", || {
+            let table = osm::generate(n, cfg.seed);
+            let mut ts: Vec<u64> = (0..table.len())
+                .map(|r| table.value(r, osm::COL_TIMESTAMP))
+                .collect();
+            ts.sort_unstable();
+            ts
+        });
+        compare(&ts, &format!("osm-{}", fmt_count(n)), n_probes, cfg.seed);
+    }
+    // Staggered uniform (paper: 500k / 10M).
+    let mut st_sizes = vec![scaled(500_000, cfg.scale), scaled(1_000_000, cfg.scale)];
+    if cfg.full {
+        st_sizes.push(10_000_000);
+    }
+    st_sizes.dedup();
+    for n in st_sizes {
+        let vals = crate::phases::time_phase("data-gen", || staggered_uniform(n, 20, cfg.seed));
+        compare(
+            &vals,
+            &format!("staggered-{}", fmt_count(n)),
+            n_probes,
+            cfg.seed,
+        );
+    }
+
+    let plm_n = scaled(300_000, cfg.scale);
+    println!(
+        "\n=== Fig 17b: δ tradeoff (PLM size vs lookup time, osm-{}) ===",
+        fmt_count(plm_n)
+    );
+    let ts = crate::phases::time_phase("data-gen", || {
+        let table = osm::generate(plm_n, cfg.seed);
         let mut ts: Vec<u64> = (0..table.len())
             .map(|r| table.value(r, osm::COL_TIMESTAMP))
             .collect();
         ts.sort_unstable();
-        compare(&ts, label, n_probes, cfg.seed);
-    }
-    // Staggered uniform (paper: 500k / 10M).
-    let mut st_sizes = vec![(500_000, "staggered-500k"), (1_000_000, "staggered-1M")];
-    if cfg.full {
-        st_sizes.push((10_000_000, "staggered-10M"));
-    }
-    for (n, label) in st_sizes {
-        let vals = staggered_uniform(n, 20, cfg.seed);
-        compare(&vals, label, n_probes, cfg.seed);
-    }
-
-    println!("\n=== Fig 17b: δ tradeoff (PLM size vs lookup time, osm-300k) ===");
-    let table = osm::generate(300_000, cfg.seed);
-    let mut ts: Vec<u64> = (0..table.len())
-        .map(|r| table.value(r, osm::COL_TIMESTAMP))
-        .collect();
-    ts.sort_unstable();
+        ts
+    });
     let p = probes(&ts, n_probes, cfg.seed);
     println!(
         "{:>8} {:>10} {:>12} {:>10}",

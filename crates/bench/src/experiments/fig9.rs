@@ -35,11 +35,18 @@ pub fn variants(kind: DatasetKind) -> Vec<WorkloadKind> {
 
 /// Run one dataset's panel; returns (variant label, per-index results).
 pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) -> Vec<(String, Vec<RunResult>)> {
-    let ds = kind.generate(cfg.rows(kind), cfg.seed);
+    let ds = crate::phases::time_phase("data-gen", || kind.generate(cfg.rows(kind), cfg.seed));
+    // 14 variant panels × 6 indexes re-measure here; at default scale a
+    // smaller per-variant query budget keeps the whole figure in seconds.
+    let n_queries = if cfg.full {
+        cfg.queries
+    } else {
+        cfg.queries.min(60)
+    };
     let tuned_for = Workload::generate(
         WorkloadKind::OlapSkewed,
         &ds,
-        cfg.queries,
+        n_queries,
         cfg.target_selectivity(),
         cfg.seed,
     );
@@ -63,7 +70,7 @@ pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) -> Vec<(String, Vec<RunRe
     let agg = Some(kind.agg_dim());
     let mut out = Vec::new();
     for v in variants(kind) {
-        let w = Workload::generate(v, &ds, cfg.queries, cfg.target_selectivity(), cfg.seed ^ 7);
+        let w = Workload::generate(v, &ds, n_queries, cfg.target_selectivity(), cfg.seed ^ 7);
         let mut results: Vec<RunResult> = fixed
             .iter()
             .map(|idx| measure(&**idx, &w.test, agg, Default::default()))
@@ -79,6 +86,9 @@ pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) -> Vec<(String, Vec<RunRe
 /// Print both panels.
 pub fn run(cfg: &ExpConfig) {
     println!("\n=== Fig 9: representative workload variants ===");
+    if !cfg.full && cfg.queries > 60 {
+        println!("(capping at 60 queries per variant at default scale; --full uses all)");
+    }
     for kind in [DatasetKind::TpcH, DatasetKind::Osm] {
         let rows = run_dataset(cfg, kind);
         println!("\n--- {} ---", kind.name());

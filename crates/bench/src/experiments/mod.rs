@@ -51,25 +51,34 @@ impl Default for ExpConfig {
 
 impl ExpConfig {
     /// Default row counts per dataset (×`scale`). Ratios follow Table 1
-    /// (30M : 300M : 105M : 230M), shrunk to laptop scale.
+    /// (30M : 300M : 105M : 230M), shrunk so every experiment finishes in
+    /// seconds; `--full` doubles them (and widens each experiment's sweep
+    /// grids) for paper-shaped runs.
     pub fn rows(&self, kind: DatasetKind) -> usize {
         let base = match kind {
-            DatasetKind::Sales => 60_000.0,
-            DatasetKind::TpcH => 400_000.0,
-            DatasetKind::Osm => 160_000.0,
-            DatasetKind::Perfmon => 300_000.0,
+            DatasetKind::Sales => 30_000.0,
+            DatasetKind::TpcH => 200_000.0,
+            DatasetKind::Osm => 80_000.0,
+            DatasetKind::Perfmon => 150_000.0,
         };
-        (base * self.scale) as usize
+        let full_factor = if self.full { 2.0 } else { 1.0 };
+        (base * full_factor * self.scale) as usize
     }
 
     /// Layout-optimizer configuration sized for the experiment scale.
     /// Sampling follows Fig 15/16: ~1–2% of the data and a few dozen
-    /// queries lose nothing.
+    /// queries lose nothing, so the default budget is lean and `--full`
+    /// restores the roomier search.
     pub fn optimizer(&self, n_rows: usize) -> OptimizerConfig {
+        let (max_sample, max_queries, gd_steps) = if self.full {
+            (8_000, 30, 16)
+        } else {
+            (4_000, 20, 12)
+        };
         OptimizerConfig {
-            data_sample: (n_rows / 50).clamp(1_000, 8_000),
-            query_sample: self.queries.min(30),
-            gd_steps: 16,
+            data_sample: (n_rows / 50).clamp(1_000, max_sample),
+            query_sample: self.queries.min(max_queries),
+            gd_steps,
             max_total_cells: 1 << 16,
             init_points_per_cell: 256,
             seed: self.seed,
@@ -84,15 +93,17 @@ impl ExpConfig {
 
     /// Generate a dataset and its Fig 7 (skewed OLAP) workload.
     pub fn dataset_and_workload(&self, kind: DatasetKind) -> (Dataset, Workload) {
-        let ds = kind.generate(self.rows(kind), self.seed);
-        let w = Workload::generate(
-            WorkloadKind::OlapSkewed,
-            &ds,
-            self.queries,
-            self.target_selectivity(),
-            self.seed,
-        );
-        (ds, w)
+        crate::phases::time_phase("data-gen", || {
+            let ds = kind.generate(self.rows(kind), self.seed);
+            let w = Workload::generate(
+                WorkloadKind::OlapSkewed,
+                &ds,
+                self.queries,
+                self.target_selectivity(),
+                self.seed,
+            );
+            (ds, w)
+        })
     }
 }
 
@@ -117,6 +128,17 @@ mod tests {
         let c = ExpConfig::default();
         assert!(c.rows(DatasetKind::TpcH) > c.rows(DatasetKind::Perfmon));
         assert!(c.rows(DatasetKind::Sales) < c.rows(DatasetKind::Osm));
+        // --full doubles the data and widens the optimizer's search budget.
+        let full = ExpConfig {
+            full: true,
+            ..Default::default()
+        };
+        for kind in DatasetKind::ALL {
+            assert_eq!(full.rows(kind), 2 * c.rows(kind));
+        }
+        let (lean, roomy) = (c.optimizer(1_000_000), full.optimizer(1_000_000));
+        assert!(lean.data_sample < roomy.data_sample);
+        assert!(lean.gd_steps < roomy.gd_steps);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use super::ExpConfig;
 use crate::harness::measure;
-use flood_core::cost::calibration::{calibrate, CalibrationConfig};
+use flood_core::cost::calibration::{calibrate_cached, CalibrationConfig};
 use flood_core::{CostModel, FloodBuilder, LayoutOptimizer};
 use flood_data::DatasetKind;
 
@@ -26,7 +26,9 @@ pub fn matrix(cfg: &ExpConfig) -> Vec<Vec<f64>> {
     let models: Vec<CostModel> = pairs
         .iter()
         .map(|(ds, w)| {
-            let (weights, _) = calibrate(&ds.table, &w.train, cal_cfg);
+            let (weights, _) = crate::phases::time_phase("calibration", || {
+                calibrate_cached(&ds.table, &w.train, cal_cfg)
+            });
             CostModel::new(weights)
         })
         .collect();

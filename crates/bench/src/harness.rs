@@ -1,10 +1,11 @@
 //! Shared experiment plumbing: building every index over a dataset, timing
 //! workloads, and printing paper-style tables.
 
+use crate::phases::{progress, record_phase, time_phase};
 use flood_baselines::{
     ClusteredIndex, FullScan, GridFile, Hyperoctree, KdTree, RStarTree, UbTree, ZOrderIndex,
 };
-use flood_core::cost::calibration::{calibrate, CalibrationConfig};
+use flood_core::cost::calibration::{calibrate_cached, CalibrationConfig};
 use flood_core::{CostModel, FloodBuilder, FloodIndex, LayoutOptimizer, OptimizerConfig};
 use flood_data::workloads::{DimFilter, QueryBuilder, QueryTemplate};
 use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, ScanStats, Table};
@@ -18,43 +19,60 @@ static CALIBRATED: OnceLock<CostModel> = OnceLock::new();
 
 /// Calibrate random-forest weight models once per process, on synthetic
 /// data, and reuse them for every layout search.
+///
+/// Debug builds (the test suite) calibrate on a much smaller setup: tests
+/// only need a *functioning* model, and unoptimized measurement loops would
+/// otherwise dominate `cargo test` wall-clock. Release runs — the `repro`
+/// binary, criterion benches — always use the full calibration.
 pub fn calibrated_cost_model() -> &'static CostModel {
-    CALIBRATED.get_or_init(|| {
-        let t0 = Instant::now();
-        let table = flood_data::datasets::uniform::generate(50_000, 4, 0xCA11B);
-        // A mixed workload covering 1–4 filtered dims at varied widths.
-        let templates: Vec<QueryTemplate> = (1..=4usize)
-            .flat_map(|k| {
-                [0.001f64, 0.01, 0.1].into_iter().map(move |total: f64| {
-                    let per_dim = total.powf(1.0 / k as f64);
-                    QueryTemplate::new(
-                        &format!("k{k}s{total}"),
-                        (0..k).map(|d| DimFilter::range(d, per_dim)).collect(),
-                    )
-                })
-            })
-            .collect();
-        let weights = vec![1.0; templates.len()];
-        let mut qb = QueryBuilder::new(&table, 0xCA11B);
-        let w = qb.workload("calibration", &templates, &weights, 30, None);
-        let (models, report) = calibrate(
-            &table,
-            &w.train,
+    let (cal_rows, cal_queries, cal_cfg) = if cfg!(debug_assertions) {
+        (
+            8_000,
+            12,
+            CalibrationConfig {
+                n_layouts: 3,
+                max_cells_log2: 10,
+                reps: 1,
+                ..Default::default()
+            },
+        )
+    } else {
+        (
+            50_000,
+            30,
             CalibrationConfig {
                 n_layouts: 8,
                 max_cells_log2: 13,
                 reps: 2,
                 ..Default::default()
             },
-        );
-        eprintln!(
-            "[calibrated cost model in {:.1}s: {} wp / {} wr / {} ws examples]",
-            t0.elapsed().as_secs_f64(),
-            report.examples.0,
-            report.examples.1,
-            report.examples.2
-        );
-        CostModel::new(models)
+        )
+    };
+    CALIBRATED.get_or_init(|| {
+        time_phase("calibration", || {
+            let table = flood_data::datasets::uniform::generate(cal_rows, 4, 0xCA11B);
+            // A mixed workload covering 1–4 filtered dims at varied widths.
+            let templates: Vec<QueryTemplate> = (1..=4usize)
+                .flat_map(|k| {
+                    [0.001f64, 0.01, 0.1].into_iter().map(move |total: f64| {
+                        let per_dim = total.powf(1.0 / k as f64);
+                        QueryTemplate::new(
+                            &format!("k{k}s{total}"),
+                            (0..k).map(|d| DimFilter::range(d, per_dim)).collect(),
+                        )
+                    })
+                })
+                .collect();
+            let weights = vec![1.0; templates.len()];
+            let mut qb = QueryBuilder::new(&table, 0xCA11B);
+            let w = qb.workload("calibration", &templates, &weights, cal_queries, None);
+            let (models, report) = calibrate_cached(&table, &w.train, cal_cfg);
+            progress(&format!(
+                "calibrated cost model: {} wp / {} wr / {} ws examples",
+                report.examples.0, report.examples.1, report.examples.2
+            ));
+            CostModel::new(models)
+        })
     })
 }
 
@@ -137,6 +155,7 @@ pub fn run_workload(
         stats.merge(&s);
     }
     let elapsed = start.elapsed();
+    record_phase("query-exec", elapsed);
     (elapsed / queries.len().max(1) as u32, stats)
 }
 
@@ -186,7 +205,10 @@ pub fn run_all_indexes(
         |f: &mut dyn FnMut() -> Box<dyn MultiDimIndex>| -> (Box<dyn MultiDimIndex>, Duration) {
             let t0 = Instant::now();
             let idx = f();
-            (idx, t0.elapsed())
+            let dt = t0.elapsed();
+            record_phase("index-build", dt);
+            progress(&format!("built {} in {:.2}s", idx.name(), dt.as_secs_f64()));
+            (idx, dt)
         };
 
     // Full scan.
@@ -231,6 +253,7 @@ pub fn run_all_indexes(
         match GridFile::build(table, index_dims.clone()) {
             Ok(gf) => {
                 let build = t0.elapsed();
+                record_phase("index-build", build);
                 out.push(measure(&gf, test, agg_dim, build));
             }
             Err(e) => eprintln!("  (grid file skipped: {e})"),
@@ -250,8 +273,18 @@ pub fn run_all_indexes(
 /// random-forest cost model + Algorithm 1.
 pub fn learn_flood(table: &Table, train: &[RangeQuery], cfg: OptimizerConfig) -> FloodIndex {
     let optimizer = LayoutOptimizer::with_config(calibrated_cost_model().clone(), cfg);
-    let learned = optimizer.optimize(table, train);
-    FloodBuilder::new().layout(learned.layout).build(table)
+    let learned = time_phase("layout-opt", || optimizer.optimize(table, train));
+    progress(&format!(
+        "learned layout {} ({} cells, {} cost evals, {} memo hits) in {:.2}s",
+        learned.layout,
+        learned.layout.num_cells(),
+        learned.cost_evals,
+        learned.cache_hits,
+        learned.learn_time.as_secs_f64()
+    ));
+    time_phase("index-build", || {
+        FloodBuilder::new().layout(learned.layout).build(table)
+    })
 }
 
 /// Time a single index over the test split.

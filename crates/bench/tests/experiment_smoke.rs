@@ -1,0 +1,66 @@
+//! Every experiment completes — the regression net for the "tractable
+//! repro suite" guarantee.
+//!
+//! Tests run unoptimized, so each experiment executes at a tiny scale with
+//! a generous per-experiment budget; the release-mode `repro` binary at its
+//! default scale (the <10 s per experiment target) is exercised by the CI
+//! smoke job and its numbers are recorded in BASELINES.md. The budget here
+//! only catches order-of-magnitude regressions (an accidentally quadratic
+//! loop, a removed cache), not seconds-level drift.
+
+use flood_bench::experiments::{self as exp, ExpConfig};
+use flood_bench::phases;
+use std::time::{Duration, Instant};
+
+/// Tiny but non-degenerate: a few thousand rows, enough queries for every
+/// workload template to appear.
+fn tiny() -> ExpConfig {
+    ExpConfig {
+        scale: 0.02,
+        queries: 8,
+        ..Default::default()
+    }
+}
+
+/// Generous debug-mode budget per experiment.
+const BUDGET: Duration = Duration::from_secs(180);
+
+fn assert_completes(name: &str, run: fn(&ExpConfig)) {
+    let cfg = tiny();
+    let t0 = Instant::now();
+    run(&cfg);
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < BUDGET,
+        "{name} took {elapsed:?} at tiny scale (budget {BUDGET:?}) — \
+         an order-of-magnitude perf regression"
+    );
+}
+
+macro_rules! smoke {
+    ($($name:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() {
+            assert_completes(stringify!($name), exp::$name::run);
+        }
+    )*};
+}
+
+smoke!(
+    tab1, tab2, tab3, tab4, fig5, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
+    fig16, fig17, colstore, costmodel, lookup,
+);
+
+/// The harness attributes wall-clock to named phases while experiments run.
+#[test]
+fn experiments_record_phase_timings() {
+    phases::reset_phases();
+    exp::fig7::run_dataset(&tiny(), flood_data::DatasetKind::Sales);
+    let rows = phases::phase_totals();
+    let phase = |n: &str| rows.iter().find(|(name, _, _)| name == n);
+    for want in ["data-gen", "layout-opt", "index-build", "query-exec"] {
+        let (_, total, count) = phase(want).unwrap_or_else(|| panic!("{want} phase recorded"));
+        assert!(*count > 0);
+        assert!(*total > Duration::ZERO);
+    }
+}

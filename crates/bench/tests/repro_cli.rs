@@ -1,0 +1,90 @@
+//! The `repro` binary's command-line contract: bad input never panics, it
+//! prints the experiment list and exits non-zero; `list` documents every
+//! experiment.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = repro(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage: repro"));
+}
+
+#[test]
+fn list_shows_every_experiment_and_succeeds() {
+    let out = repro(&["list"]);
+    assert!(out.status.success());
+    let err = stderr(&out);
+    for name in [
+        "tab1",
+        "tab2",
+        "tab3",
+        "tab4",
+        "fig5",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "colstore",
+        "costmodel",
+        "lookup",
+        "all",
+    ] {
+        assert!(err.contains(name), "`repro list` must mention {name}");
+    }
+}
+
+#[test]
+fn unknown_experiment_prints_list_and_fails() {
+    let out = repro(&["fig99"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown experiment: fig99"));
+    assert!(err.contains("experiments:"), "must print the list: {err}");
+}
+
+#[test]
+fn bad_scale_values_fail_without_panicking() {
+    for bad in [
+        &["fig5", "--scale", "abc"][..],
+        &["fig5", "--scale", "-1"],
+        &["fig5", "--scale", "0"],
+        &["fig5", "--scale"],
+        &["fig5", "--queries", "0"],
+        &["fig5", "--seed", "x"],
+    ] {
+        let out = repro(bad);
+        assert!(!out.status.success(), "{bad:?} must fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("error:") && !err.contains("panicked"),
+            "{bad:?} must report a parse error, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_flag_fails() {
+    let out = repro(&["fig5", "--bogus"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown flag: --bogus"));
+}

@@ -5,12 +5,24 @@
 //! each from measurable statistics with a random-forest regressor calibrated
 //! once per machine (§4.1.1). A constant-weight analytic model and a linear
 //! model over the same features are kept for the §4.1.2 ablation.
+//!
+//! Paper map — which experiment exercises what:
+//! - `repro fig5` measures raw `w_s` variation across random layouts, the
+//!   motivation for learned weights ([`weights::WeightModel`]).
+//! - `repro costmodel` reproduces the §4.1.2 accuracy ablation:
+//!   [`CostModel::analytic_default`] (tuned constants) vs linear vs the
+//!   random forest, on held-out layouts.
+//! - `repro tab3` calibrates per dataset ([`calibration::calibrate`]) and
+//!   transfers the weights across datasets (§7.6).
+//! - The `repro` harness itself calibrates once per process via
+//!   [`calibration::calibrate_cached`]; Table 4's "learning" column is what
+//!   the resulting model costs to use inside the optimizer.
 
 pub mod calibration;
 pub mod features;
 pub mod weights;
 
-pub use calibration::{calibrate, CalibrationConfig, CalibrationReport};
+pub use calibration::{calibrate, calibrate_cached, CalibrationConfig, CalibrationReport};
 pub use features::QueryStatistics;
 pub use weights::{WeightModel, WeightModels};
 

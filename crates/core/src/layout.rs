@@ -6,6 +6,17 @@
 //! table absent from `O` are not indexed at all (Flood "chooses not to
 //! include the least frequently filtered dimensions", §7.5); their filters
 //! are applied during the scan step.
+//!
+//! Paper map — which experiment exercises what:
+//! - [`Layout::new`] (grid + sort dimension) is the full §4 design; every
+//!   learned index in `repro fig7`–`fig12` is built from one.
+//! - [`Layout::histogram`] (no sort dimension) is the Fig 11 ablation's
+//!   "Simple Grid" starting point.
+//! - [`Layout::with_cols`] rescales column counts while keeping the
+//!   ordering — Fig 14's cells-vs-time sweep and Fig 8's size/time
+//!   frontier both use it to move along one axis of the search space.
+//! - The total cell count ([`Layout::num_cells`]) is the x-axis of Fig 14
+//!   and the size knob behind Fig 8.
 
 use serde::{Deserialize, Serialize};
 

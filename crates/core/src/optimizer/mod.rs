@@ -1,4 +1,5 @@
-//! Layout optimization (§4.2, Algorithm 1).
+//! Layout optimization (§4.2, Algorithm 1) — the component behind Fig 11's
+//! "+Learning" step and the learning-time curves of Figs 15/16.
 //!
 //! ```text
 //! FindOptimalLayout(D, Q, T):
@@ -15,6 +16,22 @@
 //! computed exactly from the query rectangle and layout parameters, and
 //! `N_s` and the weight-model features are estimated from the flattened data
 //! sample.
+//!
+//! Performance: the data sample is flattened **once** per search (one
+//! [`SampleSpace`] shared by every sort-dimension candidate), and cost
+//! evaluations are memoized per candidate — the finite-difference probes of
+//! [`descend`] repeatedly revisit the same rounded column vectors, so the
+//! sample scan that dominates [`SampleSpace::query_stats`] runs only once
+//! per distinct layout ([`OptimizedLayout::cost_evals`] /
+//! [`OptimizedLayout::cache_hits`] report the effect). Callers that score
+//! many explicit layouts against one workload (Fig 14's cost surface) should
+//! hold a [`CostEvaluator`] instead of calling
+//! [`LayoutOptimizer::predict_cost`] in a loop, which re-flattens each call.
+//!
+//! Paper map: §4.2/Algorithm 1 → [`LayoutOptimizer::optimize`]; §4.2 step 3
+//! (gradient descent over column counts) → [`gradient`]; §7.7 sampling
+//! sensitivity (Figs 15/16) → [`OptimizerConfig::data_sample`] and
+//! [`OptimizerConfig::query_sample`].
 
 pub mod gradient;
 pub mod sample;
@@ -29,6 +46,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Configuration for [`LayoutOptimizer`].
@@ -76,6 +94,11 @@ pub struct OptimizedLayout {
     /// Predicted cost of each sort-dimension candidate `(dim, ns)` —
     /// diagnostics for the harness.
     pub candidates: Vec<(usize, f64)>,
+    /// Cost-model evaluations requested by the search (memoized + fresh).
+    pub cost_evals: usize,
+    /// Evaluations answered from the per-candidate memo cache instead of
+    /// re-scanning the flattened sample.
+    pub cache_hits: usize,
 }
 
 /// Searches the layout space for the cheapest layout under a cost model.
@@ -145,6 +168,8 @@ impl LayoutOptimizer {
 
         let mut best: Option<(Layout, f64)> = None;
         let mut diagnostics = Vec::new();
+        let mut cost_evals = 0usize;
+        let mut cache_hits = 0usize;
         for (i, &sort_dim) in candidates.iter().enumerate() {
             // Grid dims: the other candidates, in selectivity order.
             let order: Vec<usize> = candidates
@@ -156,12 +181,24 @@ impl LayoutOptimizer {
                 .collect();
             let k = order.len() - 1;
             let (cols, cost) = if k == 0 {
+                cost_evals += 1;
                 let cost = self.cost.predict_workload(&space.query_stats(&order, &[]));
                 (Vec::new(), cost)
             } else {
                 let init = vec![target_cells.log2() / k as f64; k];
+                // Memoize per column vector: the descent's finite-difference
+                // probes mostly round back onto already-scored layouts, and
+                // each fresh evaluation costs a full sample scan.
+                let mut memo: HashMap<Vec<usize>, f64> = HashMap::new();
                 descend(&init, &gd_cfg, |cols| {
-                    self.cost.predict_workload(&space.query_stats(&order, cols))
+                    cost_evals += 1;
+                    if let Some(&c) = memo.get(cols) {
+                        cache_hits += 1;
+                        return c;
+                    }
+                    let c = self.cost.predict_workload(&space.query_stats(&order, cols));
+                    memo.insert(cols.to_vec(), c);
+                    c
                 })
             };
             diagnostics.push((sort_dim, cost));
@@ -176,16 +213,50 @@ impl LayoutOptimizer {
             predicted_ns,
             learn_time: start.elapsed(),
             candidates: diagnostics,
+            cost_evals,
+            cache_hits,
         }
     }
 
     /// Predict the average query time of an explicit layout on this
     /// table/workload (Fig 14's cost surface).
+    ///
+    /// Builds a fresh [`SampleSpace`] per call; to score many layouts
+    /// against one workload, use [`LayoutOptimizer::evaluator`].
     pub fn predict_cost(&self, table: &Table, workload: &[RangeQuery], layout: &Layout) -> f64 {
+        self.evaluator(table, workload).predict(layout)
+    }
+
+    /// Build the flattened sample once and return an evaluator that can
+    /// score any number of layouts against it without re-sampling or
+    /// re-flattening.
+    pub fn evaluator(&self, table: &Table, workload: &[RangeQuery]) -> CostEvaluator {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let space = SampleSpace::build(table, workload, self.cfg.data_sample, &mut rng);
+        CostEvaluator {
+            space,
+            cost: self.cost.clone(),
+        }
+    }
+}
+
+/// Scores explicit layouts against one flattened sample (built once).
+///
+/// The expensive parts of cost prediction — sampling the table, training
+/// per-dimension CDFs, flattening — depend only on the data and workload,
+/// so sweeps over many candidate layouts (Fig 14) amortize them here.
+#[derive(Debug, Clone)]
+pub struct CostEvaluator {
+    space: SampleSpace,
+    cost: CostModel,
+}
+
+impl CostEvaluator {
+    /// Predicted average query time (ns) of `layout` on the sampled
+    /// workload.
+    pub fn predict(&self, layout: &Layout) -> f64 {
         self.cost
-            .predict_workload(&space.query_stats(layout.order(), layout.cols()))
+            .predict_workload(&self.space.query_stats(layout.order(), layout.cols()))
     }
 }
 
@@ -252,6 +323,37 @@ mod tests {
             );
         } else {
             assert_eq!(l.sort_dim(), 0);
+        }
+    }
+
+    #[test]
+    fn optimize_memoizes_repeated_column_vectors() {
+        let opt = LayoutOptimizer::with_config(CostModel::analytic_default(), fast_cfg());
+        let result = opt.optimize(&table(), &workload());
+        assert!(result.cost_evals > 0);
+        assert!(
+            result.cache_hits > 0,
+            "descent revisits rounded column vectors; evals {} hits {}",
+            result.cost_evals,
+            result.cache_hits
+        );
+        assert!(result.cache_hits < result.cost_evals);
+    }
+
+    #[test]
+    fn evaluator_matches_predict_cost() {
+        let opt = LayoutOptimizer::with_config(CostModel::analytic_default(), fast_cfg());
+        let t = table();
+        let w = workload();
+        let eval = opt.evaluator(&t, &w);
+        for layout in [
+            Layout::new(vec![0, 1], vec![32]),
+            Layout::new(vec![1, 0], vec![8]),
+            Layout::sort_only(0),
+        ] {
+            let a = eval.predict(&layout);
+            let b = opt.predict_cost(&t, &w, &layout);
+            assert!((a - b).abs() < 1e-9, "evaluator {a} vs predict_cost {b}");
         }
     }
 
