@@ -10,8 +10,10 @@
 
 use crate::full_scan::CountingVisitor;
 use flood_learned::rmi::{Rmi, RmiConfig};
+use flood_store::index_trait::ChunkedScanPlan;
 use flood_store::{
-    scan_filtered, CumulativeColumn, MultiDimIndex, RangeQuery, ScanStats, Table, Visitor,
+    scan_filtered, CumulativeColumn, MultiDimIndex, PartitionedScan, RangeQuery, ScanPlan,
+    ScanStats, Table, Visitor,
 };
 
 /// A learned clustered index over one dimension.
@@ -61,6 +63,56 @@ impl ClusteredIndex {
     pub fn data(&self) -> &Table {
         &self.data
     }
+
+    /// Shared planning for serial and partitioned execution: locate the key
+    /// range via the RMI, strip the key dimension from the residual filters,
+    /// and pick the cumulative column when the range is exact.
+    fn plan_range(&self, query: &RangeQuery, agg_dim: Option<usize>) -> KeyRangePlan<'_> {
+        let col = self.data.column(self.key_dim);
+        let (start, end, refinements) = match query.bound(self.key_dim) {
+            Some((lo, hi)) => (
+                self.rmi.lookup_lb(lo, |i| col.get(i)),
+                self.rmi.lookup_ub(hi, |i| col.get(i)),
+                2,
+            ),
+            None => (0, self.data.len(), 0),
+        };
+        // The key dimension is exact within [start, end); drop its check.
+        // When it is the only filtered dimension the range is fully exact.
+        let mut residual = query.clone();
+        if query.filters(self.key_dim) {
+            residual = strip_dim(query, self.key_dim);
+        }
+        let exact = residual.num_filtered() == 0;
+        let cumulative = if exact {
+            agg_dim.and_then(|d| {
+                self.cumulatives
+                    .iter()
+                    .find(|(dim, _)| *dim == d)
+                    .map(|(_, c)| c)
+            })
+        } else {
+            None
+        };
+        KeyRangePlan {
+            start,
+            end,
+            refinements,
+            residual: (!exact).then_some(residual),
+            cumulative,
+        }
+    }
+}
+
+/// Output of [`ClusteredIndex::plan_range`].
+struct KeyRangePlan<'a> {
+    start: usize,
+    end: usize,
+    refinements: u64,
+    /// Filters checked per row; `None` when the range is exact.
+    residual: Option<RangeQuery>,
+    /// Cumulative SUM column (exact ranges only).
+    cumulative: Option<&'a CumulativeColumn>,
 }
 
 impl MultiDimIndex for ClusteredIndex {
@@ -70,54 +122,35 @@ impl MultiDimIndex for ClusteredIndex {
         agg_dim: Option<usize>,
         visitor: &mut dyn Visitor,
     ) -> ScanStats {
-        let mut stats = ScanStats::default();
+        let plan = self.plan_range(query, agg_dim);
+        let mut stats = ScanStats {
+            ranges_scanned: 1,
+            refinements: plan.refinements,
+            ..Default::default()
+        };
         let mut counter = CountingVisitor {
             inner: visitor,
             matched: 0,
         };
-        let col = self.data.column(self.key_dim);
-        let (start, end) = match query.bound(self.key_dim) {
-            Some((lo, hi)) => {
-                let s = self.rmi.lookup_lb(lo, |i| col.get(i));
-                let e = self.rmi.lookup_ub(hi, |i| col.get(i));
-                stats.refinements = 2;
-                (s, e)
-            }
-            None => (0, self.data.len()),
-        };
-        stats.ranges_scanned = 1;
-        // The key dimension is exact within [start, end); drop its check.
-        // When it is the only filtered dimension the range is fully exact.
-        let mut residual = query.clone();
-        if query.filters(self.key_dim) {
-            residual = strip_dim(query, self.key_dim);
-        }
-        if residual.num_filtered() == 0 {
-            let cumulative = agg_dim.and_then(|d| {
-                self.cumulatives
-                    .iter()
-                    .find(|(dim, _)| *dim == d)
-                    .map(|(_, c)| c)
-            });
-            flood_store::scan_exact(
+        match &plan.residual {
+            None => flood_store::scan_exact(
                 &self.data,
-                start,
-                end,
+                plan.start,
+                plan.end,
                 agg_dim,
-                cumulative,
+                plan.cumulative,
                 &mut counter,
                 &mut stats,
-            );
-        } else {
-            scan_filtered(
+            ),
+            Some(residual) => scan_filtered(
                 &self.data,
-                &residual,
-                start,
-                end,
+                residual,
+                plan.start,
+                plan.end,
                 agg_dim,
                 &mut counter,
                 &mut stats,
-            );
+            ),
         }
         stats.points_matched = counter.matched;
         stats
@@ -129,6 +162,33 @@ impl MultiDimIndex for ClusteredIndex {
 
     fn name(&self) -> &'static str {
         "Clustered"
+    }
+}
+
+impl PartitionedScan for ClusteredIndex {
+    /// The key range located by the RMI, cut into block-aligned chunks.
+    /// When the key was the only filter the range is exact and chunks skip
+    /// per-row checks (cumulative columns still answer SUMs per chunk).
+    fn plan_scan(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        max_tasks: usize,
+    ) -> Box<dyn ScanPlan + '_> {
+        let plan = self.plan_range(query, agg_dim);
+        Box::new(ChunkedScanPlan::new(
+            &self.data,
+            plan.residual,
+            agg_dim,
+            plan.cumulative,
+            &[(plan.start, plan.end)],
+            max_tasks,
+            ScanStats {
+                ranges_scanned: 1,
+                refinements: plan.refinements,
+                ..Default::default()
+            },
+        ))
     }
 }
 
@@ -222,5 +282,38 @@ mod tests {
         let mut v = CountVisitor::default();
         idx.execute(&q, None, &mut v);
         assert_eq!(v.count, 0);
+    }
+
+    #[test]
+    fn partitioned_plan_matches_serial() {
+        let t = table();
+        let idx = ClusteredIndex::build_with_cumulative(&t, 0, &[1]);
+        // Exact (key-only), filtered (key + residual), and unkeyed plans.
+        let queries = [
+            RangeQuery::all(2).with_range(0, 10_000, 60_000),
+            RangeQuery::all(2)
+                .with_range(0, 10_000, 60_000)
+                .with_range(1, 100, 300),
+            RangeQuery::all(2).with_range(1, 100, 300),
+        ];
+        for (qi, q) in queries.iter().enumerate() {
+            let mut serial = SumVisitor::default();
+            let serial_stats = idx.execute(q, Some(1), &mut serial);
+            for max_tasks in [1, 4, 9] {
+                let plan = idx.plan_scan(q, Some(1), max_tasks);
+                let mut merged = SumVisitor::default();
+                let mut stats = plan.plan_stats();
+                for i in 0..plan.tasks() {
+                    let mut v = SumVisitor::default();
+                    let mut s = flood_store::ScanStats::default();
+                    plan.run_task(i, &mut v, &mut s);
+                    merged.sum = merged.sum.wrapping_add(v.sum);
+                    merged.count += v.count;
+                    stats.merge(&s);
+                }
+                assert_eq!(merged.sum, serial.sum, "query {qi}, {max_tasks} tasks");
+                assert_eq!(stats, serial_stats, "query {qi}, {max_tasks} tasks");
+            }
+        }
     }
 }

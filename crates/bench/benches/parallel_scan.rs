@@ -1,0 +1,131 @@
+//! Criterion bench: parallel vs serial query execution.
+//!
+//! Two axes on a scan-bound workload (1M rows, ~10% selectivity, the
+//! regime where §7's profile says scanning dominates):
+//!
+//! * `single/*` — one query, scan partitioned across N workers
+//!   (`QueryExecutor::execute`) vs the serial `MultiDimIndex::execute`.
+//! * `batch/*` — 32 queries scheduled across the pool
+//!   (`QueryExecutor::execute_batch`) vs a serial loop.
+//!
+//! Speedups track the machine's core count; BASELINES.md records reference
+//! numbers with machine notes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flood_baselines::FullScan;
+use flood_core::{FloodBuilder, FloodIndex, Layout};
+use flood_exec::QueryExecutor;
+use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, ScanStats, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1_000_000;
+const DOMAIN: u64 = 1 << 20;
+
+fn table() -> Table {
+    let mut rng = StdRng::seed_from_u64(0x5CA1E);
+    Table::from_columns(vec![
+        (0..N).map(|_| rng.gen_range(0..DOMAIN)).collect(),
+        (0..N).map(|_| rng.gen_range(0..DOMAIN)).collect(),
+        (0..N).map(|_| rng.gen_range(0..1_000u64)).collect(),
+    ])
+}
+
+fn flood(t: &Table) -> FloodIndex {
+    FloodBuilder::new()
+        .layout(Layout::new(vec![0, 1, 2], vec![16, 16]))
+        .build(t)
+}
+
+/// ~10% selectivity on dim 0 — wide enough that the scan dominates.
+fn query() -> RangeQuery {
+    RangeQuery::all(3).with_range(0, 0, DOMAIN / 10)
+}
+
+fn batch() -> Vec<RangeQuery> {
+    (0..32u64)
+        .map(|i| {
+            let lo = i * (DOMAIN / 40);
+            RangeQuery::all(3).with_range(0, lo, lo + DOMAIN / 12)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let t = table();
+    let full = FullScan::build(&t);
+    let fl = flood(&t);
+    let q = query();
+    let qs = batch();
+
+    let mut group = c.benchmark_group("parallel_scan");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("single/serial_fullscan", |b| {
+        b.iter(|| {
+            let mut v = CountVisitor::default();
+            let s = full.execute(black_box(&q), None, &mut v);
+            black_box((v.count, s.points_scanned))
+        })
+    });
+    group.bench_function("single/serial_flood", |b| {
+        b.iter(|| {
+            let mut v = CountVisitor::default();
+            let s = fl.execute(black_box(&q), None, &mut v);
+            black_box((v.count, s.points_scanned))
+        })
+    });
+    for threads in [2usize, 4] {
+        let exec = QueryExecutor::with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("single/pool_fullscan", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let (v, s): (CountVisitor, ScanStats) =
+                        exec.execute(black_box(&full), &q, None);
+                    black_box((v.count, s.points_scanned))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single/pool_flood", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let (v, s): (CountVisitor, ScanStats) = exec.execute(black_box(&fl), &q, None);
+                    black_box((v.count, s.points_scanned))
+                })
+            },
+        );
+    }
+
+    group.bench_function("batch/serial_flood", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for q in &qs {
+                let mut v = CountVisitor::default();
+                fl.execute(black_box(q), None, &mut v);
+                total += v.count;
+            }
+            black_box(total)
+        })
+    });
+    for threads in [2usize, 4] {
+        let exec = QueryExecutor::with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("batch/pool_flood", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let out = exec.execute_batch::<CountVisitor, _>(black_box(&fl), &qs, None);
+                    black_box(out.iter().map(|(v, _)| v.count).sum::<u64>())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

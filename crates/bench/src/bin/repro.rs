@@ -1,12 +1,14 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale F] [--queries N] [--seed N] [--full] [--verbose]
+//! repro <experiment> [--scale F] [--queries N] [--seed N] [--threads N] [--full] [--verbose]
 //! repro list
 //! ```
 //!
 //! `--scale` multiplies the default dataset sizes (1.0 ≈ 30k–200k rows per
-//! dataset); `--full` switches sweeps to the paper-sized grids; `--verbose`
+//! dataset); `--threads N` runs every workload through the `flood-exec`
+//! pool with N workers (1 = the serial path); `--full` switches sweeps to
+//! the paper-sized grids; `--verbose`
 //! streams per-phase progress to stderr. Absolute numbers differ from the
 //! paper's testbed; the reproduction target is the *shape* of each result.
 //! A per-phase wall-clock summary (data gen, calibration, layout
@@ -64,6 +66,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "§6: cell identification latency",
         exp::lookup::run,
     ),
+    (
+        "threads",
+        "§8: thread scaling — parallel + batched execution",
+        exp::threads::run,
+    ),
 ];
 
 fn print_experiment_list() {
@@ -76,7 +83,8 @@ fn print_experiment_list() {
 
 fn usage() {
     eprintln!(
-        "usage: repro <experiment> [--scale F] [--queries N] [--seed N] [--full] [--verbose]"
+        "usage: repro <experiment> [--scale F] [--queries N] [--seed N] [--threads N] \
+         [--full] [--verbose]"
     );
     eprintln!("       repro list");
     print_experiment_list();
@@ -90,8 +98,13 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Resu
         .map_err(|_| format!("{flag}: cannot parse {v:?} as a number"))
 }
 
-fn parse_config(args: &[String]) -> Result<ExpConfig, String> {
+/// Parsed command line: experiment config plus the worker count, which is
+/// applied once to the harness-global executor knob
+/// ([`flood_bench::harness::set_exec_threads`]) rather than carried in
+/// [`ExpConfig`].
+fn parse_config(args: &[String]) -> Result<(ExpConfig, usize), String> {
     let mut cfg = ExpConfig::default();
+    let mut threads = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -108,12 +121,18 @@ fn parse_config(args: &[String]) -> Result<ExpConfig, String> {
                 }
             }
             "--seed" => cfg.seed = parse_value("--seed", it.next())?,
+            "--threads" => {
+                threads = parse_value("--threads", it.next())?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
             "--full" => cfg.full = true,
             "--verbose" | "-v" => phases::set_verbose(true),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok(cfg)
+    Ok((cfg, threads))
 }
 
 fn main() -> ExitCode {
@@ -126,17 +145,18 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::SUCCESS;
     }
-    let cfg = match parse_config(&args[1..]) {
-        Ok(cfg) => cfg,
+    let (cfg, threads) = match parse_config(&args[1..]) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}\n");
             usage();
             return ExitCode::FAILURE;
         }
     };
+    flood_bench::harness::set_exec_threads(threads);
     println!(
-        "# repro {which} (scale={}, queries={}, seed={}, full={})",
-        cfg.scale, cfg.queries, cfg.seed, cfg.full
+        "# repro {which} (scale={}, queries={}, seed={}, threads={}, full={})",
+        cfg.scale, cfg.queries, cfg.seed, threads, cfg.full
     );
     let t0 = std::time::Instant::now();
     if which == "all" {

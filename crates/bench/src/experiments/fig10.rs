@@ -7,7 +7,6 @@ use crate::harness::{dims_by_selectivity, fmt_ms, learn_flood, measure};
 use flood_baselines::{GridFile, Hyperoctree, KdTree, UbTree, ZOrderIndex};
 use flood_data::workloads::random_workload;
 use flood_data::{DatasetKind, Workload, WorkloadKind};
-use flood_store::MultiDimIndex;
 use std::time::Duration;
 
 /// One workload's outcome.
@@ -37,7 +36,7 @@ pub fn rounds(cfg: &ExpConfig) -> Vec<Round> {
         .copied()
         .filter(|&d| tuned_for.train.iter().any(|q| q.filters(d)))
         .collect();
-    let mut fixed: Vec<Box<dyn MultiDimIndex>> = vec![
+    let mut fixed: Vec<crate::harness::DynIndex> = vec![
         Box::new(ZOrderIndex::build(&ds.table, filtered.clone())),
         Box::new(UbTree::build(&ds.table, filtered.clone())),
         Box::new(Hyperoctree::build(&ds.table, filtered.clone())),

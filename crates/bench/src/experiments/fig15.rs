@@ -4,7 +4,6 @@
 use super::ExpConfig;
 use flood_core::{FloodBuilder, LayoutOptimizer, OptimizerConfig};
 use flood_data::DatasetKind;
-use flood_store::{CountVisitor, MultiDimIndex};
 use std::time::Instant;
 
 /// One measurement row.
@@ -49,12 +48,9 @@ pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) -> Vec<SampleRow> {
             let learned = optimizer.optimize(&ds.table, &w.train);
             learns.push(t0.elapsed().as_secs_f64());
             let index = FloodBuilder::new().layout(learned.layout).build(&ds.table);
-            let t0 = Instant::now();
-            for q in &w.test {
-                let mut v = CountVisitor::default();
-                index.execute(q, None, &mut v);
-            }
-            queries.push(t0.elapsed().as_secs_f64() * 1e3 / w.test.len().max(1) as f64);
+            // Through run_workload so --threads and phase accounting apply.
+            let (avg, _) = crate::harness::run_workload(&index, &w.test, None);
+            queries.push(avg.as_secs_f64() * 1e3);
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let m = mean(&queries);

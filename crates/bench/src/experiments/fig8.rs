@@ -62,7 +62,7 @@ pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) {
     }
 }
 
-fn report(idx: &dyn MultiDimIndex, test: &[flood_store::RangeQuery], agg: Option<usize>) {
+fn report(idx: &(dyn MultiDimIndex + Sync), test: &[flood_store::RangeQuery], agg: Option<usize>) {
     let r = measure(idx, test, agg, Default::default());
     println!(
         "{:<14} {:>10} {:>14}",

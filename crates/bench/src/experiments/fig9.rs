@@ -7,7 +7,6 @@ use super::ExpConfig;
 use crate::harness::{dims_by_selectivity, fmt_ms, learn_flood, measure, RunResult};
 use flood_baselines::{GridFile, Hyperoctree, KdTree, UbTree, ZOrderIndex};
 use flood_data::{DatasetKind, Workload, WorkloadKind};
-use flood_store::MultiDimIndex;
 
 /// Workload variants per dataset, mirroring the figure's x-axes.
 pub fn variants(kind: DatasetKind) -> Vec<WorkloadKind> {
@@ -57,7 +56,7 @@ pub fn run_dataset(cfg: &ExpConfig, kind: DatasetKind) -> Vec<(String, Vec<RunRe
         .copied()
         .filter(|&d| tuned_for.train.iter().any(|q| q.filters(d)))
         .collect();
-    let mut fixed: Vec<Box<dyn MultiDimIndex>> = vec![
+    let mut fixed: Vec<crate::harness::DynIndex> = vec![
         Box::new(ZOrderIndex::build(&ds.table, filtered.clone())),
         Box::new(UbTree::build(&ds.table, filtered.clone())),
         Box::new(Hyperoctree::build(&ds.table, filtered.clone())),

@@ -21,6 +21,7 @@ pub mod tab1;
 pub mod tab2;
 pub mod tab3;
 pub mod tab4;
+pub mod threads;
 
 use flood_core::OptimizerConfig;
 use flood_data::{Dataset, DatasetKind, Workload, WorkloadKind};

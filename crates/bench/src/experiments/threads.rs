@@ -1,0 +1,153 @@
+//! Thread scaling (§8 "further optimizations", Fig 15/16 territory):
+//! single-query latency with partitioned scans, and batched-query
+//! throughput, at 1/2/4/8 workers.
+//!
+//! Runs on the high-dimensionality generator (12 dims, mixed archetypes)
+//! so parallelism is exercised beyond the 2–3-dim stand-ins: wide filter
+//! lists, skewed cell populations, unindexed residual checks. Flood (grid
+//! over two selective dims) and the Full Scan yardstick are measured; the
+//! speedup columns are relative to the 1-thread row of the same index.
+//! Absolute speedups depend on the machine's core count — see BASELINES.md
+//! for reference numbers and machine notes.
+
+use super::ExpConfig;
+use crate::harness::fmt_ms;
+use crate::phases::{record_phase, time_phase};
+use flood_baselines::FullScan;
+use flood_core::{FloodBuilder, Layout};
+use flood_data::datasets::highdim;
+use flood_data::workloads::QueryBuilder;
+use flood_exec::QueryExecutor;
+use flood_store::{CountVisitor, PartitionedScan, RangeQuery};
+use std::time::{Duration, Instant};
+
+/// Worker counts swept, per the thread-scaling protocol.
+pub const THREAD_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// One index's scaling row at a worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Workers used.
+    pub threads: usize,
+    /// Average single-query latency (partitioned scan).
+    pub latency: Duration,
+    /// Batched throughput over the whole workload, queries/second.
+    pub batch_qps: f64,
+}
+
+/// Measure one partitioned index across the thread grid.
+pub fn scaling_points(
+    index: &dyn PartitionedScan,
+    queries: &[RangeQuery],
+    grid: &[usize],
+) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for &threads in grid {
+        let exec = QueryExecutor::with_threads(threads);
+        // Single-query latency: each query's scan split across the pool.
+        let t0 = Instant::now();
+        for q in queries {
+            let (_, stats) = exec.execute::<CountVisitor>(index, q, None);
+            std::hint::black_box(stats);
+        }
+        let latency_wall = t0.elapsed();
+        record_phase("query-exec", latency_wall);
+        let latency = latency_wall / queries.len().max(1) as u32;
+
+        // Batched throughput: the whole workload scheduled at once.
+        let t0 = Instant::now();
+        let results = exec.execute_batch::<CountVisitor, _>(index, queries, None);
+        let batch_wall = t0.elapsed();
+        std::hint::black_box(&results);
+        let batch_qps = queries.len() as f64 / batch_wall.as_secs_f64().max(1e-12);
+        record_phase("query-exec", batch_wall);
+        out.push(ScalingPoint {
+            threads,
+            latency,
+            batch_qps,
+        });
+    }
+    out
+}
+
+fn print_points(name: &str, points: &[ScalingPoint]) {
+    let base = points.first().expect("grid is non-empty");
+    println!("\n{name}");
+    println!(
+        "{:>8} {:>12} {:>9} {:>12} {:>9}",
+        "threads", "query(ms)", "speedup", "batch(q/s)", "speedup"
+    );
+    for p in points {
+        println!(
+            "{:>8} {:>12} {:>8.2}x {:>12.0} {:>8.2}x",
+            p.threads,
+            fmt_ms(p.latency),
+            base.latency.as_secs_f64() / p.latency.as_secs_f64().max(1e-12),
+            p.batch_qps,
+            p.batch_qps / base.batch_qps.max(1e-12),
+        );
+    }
+}
+
+/// Run the experiment at the configured scale.
+pub fn run(cfg: &ExpConfig) {
+    let d = if cfg.full { 16 } else { 12 };
+    let n = (120_000.0 * if cfg.full { 2.0 } else { 1.0 } * cfg.scale) as usize;
+    println!("\n=== thread scaling: parallel + batched execution (highdim d={d}, n={n}) ===");
+    let table = time_phase("data-gen", || highdim::generate(n, d, cfg.seed));
+    let templates = highdim::templates(d, cfg.target_selectivity());
+    let weights = vec![1.0; templates.len()];
+    let mut qb = QueryBuilder::new(&table, cfg.seed);
+    let w = qb.workload(
+        "highdim",
+        &templates,
+        &weights,
+        cfg.queries,
+        Some(cfg.target_selectivity()),
+    );
+
+    // Flood over two selective uniform dims, sorted by a third; remaining
+    // dims are residual per-point checks — the wide-table scan shape.
+    let flood = time_phase("index-build", || {
+        FloodBuilder::new()
+            .layout(Layout::new(vec![0, 2, 5], vec![16, 16]))
+            .build(&table)
+    });
+    print_points(
+        "Flood (grid 0,2 / sort 5)",
+        &scaling_points(&flood, &w.test, &THREAD_GRID),
+    );
+
+    let full = time_phase("index-build", || FullScan::build(&table));
+    print_points(
+        "Full Scan (yardstick)",
+        &scaling_points(&full, &w.test, &THREAD_GRID),
+    );
+
+    println!(
+        "\nspeedups are relative to 1 thread on this machine \
+         ({} hardware threads available)",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_points_cover_grid_and_agree_across_threads() {
+        let table = highdim::generate(4_000, 10, 1);
+        let index = FullScan::build(&table);
+        let queries: Vec<RangeQuery> = (0..6)
+            .map(|i| RangeQuery::all(10).with_range(0, 0, u64::MAX / (i + 2)))
+            .collect();
+        let points = scaling_points(&index, &queries, &[1, 2, 4]);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].threads, 1);
+        for p in &points {
+            assert!(p.batch_qps > 0.0);
+            assert!(p.latency > Duration::ZERO);
+        }
+    }
+}

@@ -8,9 +8,29 @@ use flood_baselines::{
 use flood_core::cost::calibration::{calibrate_cached, CalibrationConfig};
 use flood_core::{CostModel, FloodBuilder, FloodIndex, LayoutOptimizer, OptimizerConfig};
 use flood_data::workloads::{DimFilter, QueryBuilder, QueryTemplate};
+use flood_exec::QueryExecutor;
 use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, ScanStats, Table};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// A boxed index as the harness builds them: `Sync` so workloads can run
+/// through the parallel executor.
+pub type DynIndex = Box<dyn MultiDimIndex + Sync>;
+
+/// Worker count [`run_workload`] executes with (the repro `--threads`
+/// knob). 1 = the serial path, untouched.
+static EXEC_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the worker count every subsequent [`run_workload`] uses.
+pub fn set_exec_threads(n: usize) {
+    EXEC_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Worker count [`run_workload`] currently uses.
+pub fn exec_threads() -> usize {
+    EXEC_THREADS.load(Ordering::Relaxed)
+}
 
 /// The process-wide calibrated cost model (§4.1.1: "calibration [is] a
 /// one-time cost"; Table 3: the weights transfer across datasets, so one
@@ -142,17 +162,29 @@ pub fn dims_by_selectivity(table: &Table, queries: &[RangeQuery]) -> Vec<usize> 
 }
 
 /// Execute `queries` against `index`, returning timing + stats.
+///
+/// With [`exec_threads`] > 1 the batch is scheduled across a `flood-exec`
+/// pool (inter-query parallelism — available to every index); at 1 the
+/// serial loop is untouched.
 pub fn run_workload(
-    index: &dyn MultiDimIndex,
+    index: &(dyn MultiDimIndex + Sync),
     queries: &[RangeQuery],
     agg_dim: Option<usize>,
 ) -> (Duration, ScanStats) {
+    let threads = exec_threads();
     let mut stats = ScanStats::default();
     let start = Instant::now();
-    for q in queries {
-        let mut v = CountVisitor::default();
-        let s = index.execute(q, agg_dim, &mut v);
-        stats.merge(&s);
+    if threads > 1 {
+        let exec = QueryExecutor::with_threads(threads);
+        for (_, s) in exec.execute_batch::<CountVisitor, _>(index, queries, agg_dim) {
+            stats.merge(&s);
+        }
+    } else {
+        for q in queries {
+            let mut v = CountVisitor::default();
+            let s = index.execute(q, agg_dim, &mut v);
+            stats.merge(&s);
+        }
     }
     let elapsed = start.elapsed();
     record_phase("query-exec", elapsed);
@@ -201,15 +233,14 @@ pub fn run_all_indexes(
     };
     let mut out = Vec::new();
 
-    let time =
-        |f: &mut dyn FnMut() -> Box<dyn MultiDimIndex>| -> (Box<dyn MultiDimIndex>, Duration) {
-            let t0 = Instant::now();
-            let idx = f();
-            let dt = t0.elapsed();
-            record_phase("index-build", dt);
-            progress(&format!("built {} in {:.2}s", idx.name(), dt.as_secs_f64()));
-            (idx, dt)
-        };
+    let time = |f: &mut dyn FnMut() -> DynIndex| -> (DynIndex, Duration) {
+        let t0 = Instant::now();
+        let idx = f();
+        let dt = t0.elapsed();
+        record_phase("index-build", dt);
+        progress(&format!("built {} in {:.2}s", idx.name(), dt.as_secs_f64()));
+        (idx, dt)
+    };
 
     // Full scan.
     let (idx, build) = time(&mut || Box::new(FullScan::build(table)));
@@ -289,7 +320,7 @@ pub fn learn_flood(table: &Table, train: &[RangeQuery], cfg: OptimizerConfig) ->
 
 /// Time a single index over the test split.
 pub fn measure(
-    index: &dyn MultiDimIndex,
+    index: &(dyn MultiDimIndex + Sync),
     test: &[RangeQuery],
     agg_dim: Option<usize>,
     build_time: Duration,

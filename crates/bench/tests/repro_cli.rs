@@ -47,6 +47,7 @@ fn list_shows_every_experiment_and_succeeds() {
         "colstore",
         "costmodel",
         "lookup",
+        "threads",
         "all",
     ] {
         assert!(err.contains(name), "`repro list` must mention {name}");
@@ -71,6 +72,9 @@ fn bad_scale_values_fail_without_panicking() {
         &["fig5", "--scale"],
         &["fig5", "--queries", "0"],
         &["fig5", "--seed", "x"],
+        &["fig5", "--threads", "0"],
+        &["fig5", "--threads", "two"],
+        &["fig5", "--threads"],
     ] {
         let out = repro(bad);
         assert!(!out.status.success(), "{bad:?} must fail");
@@ -87,4 +91,13 @@ fn unknown_flag_fails() {
     let out = repro(&["fig5", "--bogus"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown flag: --bogus"));
+}
+
+#[test]
+fn threads_zero_prints_usage_and_fails() {
+    let out = repro(&["threads", "--threads", "0"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("--threads must be at least 1"), "{err}");
+    assert!(err.contains("usage: repro"), "bad flags must print usage");
 }

@@ -10,9 +10,10 @@ use crate::flatten::Flattener;
 use crate::grid::Grid;
 use crate::layout::Layout;
 use flood_learned::plm::PiecewiseLinearModel;
-use flood_store::index_trait::MultiDimIndex;
+use flood_store::index_trait::{MultiDimIndex, PartitionedScan, ScanPlan};
 use flood_store::{
-    scan_checked_dims, scan_exact, CumulativeColumn, RangeQuery, ScanStats, Table, Visitor,
+    partition_ranges, scan_checked_dims, scan_exact, CumulativeColumn, RangeChunk, RangeQuery,
+    ScanStats, Table, Visitor,
 };
 use std::time::Instant;
 
@@ -316,58 +317,6 @@ impl FloodIndex {
         }
     }
 
-    /// Parallel execution (§8: "different cells can be refined and scanned
-    /// simultaneously"): projection and refinement run on the calling
-    /// thread, then the planned cell ranges are scanned by `threads`
-    /// workers, each into its own visitor, merged at the end.
-    ///
-    /// Results are identical to [`MultiDimIndex::execute`] up to visitor
-    /// ordering (e.g. `CollectVisitor` row order).
-    pub fn execute_parallel<V>(
-        &self,
-        query: &RangeQuery,
-        agg_dim: Option<usize>,
-        threads: usize,
-    ) -> (V, ScanStats)
-    where
-        V: flood_store::MergeVisitor + Default,
-    {
-        // Plan single-threaded (cheap relative to scanning).
-        let (cells, mut stats, _times) = self.plan(query);
-        let unindexed = self.unindexed_checks(query);
-        let threads = threads.clamp(1, cells.len().max(1));
-        let chunk = cells.len().div_ceil(threads);
-        let mut merged = V::default();
-        let mut partials: Vec<(V, ScanStats)> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = cells
-                .chunks(chunk.max(1))
-                .map(|slice| {
-                    let unindexed = &unindexed;
-                    scope.spawn(move || {
-                        let mut v = V::default();
-                        let mut s = ScanStats::default();
-                        let mut counter = MatchCounter {
-                            inner: &mut v,
-                            matched: 0,
-                        };
-                        self.scan_cells(slice, query, agg_dim, unindexed, &mut counter, &mut s);
-                        s.points_matched = counter.matched;
-                        (v, s)
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("scan worker panicked"));
-            }
-        });
-        for (v, s) in partials {
-            merged.merge_from(v);
-            stats.merge(&s);
-        }
-        (merged, stats)
-    }
-
     /// Projection + refinement: the planned cell ranges, the stats gathered
     /// so far, and the per-phase timings.
     fn plan(&self, query: &RangeQuery) -> (Vec<CellRange>, ScanStats, PhaseTimes) {
@@ -467,6 +416,89 @@ impl MultiDimIndex for FloodIndex {
 
     fn name(&self) -> &'static str {
         "Flood"
+    }
+}
+
+/// A partitioned Flood query plan (§8: "different cells can be refined and
+/// scanned simultaneously"): projection and refinement have already run on
+/// the planning thread; the surviving cell ranges are split into balanced,
+/// block-aligned tasks for the `flood-exec` pool.
+struct FloodScanPlan<'a> {
+    index: &'a FloodIndex,
+    query: RangeQuery,
+    agg_dim: Option<usize>,
+    unindexed: Vec<(usize, u64, u64)>,
+    /// Refined cell ranges, indexed by [`RangeChunk::source`].
+    cells: Vec<CellRange>,
+    tasks: Vec<Vec<RangeChunk>>,
+    plan_stats: ScanStats,
+}
+
+impl ScanPlan for FloodScanPlan<'_> {
+    fn tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn run_task(&self, i: usize, visitor: &mut dyn Visitor, stats: &mut ScanStats) {
+        let chunks = &self.tasks[i];
+        let subs: Vec<CellRange> = chunks
+            .iter()
+            .map(|ch| {
+                let cr = self.cells[ch.source];
+                CellRange {
+                    cell: cr.cell,
+                    start: ch.start as u32,
+                    end: ch.end as u32,
+                    boundary_mask: cr.boundary_mask,
+                }
+            })
+            .collect();
+        let mut counter = MatchCounter {
+            inner: visitor,
+            matched: 0,
+        };
+        self.index.scan_cells(
+            &subs,
+            &self.query,
+            self.agg_dim,
+            &self.unindexed,
+            &mut counter,
+            stats,
+        );
+        // A cut range is still one range: attribute it to the chunk that
+        // opened it so merged stats equal the serial scan's.
+        stats.ranges_scanned -= chunks.iter().filter(|c| c.continuation).count() as u64;
+        stats.points_matched += counter.matched;
+    }
+
+    fn plan_stats(&self) -> ScanStats {
+        self.plan_stats
+    }
+}
+
+impl PartitionedScan for FloodIndex {
+    fn plan_scan(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        max_tasks: usize,
+    ) -> Box<dyn ScanPlan + '_> {
+        let (cells, plan_stats, _times) = self.plan(query);
+        let unindexed = self.unindexed_checks(query);
+        let ranges: Vec<(usize, usize)> = cells
+            .iter()
+            .map(|c| (c.start as usize, c.end as usize))
+            .collect();
+        let tasks = partition_ranges(&ranges, max_tasks);
+        Box::new(FloodScanPlan {
+            index: self,
+            query: query.clone(),
+            agg_dim,
+            unindexed,
+            cells,
+            tasks,
+            plan_stats,
+        })
     }
 }
 
@@ -794,28 +826,50 @@ mod tests {
         assert!(with_models.index_size_bytes() > plain.index_size_bytes());
     }
 
+    /// Run every task of a partitioned plan sequentially into its own
+    /// visitor, merging like the executor does — isolates the plan's
+    /// correctness from the thread pool (exercised in `flood-exec`).
+    fn run_plan_merged<V: flood_store::MergeVisitor + Default>(
+        index: &FloodIndex,
+        q: &RangeQuery,
+        agg_dim: Option<usize>,
+        max_tasks: usize,
+    ) -> (V, ScanStats) {
+        let plan = index.plan_scan(q, agg_dim, max_tasks);
+        let mut merged = V::default();
+        let mut stats = plan.plan_stats();
+        for i in 0..plan.tasks() {
+            let mut v = V::default();
+            let mut s = ScanStats::default();
+            plan.run_task(i, &mut v, &mut s);
+            merged.merge_from(v);
+            stats.merge(&s);
+        }
+        (merged, stats)
+    }
+
     #[test]
-    fn parallel_execution_matches_sequential() {
+    fn partitioned_plan_matches_sequential() {
         let t = table(30_000, 3, 59);
         let index = FloodBuilder::new()
             .layout(Layout::new(vec![0, 1, 2], vec![8, 8]))
             .build(&t);
-        for threads in [1usize, 2, 4, 7] {
+        for max_tasks in [1usize, 2, 4, 7, 32] {
             for (i, q) in queries(3).iter().enumerate() {
                 let mut seq = CountVisitor::default();
                 let seq_stats = index.execute(q, None, &mut seq);
-                let (par, par_stats) = index.execute_parallel::<CountVisitor>(q, None, threads);
-                assert_eq!(par.count, seq.count, "query {i}, {threads} threads");
+                let (par, par_stats) = run_plan_merged::<CountVisitor>(&index, q, None, max_tasks);
+                assert_eq!(par.count, seq.count, "query {i}, {max_tasks} tasks");
                 assert_eq!(
-                    par_stats.points_matched, seq_stats.points_matched,
-                    "query {i}, {threads} threads"
+                    par_stats, seq_stats,
+                    "query {i}, {max_tasks} tasks: merged stats must equal serial"
                 );
             }
         }
     }
 
     #[test]
-    fn parallel_sum_matches_sequential() {
+    fn partitioned_sum_matches_sequential() {
         let t = table(20_000, 3, 61);
         let index = FloodBuilder::new()
             .layout(Layout::new(vec![0, 1, 2], vec![6, 6]))
@@ -825,10 +879,11 @@ mod tests {
             .with_range(0, 0, 800)
             .with_range(2, 0, 1 << 45);
         let mut seq = SumVisitor::default();
-        index.execute(&q, Some(1), &mut seq);
-        let (par, _) = index.execute_parallel::<SumVisitor>(&q, Some(1), 4);
+        let seq_stats = index.execute(&q, Some(1), &mut seq);
+        let (par, par_stats) = run_plan_merged::<SumVisitor>(&index, &q, Some(1), 4);
         assert_eq!(par.sum, seq.sum);
         assert_eq!(par.count, seq.count);
+        assert_eq!(par_stats, seq_stats);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! High-dimensionality synthetic data (10+ dims) — ROADMAP "New workloads".
+//!
+//! The paper's dimensionality sweep (§7.5) uses purely uniform columns;
+//! real wide tables mix uniform, skewed, correlated and low-cardinality
+//! attributes. This generator cycles four column archetypes so an index —
+//! and the parallel execution layer stressed by the thread-scaling
+//! experiment — faces all of them at once:
+//!
+//! * `4k+0`: **uniform** over a 32-bit domain (like [`super::uniform`]);
+//! * `4k+1`: **Zipf-skewed** categorical codes (hot keys dominate);
+//! * `4k+2`: **correlated** with the preceding uniform column (its value
+//!   plus log-normal noise), so grid columns overlap in information;
+//! * `4k+3`: **log-normal** heavy-tailed measures (sales/latency shaped).
+
+use crate::dist::{log_normal, to_u64, Zipf};
+use crate::workloads::{DimFilter, QueryTemplate};
+use flood_store::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain of the uniform and correlated columns.
+pub const DOMAIN: u64 = 1 << 32;
+
+/// Distinct values in each Zipf column.
+pub const ZIPF_KEYS: usize = 10_000;
+
+/// Generate `n` rows of `d >= 10` mixed-archetype dimensions.
+///
+/// # Panics
+/// Panics if `d < 10` — for narrower tables use the paper-shaped
+/// generators ([`super::uniform`] and the Table 1 stand-ins).
+pub fn generate(n: usize, d: usize, seed: u64) -> Table {
+    assert!(d >= 10, "highdim is for 10+ dims, got {d}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A15);
+    let zipf = Zipf::new(ZIPF_KEYS, 1.2);
+    let mut cols: Vec<Vec<u64>> = vec![Vec::with_capacity(n); d];
+    for _ in 0..n {
+        let mut last_uniform = 0u64;
+        for (dim, col) in cols.iter_mut().enumerate() {
+            let v = match dim % 4 {
+                0 => {
+                    last_uniform = rng.gen_range(0..DOMAIN);
+                    last_uniform
+                }
+                1 => zipf.sample(&mut rng) as u64,
+                2 => {
+                    // ±~2% of the domain around the correlated anchor.
+                    let noise = log_normal(&mut rng, 16.0, 1.0);
+                    (last_uniform.saturating_add(to_u64(noise, 0.0, DOMAIN as f64 / 50.0)))
+                        .min(DOMAIN - 1)
+                }
+                _ => to_u64(log_normal(&mut rng, 10.0, 1.5), 0.0, 1e9),
+            };
+            col.push(v);
+        }
+    }
+    Table::from_columns(cols)
+}
+
+/// Query templates for a `d`-dim table: analytics-shaped mixes filtering
+/// 2, 3, 4 and 6 dimensions across all archetypes, per-dimension
+/// selectivity balanced so each template's total lands near `target`.
+pub fn templates(d: usize, target: f64) -> Vec<QueryTemplate> {
+    assert!(d >= 10);
+    let spread = |dims: Vec<usize>| -> Vec<DimFilter> {
+        let per_dim = target.powf(1.0 / dims.len() as f64);
+        dims.into_iter()
+            .map(|dim| DimFilter::range(dim, per_dim))
+            .collect()
+    };
+    vec![
+        QueryTemplate::new("pair", spread(vec![0, 3])),
+        QueryTemplate::new("correlated_pair", spread(vec![0, 2])),
+        QueryTemplate::new("skew_triple", spread(vec![1, 4, 7])),
+        QueryTemplate::new("wide_quad", spread(vec![0, 2, 5, 9])),
+        QueryTemplate::new("six_dims", spread((0..6).collect())),
+        QueryTemplate::new("tail_dims", spread(vec![d - 1, d - 2, d - 3])),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_mixed_archetypes() {
+        let t = generate(5_000, 12, 7);
+        assert_eq!(t.dims(), 12);
+        assert_eq!(t.len(), 5_000);
+        // Zipf columns are low-cardinality and hot-key heavy.
+        let mut ones = 0usize;
+        for r in 0..t.len() {
+            assert!(t.value(r, 1) < ZIPF_KEYS as u64);
+            if t.value(r, 1) == 1 {
+                ones += 1;
+            }
+        }
+        assert!(
+            ones > t.len() / 20,
+            "hot Zipf key should dominate: {ones} of {}",
+            t.len()
+        );
+        // Correlated columns track their uniform anchor.
+        let mut close = 0usize;
+        for r in 0..t.len() {
+            let (a, b) = (t.value(r, 0), t.value(r, 2));
+            if b >= a && b - a <= DOMAIN / 25 {
+                close += 1;
+            }
+        }
+        assert!(
+            close > t.len() * 9 / 10,
+            "correlated column drifted: {close} of {}",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(500, 10, 3);
+        let b = generate(500, 10, 3);
+        for r in (0..500).step_by(53) {
+            assert_eq!(a.row(r), b.row(r));
+        }
+        let c = generate(500, 10, 4);
+        let same = (0..500).filter(|&r| a.row(r) == c.row(r)).count();
+        assert!(same < 50, "seeds must change the data");
+    }
+
+    #[test]
+    fn templates_stay_in_bounds() {
+        for d in [10, 14, 18] {
+            for t in templates(d, 0.001) {
+                for f in &t.filters {
+                    assert!(f.dim() < d, "{}: dim {} out of bounds", t.name, f.dim());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "10+ dims")]
+    fn narrow_tables_rejected() {
+        let _ = generate(100, 6, 1);
+    }
+}

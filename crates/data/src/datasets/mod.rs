@@ -12,6 +12,7 @@
 //! 64 GB testbed, harnesses here default to laptop-scale and accept
 //! `--scale` to grow.
 
+pub mod highdim;
 pub mod osm;
 pub mod perfmon;
 pub mod sales;

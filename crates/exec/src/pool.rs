@@ -1,0 +1,176 @@
+//! A hand-rolled scoped thread pool.
+//!
+//! rayon is not vendored (the build environment has no crates.io access),
+//! so the pool is built from `std` alone: [`std::thread::scope`] workers
+//! pulling task indices from a shared atomic injector. The pool holds no
+//! long-lived threads — workers live exactly as long as one [`ThreadPool::run`]
+//! call, so borrowed data (tables, plans, queries) flows into tasks without
+//! `Arc` or `'static` bounds.
+//!
+//! With one thread (the degenerate mode) nothing is spawned at all: tasks
+//! run inline on the caller's stack, making the serial path zero-overhead
+//! and trivially deadlock-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default worker count
+/// ([`ThreadPool::from_env`]).
+pub const THREADS_ENV: &str = "FLOOD_THREADS";
+
+/// A scoped thread pool of a fixed worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a thread pool needs at least one worker");
+        ThreadPool { threads }
+    }
+
+    /// The degenerate single-thread pool: every task runs inline on the
+    /// caller's stack.
+    pub fn serial() -> Self {
+        ThreadPool { threads: 1 }
+    }
+
+    /// Worker count from the environment: `FLOOD_THREADS` when set,
+    /// otherwise the machine's available parallelism (1 when that is
+    /// unknown).
+    ///
+    /// # Panics
+    /// Panics when `FLOOD_THREADS` is set but not a positive integer — a
+    /// misconfigured pool must not silently run serial (same hardening as
+    /// `repro --threads`).
+    pub fn from_env() -> Self {
+        let threads = match std::env::var(THREADS_ENV) {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!("{THREADS_ENV} must be a positive integer, got {v:?}"),
+            },
+            Err(_) => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        ThreadPool { threads }
+    }
+
+    /// Number of workers this pool runs.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `work(0..tasks)`, returning the results in task order.
+    ///
+    /// Tasks are distributed dynamically: each worker repeatedly claims the
+    /// next unclaimed index from a shared injector, so uneven task costs
+    /// balance themselves. At most `min(threads, tasks)` workers spawn;
+    /// with one worker (or one task) everything runs inline.
+    ///
+    /// # Panics
+    /// Propagates a panic from any task after all workers have stopped.
+    pub fn run<T, F>(&self, tasks: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(tasks);
+        if workers <= 1 {
+            return (0..tasks).map(work).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<(usize, T)> = Vec::with_capacity(tasks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, work) = (&next, &work);
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            out.push((i, work(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.extend(h.join().expect("pool worker panicked"));
+            }
+        });
+        collected.sort_unstable_by_key(|&(i, _)| i);
+        collected.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+impl Default for ThreadPool {
+    /// [`ThreadPool::from_env`].
+    fn default() -> Self {
+        ThreadPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.run(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        assert!(ThreadPool::new(4).run(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn single_task_runs_inline() {
+        // One task never spawns: the closure can prove it ran on the
+        // caller's thread.
+        let caller = std::thread::current().id();
+        let out = ThreadPool::new(8).run(1, |_| std::thread::current().id());
+        assert_eq!(out, vec![caller]);
+    }
+
+    #[test]
+    fn serial_pool_runs_on_caller_stack() {
+        let caller = std::thread::current().id();
+        let ids = ThreadPool::serial().run(16, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn uneven_tasks_all_complete() {
+        let pool = ThreadPool::new(4);
+        let out = pool.run(37, |i| {
+            // Task cost varies by two orders of magnitude.
+            let spins = if i % 7 == 0 { 100_000 } else { 1_000 };
+            (0..spins).fold(i as u64, |a, x| a.wrapping_add(x))
+        });
+        assert_eq!(out.len(), 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn from_env_has_at_least_one_worker() {
+        assert!(ThreadPool::from_env().threads() >= 1);
+    }
+}

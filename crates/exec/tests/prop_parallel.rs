@@ -1,0 +1,186 @@
+//! Property suite: parallel execution is observably identical to serial.
+//!
+//! For arbitrary tables, queries and thread counts, `QueryExecutor::execute`
+//! (partitioned single-query scans) and `execute_batch` produce the same
+//! results and the same aggregate [`ScanStats`] as the serial
+//! `MultiDimIndex::execute` path, for Count/Sum/MinMax/Collect visitors.
+//! `CollectVisitor` rows are compared as sorted sets — task order is the
+//! one legitimate difference.
+
+use flood_baselines::{ClusteredIndex, FullScan};
+use flood_core::{FloodBuilder, Layout};
+use flood_exec::QueryExecutor;
+use flood_store::{
+    CollectVisitor, CountVisitor, MinMaxVisitor, MultiDimIndex, PartitionedScan, RangeQuery,
+    ScanStats, SumVisitor, Table,
+};
+use proptest::prelude::*;
+
+/// Three columns in a small domain so queries actually match rows.
+fn make_table(rows: &[(u64, u64, u64)]) -> Table {
+    Table::from_columns(vec![
+        rows.iter().map(|r| r.0).collect(),
+        rows.iter().map(|r| r.1).collect(),
+        rows.iter().map(|r| r.2).collect(),
+    ])
+}
+
+/// A query filtering a subset of the three dims, from raw (lo, width) pairs;
+/// width 0 means an equality filter, `None` leaves the dim unbounded.
+fn make_query(filters: [Option<(u64, u64)>; 3]) -> RangeQuery {
+    let mut q = RangeQuery::all(3);
+    for (d, f) in filters.into_iter().enumerate() {
+        if let Some((lo, w)) = f {
+            q = q.with_range(d, lo, lo + w);
+        }
+    }
+    q
+}
+
+fn filter_strategy() -> impl Strategy<Value = Option<(u64, u64)>> {
+    prop_oneof![
+        Just(None),
+        (0u64..64, 0u64..32).prop_map(Some),
+        (0u64..64, 0u64..1).prop_map(Some), // near-equality
+    ]
+}
+
+/// Serial reference: plain `execute` with visitor `V`.
+fn serial<V: flood_store::Visitor + Default>(
+    index: &dyn MultiDimIndex,
+    q: &RangeQuery,
+    agg: Option<usize>,
+) -> (V, ScanStats) {
+    let mut v = V::default();
+    let s = index.execute(q, agg, &mut v);
+    (v, s)
+}
+
+/// Assert parallel == serial for every visitor kind on one index.
+fn check_index(index: &dyn PartitionedScan, q: &RangeQuery, threads: usize) {
+    let exec = QueryExecutor::with_threads(threads);
+
+    let (sv, ss) = serial::<CountVisitor>(index, q, None);
+    let (pv, ps) = exec.execute::<CountVisitor>(index, q, None);
+    assert_eq!(pv.count, sv.count, "count, {threads} threads");
+    assert_eq!(ps, ss, "count stats, {threads} threads");
+
+    let (sv, ss) = serial::<SumVisitor>(index, q, Some(2));
+    let (pv, ps) = exec.execute::<SumVisitor>(index, q, Some(2));
+    assert_eq!(
+        (pv.sum, pv.count),
+        (sv.sum, sv.count),
+        "sum, {threads} threads"
+    );
+    assert_eq!(ps, ss, "sum stats, {threads} threads");
+
+    let (sv, ss) = serial::<MinMaxVisitor>(index, q, Some(1));
+    let (pv, ps) = exec.execute::<MinMaxVisitor>(index, q, Some(1));
+    assert_eq!(
+        (pv.min, pv.max, pv.count),
+        (sv.min, sv.max, sv.count),
+        "minmax, {threads} threads"
+    );
+    assert_eq!(ps, ss, "minmax stats, {threads} threads");
+
+    let (sv, ss) = serial::<CollectVisitor>(index, q, None);
+    let (pv, ps) = exec.execute::<CollectVisitor>(index, q, None);
+    let mut want = sv.rows.clone();
+    let mut got = pv.rows.clone();
+    want.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(got, want, "collect rows as sets, {threads} threads");
+    assert_eq!(ps, ss, "collect stats, {threads} threads");
+}
+
+/// Non-property anchor: the env-sized executor (what `FLOOD_THREADS=N`
+/// selects — CI forces it to 2) agrees with serial execution end to end.
+#[test]
+fn env_sized_executor_matches_serial() {
+    let rows: Vec<(u64, u64, u64)> = (0..5_000u64)
+        .map(|i| (i % 61, (i * 7) % 53, (i * 13) % 47))
+        .collect();
+    let table = make_table(&rows);
+    let flood = FloodBuilder::new()
+        .layout(Layout::new(vec![0, 1, 2], vec![6, 6]))
+        .build(&table);
+    let q = make_query([Some((5, 30)), None, Some((0, 20))]);
+    let exec = QueryExecutor::from_env();
+    check_index(&flood, &q, exec.threads());
+    let (v, s) = exec.execute::<CountVisitor>(&flood, &q, None);
+    let (want, want_stats) = serial::<CountVisitor>(&flood, &q, None);
+    assert_eq!(v.count, want.count);
+    assert_eq!(s, want_stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_execute_equals_serial(
+        rows in proptest::collection::vec((0u64..64, 0u64..64, 0u64..64), 0..400),
+        f0 in filter_strategy(),
+        f1 in filter_strategy(),
+        f2 in filter_strategy(),
+        threads in 1usize..9,
+    ) {
+        let table = make_table(&rows);
+        let q = make_query([f0, f1, f2]);
+
+        let flood = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![4, 4]))
+            .build(&table);
+        check_index(&flood, &q, threads);
+
+        let full = FullScan::build(&table);
+        check_index(&full, &q, threads);
+
+        if !rows.is_empty() {
+            let clustered = ClusteredIndex::build(&table, 0);
+            check_index(&clustered, &q, threads);
+        }
+    }
+
+    #[test]
+    fn batch_equals_serial_loop(
+        rows in proptest::collection::vec((0u64..64, 0u64..64, 0u64..64), 1..300),
+        filters in proptest::collection::vec(
+            (filter_strategy(), filter_strategy(), filter_strategy()), 0..12),
+        threads in 1usize..9,
+    ) {
+        let table = make_table(&rows);
+        let queries: Vec<RangeQuery> = filters
+            .into_iter()
+            .map(|(a, b, c)| make_query([a, b, c]))
+            .collect();
+        let flood = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![4, 4]))
+            .build(&table);
+        let exec = QueryExecutor::with_threads(threads);
+
+        let batch = exec.execute_batch::<SumVisitor, _>(&flood, &queries, Some(2));
+        prop_assert_eq!(batch.len(), queries.len());
+        let mut agg_serial = ScanStats::default();
+        let mut agg_parallel = ScanStats::default();
+        for (q, (v, s)) in queries.iter().zip(&batch) {
+            let (want, want_stats) = serial::<SumVisitor>(&flood, q, Some(2));
+            prop_assert_eq!(v.sum, want.sum);
+            prop_assert_eq!(v.count, want.count);
+            prop_assert_eq!(*s, want_stats);
+            agg_serial.merge(&want_stats);
+            agg_parallel.merge(s);
+        }
+        prop_assert_eq!(agg_parallel, agg_serial);
+
+        // Collect visitors over a batch: row sets per query match too.
+        let batch = exec.execute_batch::<CollectVisitor, _>(&flood, &queries, None);
+        for (q, (v, _)) in queries.iter().zip(&batch) {
+            let (want, _) = serial::<CollectVisitor>(&flood, q, None);
+            let mut got = v.rows.clone();
+            let mut exp = want.rows.clone();
+            got.sort_unstable();
+            exp.sort_unstable();
+            prop_assert_eq!(got, exp);
+        }
+    }
+}

@@ -6,8 +6,12 @@
 //! accumulates the aggregation. Execution returns [`ScanStats`] so the
 //! Table 2 performance breakdown can be produced for any index.
 
+use crate::cumulative::CumulativeColumn;
+use crate::partition::{partition_ranges, RangeChunk};
 use crate::query::RangeQuery;
+use crate::scan::{scan_exact, scan_filtered};
 use crate::stats::ScanStats;
+use crate::table::Table;
 use crate::visitor::Visitor;
 
 /// A read-optimized index over a fixed multi-dimensional table.
@@ -29,4 +33,159 @@ pub trait MultiDimIndex {
 
     /// Short display name (used by the benchmark harness).
     fn name(&self) -> &'static str;
+}
+
+/// A query plan whose scan work has been split into independent tasks.
+///
+/// Produced by [`PartitionedScan::plan_scan`] and consumed by the
+/// `flood-exec` thread pool: each task runs into its own visitor and
+/// [`ScanStats`], and the partial results are merged afterwards via
+/// [`crate::visitor::MergeVisitor`] and [`ScanStats::merge`]. Tasks touch
+/// disjoint physical row ranges, so executing them in any order — or
+/// concurrently — reproduces the serial result exactly (up to visitor
+/// ordering, e.g. `CollectVisitor` row order).
+pub trait ScanPlan: Sync {
+    /// Number of independent scan tasks. Zero when the query matches no
+    /// physical range at all (the plan stats still apply).
+    fn tasks(&self) -> usize;
+
+    /// Execute task `i` (`0 <= i < tasks()`), feeding matching rows into
+    /// `visitor` and counters into `stats` — including the task's
+    /// `points_matched`.
+    fn run_task(&self, i: usize, visitor: &mut dyn Visitor, stats: &mut ScanStats);
+
+    /// Counters accrued while *planning* (projection, refinement). Merge
+    /// these once per query — not once per task — when aggregating.
+    fn plan_stats(&self) -> ScanStats;
+}
+
+/// An index whose single-query scan work can be partitioned for parallel
+/// execution.
+///
+/// Planning (projection/refinement for Flood, endpoint lookup for a
+/// clustered index) stays on the calling thread; the returned [`ScanPlan`]
+/// carries the per-task scan work. Indexes whose execution cannot be
+/// decomposed (tree traversals interleaving navigation and scanning) simply
+/// don't implement this — batch-level parallelism via
+/// `flood-exec`'s `execute_batch` still applies to them.
+pub trait PartitionedScan: MultiDimIndex + Sync {
+    /// Plan `query` into at most `max_tasks` independently scannable tasks.
+    fn plan_scan(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        max_tasks: usize,
+    ) -> Box<dyn ScanPlan + '_>;
+}
+
+/// A ready-made [`ScanPlan`] for indexes whose planned scan work is plain
+/// physical row ranges of one table — the full-scan and clustered
+/// baselines, or anything else without per-range check lists.
+///
+/// Ranges are chunked by [`partition_ranges`]; each chunk runs
+/// [`scan_filtered`] against the residual query, or [`scan_exact`]
+/// (optionally through a cumulative column) when every row in range is
+/// known to match. Keeping the chunk-loop/stats protocol here — including
+/// `points_matched` attribution — means plan implementors can't drift from
+/// the serial counters one copy at a time.
+pub struct ChunkedScanPlan<'a> {
+    table: &'a Table,
+    /// Per-row residual filters; `None` = every row in range matches.
+    residual: Option<RangeQuery>,
+    agg_dim: Option<usize>,
+    /// Cumulative SUM column for exact ranges (ignored with a residual).
+    cumulative: Option<&'a CumulativeColumn>,
+    tasks: Vec<Vec<RangeChunk>>,
+    plan_stats: ScanStats,
+}
+
+impl<'a> ChunkedScanPlan<'a> {
+    /// Chunk `ranges` into at most `max_tasks` balanced tasks over `table`.
+    pub fn new(
+        table: &'a Table,
+        residual: Option<RangeQuery>,
+        agg_dim: Option<usize>,
+        cumulative: Option<&'a CumulativeColumn>,
+        ranges: &[(usize, usize)],
+        max_tasks: usize,
+        plan_stats: ScanStats,
+    ) -> Self {
+        ChunkedScanPlan {
+            table,
+            residual,
+            agg_dim,
+            cumulative,
+            tasks: partition_ranges(ranges, max_tasks),
+            plan_stats,
+        }
+    }
+}
+
+impl ScanPlan for ChunkedScanPlan<'_> {
+    fn tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn run_task(&self, i: usize, visitor: &mut dyn Visitor, stats: &mut ScanStats) {
+        let mut counter = MatchCount {
+            inner: visitor,
+            matched: 0,
+        };
+        for c in &self.tasks[i] {
+            match &self.residual {
+                Some(residual) => scan_filtered(
+                    self.table,
+                    residual,
+                    c.start,
+                    c.end,
+                    self.agg_dim,
+                    &mut counter,
+                    stats,
+                ),
+                None => scan_exact(
+                    self.table,
+                    c.start,
+                    c.end,
+                    self.agg_dim,
+                    self.cumulative,
+                    &mut counter,
+                    stats,
+                ),
+            }
+        }
+        stats.points_matched += counter.matched;
+    }
+
+    fn plan_stats(&self) -> ScanStats {
+        self.plan_stats
+    }
+}
+
+/// Counts matched points on behalf of [`ScanStats`] while forwarding to the
+/// task's visitor.
+struct MatchCount<'a> {
+    inner: &'a mut dyn Visitor,
+    matched: u64,
+}
+
+impl Visitor for MatchCount<'_> {
+    #[inline]
+    fn visit(&mut self, row: usize, value: u64) {
+        self.matched += 1;
+        self.inner.visit(row, value);
+    }
+
+    #[inline]
+    fn visit_exact_sum(&mut self, count: usize, sum: u64) {
+        self.matched += count as u64;
+        self.inner.visit_exact_sum(count, sum);
+    }
+
+    fn needs_value(&self) -> bool {
+        self.inner.needs_value()
+    }
+
+    fn supports_exact(&self) -> bool {
+        self.inner.supports_exact()
+    }
 }

@@ -28,6 +28,7 @@ pub mod cumulative;
 pub mod disjunction;
 pub mod encode;
 pub mod index_trait;
+pub mod partition;
 pub mod query;
 pub mod scan;
 pub mod stats;
@@ -38,7 +39,8 @@ pub use block::{Block, BLOCK_LEN};
 pub use column::{Column, CompressedColumn};
 pub use cumulative::CumulativeColumn;
 pub use disjunction::{decompose_in_list, execute_disjoint_union};
-pub use index_trait::MultiDimIndex;
+pub use index_trait::{ChunkedScanPlan, MultiDimIndex, PartitionedScan, ScanPlan};
+pub use partition::{partition_ranges, RangeChunk};
 pub use query::{QueryRect, RangeQuery};
 pub use scan::{scan_checked_dims, scan_exact, scan_filtered, scan_full};
 pub use stats::ScanStats;

@@ -7,9 +7,11 @@
 //!
 //! Measurement is deliberately simple: a short warm-up, then timed batches
 //! until a wall-clock budget is spent, reporting the fastest batch (the
-//! usual low-noise estimator). There is no statistical analysis, HTML
-//! report, or baseline comparison. When invoked with `--test` (as
-//! `cargo test --benches` does), every benchmark body runs exactly once.
+//! usual low-noise estimator) plus the mean ± standard deviation across
+//! batches so run-to-run jitter is visible next to the headline number.
+//! There is no further statistical analysis, HTML report, or baseline
+//! comparison. When invoked with `--test` (as `cargo test --benches`
+//! does), every benchmark body runs exactly once.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -134,10 +136,13 @@ pub struct Bencher {
     test_mode: bool,
     /// Fastest observed per-iteration time, in nanoseconds.
     best_ns: f64,
+    /// Per-iteration time of every measured batch, in nanoseconds.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
-    /// Measure `f`, keeping the fastest batch's per-iteration time.
+    /// Measure `f`, keeping the fastest batch's per-iteration time and the
+    /// per-batch samples for the mean ± stddev report.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if self.test_mode {
             black_box(f());
@@ -161,6 +166,7 @@ impl Bencher {
                 black_box(f());
             }
             let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
             if ns < self.best_ns {
                 self.best_ns = ns;
             }
@@ -168,16 +174,31 @@ impl Bencher {
     }
 }
 
+/// Mean and (population) standard deviation of per-batch samples.
+fn mean_stddev(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, f: &mut F) {
     let mut b = Bencher {
         test_mode,
         best_ns: f64::INFINITY,
+        samples: Vec::new(),
     };
     f(&mut b);
     if test_mode {
         println!("test {label} ... ok");
     } else if b.best_ns.is_finite() {
-        println!("{label:<48} time: {}", format_ns(b.best_ns));
+        let (mean, sd) = mean_stddev(&b.samples);
+        println!(
+            "{label:<48} time: {:<16} mean: {} ± {}",
+            format_ns(b.best_ns),
+            format_ns(mean),
+            format_ns(sd),
+        );
     } else {
         println!("{label:<48} (no iterations recorded)");
     }
