@@ -71,6 +71,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "§8: thread scaling — parallel + batched execution",
         exp::threads::run,
     ),
+    (
+        "optcost",
+        "Fig 15/16: optimizer search cost, full vs incremental stats",
+        exp::optcost::run,
+    ),
 ];
 
 fn print_experiment_list() {

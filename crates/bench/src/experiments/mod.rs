@@ -17,6 +17,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod lookup;
+pub mod optcost;
 pub mod tab1;
 pub mod tab2;
 pub mod tab3;

@@ -306,11 +306,13 @@ pub fn learn_flood(table: &Table, train: &[RangeQuery], cfg: OptimizerConfig) ->
     let optimizer = LayoutOptimizer::with_config(calibrated_cost_model().clone(), cfg);
     let learned = time_phase("layout-opt", || optimizer.optimize(table, train));
     progress(&format!(
-        "learned layout {} ({} cells, {} cost evals, {} memo hits) in {:.2}s",
+        "learned layout {} ({} cells, {} cost evals, {} memo hits, {}/{} dim recounts/reuses) in {:.2}s",
         learned.layout,
         learned.layout.num_cells(),
         learned.cost_evals,
         learned.cache_hits,
+        learned.dim_recounts,
+        learned.dim_reuses,
         learned.learn_time.as_secs_f64()
     ));
     time_phase("index-build", || {

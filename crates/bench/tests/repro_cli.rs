@@ -48,6 +48,7 @@ fn list_shows_every_experiment_and_succeeds() {
         "costmodel",
         "lookup",
         "threads",
+        "optcost",
         "all",
     ] {
         assert!(err.contains(name), "`repro list` must mention {name}");

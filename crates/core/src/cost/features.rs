@@ -44,6 +44,41 @@ pub struct QueryStatistics {
 }
 
 impl QueryStatistics {
+    /// Assemble *estimated* statistics from sample counts, the way the
+    /// layout optimizer produces them (§4.2 step 3).
+    ///
+    /// Both cost-evaluation paths — the from-scratch sample scan
+    /// (`SampleSpace::query_stats`) and the incremental per-dimension cache
+    /// (`SampleSpace::query_stats_cached`) — go through this one
+    /// constructor, so equal counts yield **bit-identical** statistics; the
+    /// equivalence property suite (`prop_incremental.rs`) relies on that.
+    ///
+    /// Flattening keeps cells near-uniform, so the median cell size is
+    /// estimated at the mean and the tail at twice it (measured values are
+    /// used during calibration, estimates only during search).
+    pub fn estimated(
+        nc: f64,
+        ns: f64,
+        exact_points: f64,
+        total_cells: f64,
+        avg_cell_size: f64,
+        dims_filtered: f64,
+        sort_filtered: bool,
+    ) -> Self {
+        QueryStatistics {
+            nc,
+            ns,
+            total_cells,
+            avg_cell_size,
+            median_cell_size: avg_cell_size,
+            p95_cell_size: avg_cell_size * 2.0,
+            dims_filtered,
+            avg_visited_per_cell: ns / nc.max(1.0),
+            exact_points,
+            sort_filtered,
+        }
+    }
+
     /// Flatten into the fixed-order feature vector fed to the weight models.
     /// Count-like features are log-transformed: the weights span a narrow
     /// range (§4.1.1) but the counts span many orders of magnitude.

@@ -5,6 +5,14 @@
 //! time, and use numeric gradients with a step size large enough to cross
 //! integer boundaries. Steps are accepted with backtracking: the learning
 //! rate grows on improvement and shrinks on failure.
+//!
+//! Each finite-difference probe perturbs **one** coordinate of the current
+//! position (`x[i] ± h`), so consecutive objective calls differ in a single
+//! dimension's rounded column count. The cost evaluator exploits exactly
+//! this shape: repeated vectors hit its layout memo, and fresh vectors
+//! re-count only the moved dimension through the incremental per-dimension
+//! statistics cache (`optimizer::StatsCache`), leaving the rest as cached
+//! bitset ANDs.
 
 /// Knobs for [`descend`].
 #[derive(Debug, Clone, Copy)]

@@ -6,6 +6,24 @@
 //! weight-model features by counting sample points. Because flattening makes
 //! every marginal uniform, a dimension with `c` columns splits at
 //! `i/c` for `i = 1..c` in flattened space.
+//!
+//! ## Incremental per-dimension statistics
+//!
+//! A layout's statistics are a *conjunction* of independent per-dimension
+//! facts about each sample point: which column it lands in under `c`
+//! columns of grid dimension `d` (inside the query's column range? on a
+//! boundary column?), and whether it passes the sort-dimension filter.
+//! [`SampleSpace::query_stats`] recomputes all of them with one scan per
+//! call; [`SampleSpace::query_stats_cached`] instead caches each
+//! dimension's contribution as per-query bitsets keyed on
+//! `(dim, column_count)` in a [`StatsCache`], so a gradient-descent probe
+//! that moves one dimension's column count re-counts **only that
+//! dimension** (the dirty set) and re-derives `N_s`/`N_c`/the exact-point
+//! count by AND-ing cached masks — a word-parallel operation 64× narrower
+//! than the point scan. The two paths are bit-identical by construction:
+//! identical column arithmetic, identical multiplication order for `N_c`,
+//! and one shared [`QueryStatistics::estimated`] constructor (pinned by
+//! `tests/prop_incremental.rs` over arbitrary probe sequences).
 
 use crate::cost::features::QueryStatistics;
 use flood_learned::cdf::CdfModel;
@@ -13,6 +31,7 @@ use flood_learned::rmi::{Rmi, RmiConfig};
 use flood_store::{RangeQuery, Table};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
+use std::collections::HashMap;
 
 /// A flattened query: per-dimension bounds in `[0, 1]` flat space.
 #[derive(Debug, Clone)]
@@ -28,6 +47,10 @@ pub struct FlatQuery {
 pub struct SampleSpace {
     /// Row-major flattened sample values: `flat[p * dims + d]`.
     flat: Vec<f32>,
+    /// Column-major copy: `flat_by_dim[d * n_points + p]`. Mask building in
+    /// the incremental path walks one dimension over every point; the
+    /// transposed layout keeps that walk sequential.
+    flat_by_dim: Vec<f32>,
     n_points: usize,
     n_dims: usize,
     /// Scale factor from sample counts to full-dataset counts.
@@ -37,7 +60,16 @@ pub struct SampleSpace {
     /// Average flattened query width per dimension (selectivity), `None`
     /// for dimensions never filtered.
     avg_selectivity: Vec<Option<f64>>,
+    /// Process-unique identity stamped at build time; a [`StatsCache`]
+    /// carries its creator's id so cross-space reuse panics instead of
+    /// silently producing wrong statistics (sample sizes can collide,
+    /// identities cannot). Clones share the id — their masks are valid
+    /// for each other by construction.
+    space_id: u64,
 }
+
+/// Source of [`SampleSpace::space_id`] values.
+static NEXT_SPACE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl SampleSpace {
     /// Sample up to `max_sample` rows of `table`, train per-dimension RMIs
@@ -66,11 +98,18 @@ impl SampleSpace {
             cdfs.push(Rmi::build(&vals, RmiConfig::default()));
         }
 
-        // Flatten the sample, row-major.
+        // Flatten the sample, row-major, plus a column-major transpose for
+        // the incremental path's per-dimension mask builds.
         let mut flat = Vec::with_capacity(n_points * n_dims);
         for &r in &rows {
             for (d, cdf) in cdfs.iter().enumerate() {
                 flat.push(cdf.cdf(table.value(r, d)) as f32);
+            }
+        }
+        let mut flat_by_dim = vec![0.0f32; n_points * n_dims];
+        for p in 0..n_points {
+            for d in 0..n_dims {
+                flat_by_dim[d * n_points + p] = flat[p * n_dims + d];
             }
         }
 
@@ -111,12 +150,14 @@ impl SampleSpace {
 
         SampleSpace {
             flat,
+            flat_by_dim,
             n_points,
             n_dims,
             scale: full_n as f64 / n_points.max(1) as f64,
             full_n,
             queries: flat_queries,
             avg_selectivity,
+            space_id: NEXT_SPACE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -217,23 +258,291 @@ impl SampleSpace {
             }
             let ns = ns_sample as f64 * self.scale;
             let exact = exact_sample as f64 * self.scale;
-            out.push(QueryStatistics {
+            out.push(QueryStatistics::estimated(
                 nc,
                 ns,
+                exact,
                 total_cells,
-                avg_cell_size: avg_cell,
-                // Flattening keeps cells near-uniform; estimate the median
-                // at the mean and the tail at twice it (measured values are
-                // used during calibration, estimates only during search).
-                median_cell_size: avg_cell,
-                p95_cell_size: avg_cell * 2.0,
-                dims_filtered: q.dims_filtered as f64,
-                avg_visited_per_cell: ns / nc.max(1.0),
-                exact_points: exact,
-                sort_filtered: sort_bound.is_some(),
-            });
+                avg_cell,
+                q.dims_filtered as f64,
+                sort_bound.is_some(),
+            ));
         }
         out
+    }
+
+    /// A [`StatsCache`] bound to this sample, for
+    /// [`SampleSpace::query_stats_cached`].
+    pub fn stats_cache(&self) -> StatsCache {
+        StatsCache {
+            grid: HashMap::new(),
+            sort: HashMap::new(),
+            space_id: self.space_id,
+            recounts: 0,
+            reuses: 0,
+        }
+    }
+
+    /// [`SampleSpace::query_stats`], incrementally: identical output (bit
+    /// for bit), but each dimension's per-point contribution is cached in
+    /// `cache` keyed on `(dim, column_count)`, so only dimensions whose
+    /// column count this probe actually changed are re-counted.
+    ///
+    /// # Panics
+    /// Panics if `cache` was built by a different [`SampleSpace`] (the
+    /// masks would be meaningless) or if `cols`/`order` lengths disagree.
+    pub fn query_stats_cached(
+        &self,
+        order: &[usize],
+        cols: &[usize],
+        cache: &mut StatsCache,
+    ) -> Vec<QueryStatistics> {
+        assert_eq!(cols.len() + 1, order.len());
+        assert!(
+            cache.space_id == self.space_id,
+            "StatsCache built for a different SampleSpace"
+        );
+        let grid_dims = &order[..order.len() - 1];
+        let sort_dim = *order.last().expect("non-empty order");
+        let total_cells: f64 = cols.iter().map(|&c| c as f64).product::<f64>().max(1.0);
+        let avg_cell = self.full_n as f64 / total_cells;
+
+        // Dirty-set recomputation: build masks only for (dim, cols) pairs
+        // this probe introduced; everything else is served from the cache.
+        for (&d, &c) in grid_dims.iter().zip(cols) {
+            if cache.grid.contains_key(&(d, c)) {
+                cache.reuses += 1;
+            } else {
+                cache.recounts += 1;
+                let entry = self.build_grid_entry(d, c);
+                cache.grid.insert((d, c), entry);
+            }
+        }
+        if cache.sort.contains_key(&sort_dim) {
+            cache.reuses += 1;
+        } else {
+            cache.recounts += 1;
+            let entry = self.build_sort_entry(sort_dim);
+            cache.sort.insert(sort_dim, entry);
+        }
+
+        let words = self.n_points.div_ceil(WORD_BITS);
+        // All-points mask, with trailing bits beyond `n_points` cleared so
+        // popcounts equal point counts.
+        let mut ones = vec![!0u64; words];
+        if let Some(last) = ones.last_mut() {
+            let tail = self.n_points % WORD_BITS;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        let sort_entry = &cache.sort[&sort_dim];
+        let mut acc = vec![0u64; words];
+        let mut out = Vec::with_capacity(self.queries.len());
+        for (qi, q) in self.queries.iter().enumerate() {
+            // N_c: multiply per-dimension column counts in `grid_dims`
+            // order — the same f64 multiplication sequence as the full
+            // scan, so the product is bit-identical.
+            let mut nc = 1.0f64;
+            acc.copy_from_slice(&ones);
+            for (&d, &c) in grid_dims.iter().zip(cols) {
+                let masks = &cache.grid[&(d, c)].per_query[qi];
+                nc *= masks.ncols;
+                if let Some(f) = &masks.filtered {
+                    and(&mut acc, &f.pass);
+                }
+            }
+            if let Some(m) = &sort_entry.per_query[qi] {
+                and(&mut acc, m);
+            }
+            let ns_sample = popcount(&acc);
+            // Any filter on an unindexed dimension forces per-point checks,
+            // so no sub-range can be exact.
+            let has_unindexed_filter =
+                (0..self.n_dims).any(|d| q.bounds[d].is_some() && !order.contains(&d));
+            let exact_sample = if has_unindexed_filter {
+                0
+            } else {
+                for (&d, &c) in grid_dims.iter().zip(cols) {
+                    if let Some(f) = &cache.grid[&(d, c)].per_query[qi].filtered {
+                        and_not(&mut acc, &f.boundary);
+                    }
+                }
+                popcount(&acc)
+            };
+            let ns = ns_sample as f64 * self.scale;
+            let exact = exact_sample as f64 * self.scale;
+            out.push(QueryStatistics::estimated(
+                nc,
+                ns,
+                exact,
+                total_cells,
+                avg_cell,
+                q.dims_filtered as f64,
+                q.bounds[sort_dim].is_some(),
+            ));
+        }
+        out
+    }
+
+    /// Count one grid dimension at one column count, for every query: the
+    /// per-point pass/boundary bitsets and the query rectangle's column
+    /// span. Uses exactly the column arithmetic of the full scan.
+    fn build_grid_entry(&self, dim: usize, c: usize) -> GridEntry {
+        let words = self.n_points.div_ceil(WORD_BITS);
+        let col_vals = &self.flat_by_dim[dim * self.n_points..(dim + 1) * self.n_points];
+        let per_query = self
+            .queries
+            .iter()
+            .map(|q| match q.bounds[dim] {
+                Some((lo, hi)) => {
+                    let lo_col = ((lo as f64 * c as f64) as u32).min(c as u32 - 1);
+                    let hi_col = ((hi as f64 * c as f64) as u32).min(c as u32 - 1);
+                    let mut pass = vec![0u64; words];
+                    let mut boundary = vec![0u64; words];
+                    for (p, &v) in col_vals.iter().enumerate() {
+                        let col = ((v as f64 * c as f64) as u32).min(c as u32 - 1);
+                        if col < lo_col || col > hi_col {
+                            continue;
+                        }
+                        pass[p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
+                        if col == lo_col || col == hi_col {
+                            boundary[p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
+                        }
+                    }
+                    GridMasks {
+                        ncols: (hi_col - lo_col + 1) as f64,
+                        filtered: Some(FilteredMasks { pass, boundary }),
+                    }
+                }
+                // The query rectangle spans the whole dimension: every
+                // column contributes to N_c, every point passes, and no
+                // boundary column shrinks the exact sub-range.
+                None => GridMasks {
+                    ncols: c as f64,
+                    filtered: None,
+                },
+            })
+            .collect();
+        GridEntry { per_query }
+    }
+
+    /// Count the sort-dimension crossings for every query: which points
+    /// pass the query's sort-dimension bound (`None` when unfiltered —
+    /// refinement never runs and every point passes).
+    fn build_sort_entry(&self, dim: usize) -> SortEntry {
+        let words = self.n_points.div_ceil(WORD_BITS);
+        let col_vals = &self.flat_by_dim[dim * self.n_points..(dim + 1) * self.n_points];
+        let per_query = self
+            .queries
+            .iter()
+            .map(|q| {
+                q.bounds[dim].map(|(lo, hi)| {
+                    let mut pass = vec![0u64; words];
+                    for (p, &v) in col_vals.iter().enumerate() {
+                        if v < lo || v > hi {
+                            continue;
+                        }
+                        pass[p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
+                    }
+                    pass
+                })
+            })
+            .collect();
+        SortEntry { per_query }
+    }
+}
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn and(acc: &mut [u64], mask: &[u64]) {
+    for (a, m) in acc.iter_mut().zip(mask) {
+        *a &= m;
+    }
+}
+
+#[inline]
+fn and_not(acc: &mut [u64], mask: &[u64]) {
+    for (a, m) in acc.iter_mut().zip(mask) {
+        *a &= !m;
+    }
+}
+
+#[inline]
+fn popcount(acc: &[u64]) -> usize {
+    acc.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// One grid dimension's cached contribution to one query at one column
+/// count.
+#[derive(Debug, Clone)]
+struct GridMasks {
+    /// Columns of this dimension inside the query rectangle — the factor
+    /// this dimension contributes to `N_c`.
+    ncols: f64,
+    /// Pass/boundary bitsets when the query filters this dimension; `None`
+    /// when unfiltered (every point passes, no boundary).
+    filtered: Option<FilteredMasks>,
+}
+
+/// Bitsets over sample points for one filtered (query, dim, cols) triple.
+#[derive(Debug, Clone)]
+struct FilteredMasks {
+    /// Bit `p` set ⇔ point `p`'s column lies inside the query's column
+    /// range.
+    pass: Vec<u64>,
+    /// Bit `p` set ⇔ point `p` passes *and* lands on a boundary column
+    /// (`lo_col` or `hi_col`) — it is visited but not inside an exact
+    /// sub-range.
+    boundary: Vec<u64>,
+}
+
+/// All queries' masks for one `(dim, cols)` pair.
+#[derive(Debug, Clone)]
+struct GridEntry {
+    per_query: Vec<GridMasks>,
+}
+
+/// All queries' sort-dimension pass masks for one dimension (column-count
+/// independent: refinement bounds don't depend on the grid).
+#[derive(Debug, Clone)]
+struct SortEntry {
+    per_query: Vec<Option<Vec<u64>>>,
+}
+
+/// Memo of per-dimension statistics for one [`SampleSpace`], keyed on
+/// `(dim, column_count)` — the dirty-set cache behind
+/// [`SampleSpace::query_stats_cached`].
+///
+/// A gradient-descent probe that moves one dimension hits the cache for
+/// every unmoved dimension and re-counts only the moved one; because the
+/// finite-difference probes of [`crate::optimizer::gradient::descend`]
+/// revisit the same per-dimension column counts over and over (and every
+/// sort-dimension candidate of Algorithm 1 shares the cache), most probes
+/// re-count *nothing* and reduce to bitset ANDs. [`StatsCache::recounts`] /
+/// [`StatsCache::reuses`] report the effect.
+#[derive(Debug, Clone)]
+pub struct StatsCache {
+    grid: HashMap<(usize, usize), GridEntry>,
+    sort: HashMap<usize, SortEntry>,
+    /// Identity of the owning sample (process-unique, stamped at build
+    /// time), to reject cross-space reuse — sizes alone can collide.
+    space_id: u64,
+    recounts: usize,
+    reuses: usize,
+}
+
+impl StatsCache {
+    /// Per-dimension contributions counted from scratch (cache misses).
+    pub fn recounts(&self) -> usize {
+        self.recounts
+    }
+
+    /// Per-dimension contributions served from the cache — dimensions a
+    /// probe needed but did not move.
+    pub fn reuses(&self) -> usize {
+        self.reuses
     }
 }
 
@@ -327,6 +636,50 @@ mod tests {
         assert!(!without.sort_filtered);
         // The unindexed dim-2 filter kills exactness in the second layout.
         assert_eq!(without.exact_points, 0.0);
+    }
+
+    #[test]
+    fn cached_stats_equal_full_scan_bit_for_bit() {
+        let qs = vec![
+            RangeQuery::all(3)
+                .with_range(0, 0, 99)
+                .with_range(2, 0, 399),
+            RangeQuery::all(3)
+                .with_range(1, 0, 4_000)
+                .with_range(2, 100, 3_000),
+            RangeQuery::all(3).with_range(1, 500, 600),
+        ];
+        let s = space(&qs, 1_500);
+        let mut cache = s.stats_cache();
+        // A probe sequence that moves one dimension at a time, revisits
+        // earlier column counts, and switches orders mid-stream.
+        let probes: &[(&[usize], &[usize])] = &[
+            (&[0, 1, 2], &[8, 8]),
+            (&[0, 1, 2], &[16, 8]),  // dim 0 moved
+            (&[0, 1, 2], &[16, 4]),  // dim 1 moved
+            (&[0, 1, 2], &[8, 8]),   // revisit
+            (&[1, 0, 2], &[4, 32]),  // swapped order
+            (&[2, 0], &[64]),        // subset order, unindexed filter on 1
+            (&[0, 1, 2], &[16, 16]), // back to the first order
+        ];
+        for &(order, cols) in probes {
+            let full = s.query_stats(order, cols);
+            let cached = s.query_stats_cached(order, cols, &mut cache);
+            assert_eq!(full, cached, "order {order:?} cols {cols:?}");
+        }
+        assert!(cache.reuses() > 0, "probe sequence must hit the cache");
+    }
+
+    #[test]
+    #[should_panic(expected = "different SampleSpace")]
+    fn cache_rejects_foreign_sample_space() {
+        let qs = vec![RangeQuery::all(3).with_range(0, 0, 99)];
+        // Identical sample size and query count — sizes collide, so only
+        // the stamped identity can tell these spaces apart.
+        let a = space(&qs, 500);
+        let b = space(&qs, 500);
+        let mut cache = a.stats_cache();
+        let _ = b.query_stats_cached(&[0, 2], &[8], &mut cache);
     }
 
     #[test]

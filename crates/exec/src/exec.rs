@@ -1,4 +1,18 @@
 //! The query executor: parallel single-query scans and batched queries.
+//!
+//! Paper map: §8's concurrency remark — "different cells can be refined
+//! and scanned simultaneously. This can be especially useful for large
+//! queries" — is the latency mode ([`QueryExecutor::execute`]): Table 2
+//! splits a Flood query into projection (SO/TPS), refinement (IT) and scan
+//! (ST) phases, and only the scan phase scales with data volume, so that
+//! is the phase split across workers. Projection and refinement stay on
+//! the calling thread, exactly as the serial §3.2 pipeline runs them. The
+//! throughput mode ([`QueryExecutor::execute_batch`]) is the independent
+//! complement for OLAP workloads like §7.3's: whole queries are
+//! independent units of work, so any [`MultiDimIndex`] — baselines
+//! included — benefits without implementing partitioning. `repro threads`
+//! sweeps both modes; BASELINES.md records the numbers and the 1-vCPU
+//! caveat of the reference machine.
 
 use crate::pool::ThreadPool;
 use flood_store::{MergeVisitor, MultiDimIndex, PartitionedScan, RangeQuery, ScanStats, Visitor};

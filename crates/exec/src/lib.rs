@@ -25,6 +25,14 @@
 //! MinMax/Collect visitors); only visitor ordering and `scan_ns` may
 //! differ.
 //!
+//! Paper map: §8 "Other Optimizations" (concurrency) → [`exec`] and the
+//! `repro threads` experiment; the phase anatomy that motivates splitting
+//! only the scan (Table 2's SO/TPS/IT/ST breakdown) → [`exec`]'s module
+//! docs; the balanced, block-aligned task planning → `flood_store`'s
+//! `partition` module. Measured scaling lives in BASELINES.md — note the
+//! reference machine has one vCPU, so its tables pin overhead, not
+//! speedup.
+//!
 //! ```
 //! use flood_exec::{QueryExecutor, ThreadPool};
 //! use flood_store::{CountVisitor, RangeQuery, Table};

@@ -10,6 +10,15 @@
 //! With one thread (the degenerate mode) nothing is spawned at all: tasks
 //! run inline on the caller's stack, making the serial path zero-overhead
 //! and trivially deadlock-free.
+//!
+//! Paper map: the paper's evaluation is single-threaded ("Flood is
+//! currently single threaded", §7) and §8 sketches intra-query parallelism
+//! as future work; this pool is the substrate that turns the sketch into
+//! the measured `repro threads` experiment. Scoped (per-call) workers were
+//! chosen over a resident pool because every paper-shaped workload is a
+//! burst of scans over borrowed `Table`s — there is no long-lived server
+//! loop to amortize thread startup against, and scoped lifetimes let scan
+//! plans borrow straight from the index with no reference counting.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

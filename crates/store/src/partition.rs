@@ -8,6 +8,19 @@
 //! fall wherever the caller's cells fall — distinct ranges meeting inside
 //! one block can still land in different tasks, which is fine for the
 //! read-only scans this serves.)
+//!
+//! Paper map: the ranges being split are the refined per-cell sub-ranges
+//! of §3.2 step 3 — after projection and refinement have already shrunk
+//! the work to `N_s` points — so splitting them realizes §8's "different
+//! cells can be … scanned simultaneously" without touching the index
+//! structures. The population skew this guards against is the same
+//! skew flattening (§5.1) reduces but does not eliminate (Fig 5's
+//! cell-size spread); [`BLOCK_LEN`] alignment preserves the §3 column
+//! store's invariant that a compression block is decoded by exactly one
+//! scanner. [`RangeChunk::continuation`] exists for Table 2's accounting:
+//! merged [`ScanStats`](crate::ScanStats) — `ranges_scanned` included —
+//! must be identical to a serial execution, so a range cut across workers
+//! still counts once.
 
 use crate::block::BLOCK_LEN;
 
