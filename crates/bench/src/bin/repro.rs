@@ -1,14 +1,17 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale F] [--queries N] [--seed N] [--threads N] [--full] [--verbose]
+//! repro <experiment> [--scale F] [--queries N] [--seed N] [--threads N] \
+//!       [--json PATH] [--full] [--verbose]
 //! repro list
 //! ```
 //!
 //! `--scale` multiplies the default dataset sizes (1.0 ≈ 30k–200k rows per
 //! dataset); `--threads N` runs every workload through the `flood-exec`
 //! pool with N workers (1 = the serial path); `--full` switches sweeps to
-//! the paper-sized grids; `--verbose`
+//! the paper-sized grids; `--json PATH` writes a machine-readable perf
+//! record (per-experiment wall-clock, phase timings, and key metrics —
+//! the artifact CI uploads on every push); `--verbose`
 //! streams per-phase progress to stderr. Absolute numbers differ from the
 //! paper's testbed; the reproduction target is the *shape* of each result.
 //! A per-phase wall-clock summary (data gen, calibration, layout
@@ -16,6 +19,7 @@
 
 use flood_bench::experiments::{self as exp, ExpConfig};
 use flood_bench::phases;
+use flood_bench::report::{self, ExperimentRecord, PerfReport};
 use std::process::ExitCode;
 
 /// CLI name, what it reproduces, entry point.
@@ -76,6 +80,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "Fig 15/16: optimizer search cost, full vs incremental stats",
         exp::optcost::run,
     ),
+    (
+        "drift",
+        "§8: adaptive re-learning under workload drift",
+        exp::drift::run,
+    ),
 ];
 
 fn print_experiment_list() {
@@ -89,7 +98,7 @@ fn print_experiment_list() {
 fn usage() {
     eprintln!(
         "usage: repro <experiment> [--scale F] [--queries N] [--seed N] [--threads N] \
-         [--full] [--verbose]"
+         [--json PATH] [--full] [--verbose]"
     );
     eprintln!("       repro list");
     print_experiment_list();
@@ -103,13 +112,14 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Resu
         .map_err(|_| format!("{flag}: cannot parse {v:?} as a number"))
 }
 
-/// Parsed command line: experiment config plus the worker count, which is
-/// applied once to the harness-global executor knob
-/// ([`flood_bench::harness::set_exec_threads`]) rather than carried in
-/// [`ExpConfig`].
-fn parse_config(args: &[String]) -> Result<(ExpConfig, usize), String> {
+/// Parsed command line: experiment config, the worker count (applied once
+/// to the harness-global executor knob
+/// [`flood_bench::harness::set_exec_threads`] rather than carried in
+/// [`ExpConfig`]), and the optional `--json` output path.
+fn parse_config(args: &[String]) -> Result<(ExpConfig, usize, Option<String>), String> {
     let mut cfg = ExpConfig::default();
     let mut threads = 1usize;
+    let mut json: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -132,12 +142,26 @@ fn parse_config(args: &[String]) -> Result<(ExpConfig, usize), String> {
                     return Err("--threads must be at least 1".to_string());
                 }
             }
+            "--json" => {
+                let path = it.next().ok_or("--json needs a file path")?;
+                json = Some(path.clone());
+            }
             "--full" => cfg.full = true,
             "--verbose" | "-v" => phases::set_verbose(true),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok((cfg, threads))
+    Ok((cfg, threads, json))
+}
+
+/// Serialize and write the perf report; a write failure is an error exit,
+/// not a panic (CI must notice a missing artifact).
+fn write_report(path: &str, report: &PerfReport) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| format!("cannot serialize perf report: {e}"))?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("perf report written to {path}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -150,7 +174,7 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::SUCCESS;
     }
-    let (cfg, threads) = match parse_config(&args[1..]) {
+    let (cfg, threads, json) = match parse_config(&args[1..]) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -164,12 +188,15 @@ fn main() -> ExitCode {
         cfg.scale, cfg.queries, cfg.seed, threads, cfg.full
     );
     let t0 = std::time::Instant::now();
+    let mut records: Vec<ExperimentRecord> = Vec::new();
     if which == "all" {
         for (name, _, run) in EXPERIMENTS {
             // Attribute phase time per experiment, not across the suite.
             phases::reset_phases();
+            report::take_metrics();
             let t = std::time::Instant::now();
             run(&cfg);
+            records.push(report::experiment_record(name, t.elapsed().as_secs_f64()));
             phases::print_phase_summary();
             println!("\n[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
         }
@@ -179,8 +206,28 @@ fn main() -> ExitCode {
             print_experiment_list();
             return ExitCode::FAILURE;
         };
+        report::take_metrics();
         run(&cfg);
+        records.push(report::experiment_record(
+            &which,
+            t0.elapsed().as_secs_f64(),
+        ));
         phases::print_phase_summary();
+    }
+    if let Some(path) = json {
+        let perf = PerfReport {
+            schema_version: report::SCHEMA_VERSION,
+            scale: cfg.scale,
+            queries: cfg.queries,
+            seed: cfg.seed,
+            threads,
+            full: cfg.full,
+            experiments: records,
+        };
+        if let Err(e) = write_report(&path, &perf) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     println!("\n[{which} done in {:.1}s]", t0.elapsed().as_secs_f64());
     ExitCode::SUCCESS

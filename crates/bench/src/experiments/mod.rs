@@ -4,6 +4,7 @@
 
 pub mod colstore;
 pub mod costmodel;
+pub mod drift;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

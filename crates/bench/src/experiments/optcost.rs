@@ -109,6 +109,23 @@ pub fn run_point(cfg: &ExpConfig, d: usize, n: usize, trials: usize) -> OptRow {
     }
 }
 
+/// Push each row's search speedup into the perf report (the regression
+/// signal `repro --json` preserves for CI).
+fn report_rows(prefix: &str, rows: &[OptRow]) {
+    for r in rows {
+        crate::report::metric(
+            &format!("optcost.{prefix}.d{}.n{}.speedup", r.dims, r.rows),
+            r.speedup(),
+            "x",
+        );
+        crate::report::metric(
+            &format!("optcost.{prefix}.d{}.n{}.incr_ms", r.dims, r.rows),
+            r.inc_ms,
+            "ms",
+        );
+    }
+}
+
 fn print_rows(rows: &[OptRow]) {
     println!(
         "{:>5} {:>9} {:>10} {:>10} {:>8} {:>7} {:>10} {:>9} {:>8} {:>6}",
@@ -159,6 +176,7 @@ pub fn run(cfg: &ExpConfig) {
         .map(|&d| run_point(cfg, d, n.max(256), trials))
         .collect();
     print_rows(&rows);
+    report_rows("dims", &rows);
 
     // Table-size sweep (Fig 15 territory: the data sample — and with it
     // every mask build and re-scan — grows with the table until the
@@ -181,6 +199,7 @@ pub fn run(cfg: &ExpConfig) {
         })
         .collect();
     print_rows(&rows);
+    report_rows("size", &rows);
 
     println!(
         "\nboth modes search identically (bit-identical costs; `agree` checks it) — \

@@ -12,3 +12,4 @@
 pub mod experiments;
 pub mod harness;
 pub mod phases;
+pub mod report;

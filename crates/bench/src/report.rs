@@ -1,0 +1,171 @@
+//! Machine-readable perf records: the `repro --json <path>` trajectory CI
+//! uploads on every push.
+//!
+//! Experiments stay printf-shaped for humans; alongside that, any
+//! experiment can push named [`Metric`]s into a process-global sink
+//! ([`metric`]), and the `repro` binary snapshots the sink plus the phase
+//! registry after each experiment into an [`ExperimentRecord`]. The final
+//! [`PerfReport`] is stable JSON (schema versioned, flat metric names like
+//! `drift.p1.frozen_ms`), so a CI artifact diff across commits is a perf
+//! regression signal without re-parsing human tables.
+
+use crate::phases;
+use serde::Serialize;
+use std::sync::Mutex;
+
+/// Bump when the JSON shape changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One named measurement an experiment reported.
+#[derive(Debug, Clone, Serialize)]
+pub struct Metric {
+    /// Dotted, stable name (`optcost.d4.speedup`, `drift.p2.shared_ms`).
+    pub name: String,
+    /// The measurement.
+    pub value: f64,
+    /// Unit tag (`ms`, `x`, `count`).
+    pub unit: String,
+}
+
+/// Phase-registry snapshot entry (mirrors `phases::phase_totals`).
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseTime {
+    /// Phase name (`data-gen`, `layout-opt`, …).
+    pub phase: String,
+    /// Total wall-clock attributed to the phase, seconds.
+    pub total_s: f64,
+    /// Times the phase was entered.
+    pub calls: usize,
+}
+
+/// One experiment's record: wall-clock, where the time went, and its key
+/// metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment name as the `repro` CLI knows it.
+    pub name: String,
+    /// End-to-end wall-clock, seconds.
+    pub wall_s: f64,
+    /// Per-phase timing snapshot.
+    pub phases: Vec<PhaseTime>,
+    /// Metrics the experiment pushed via [`metric`].
+    pub metrics: Vec<Metric>,
+}
+
+/// The full perf trajectory of one `repro` invocation.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfReport {
+    /// JSON schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// `--scale` the run used.
+    pub scale: f64,
+    /// `--queries` the run used.
+    pub queries: usize,
+    /// `--seed` the run used.
+    pub seed: u64,
+    /// `--threads` the run used.
+    pub threads: usize,
+    /// Whether `--full` sweeps ran.
+    pub full: bool,
+    /// One record per experiment, in execution order.
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+/// Process-global metric sink (the repro binary runs experiments one at a
+/// time; tests that share the process drain around their own runs).
+static METRICS: Mutex<Vec<Metric>> = Mutex::new(Vec::new());
+
+/// Report a measurement under a stable dotted name.
+pub fn metric(name: &str, value: f64, unit: &str) {
+    METRICS.lock().expect("metric sink lock").push(Metric {
+        name: name.to_string(),
+        value,
+        unit: unit.to_string(),
+    });
+}
+
+/// Drain every metric reported since the last call.
+pub fn take_metrics() -> Vec<Metric> {
+    std::mem::take(&mut *METRICS.lock().expect("metric sink lock"))
+}
+
+/// Snapshot the phase registry plus the metric sink into one experiment's
+/// record (draining the sink).
+pub fn experiment_record(name: &str, wall_s: f64) -> ExperimentRecord {
+    ExperimentRecord {
+        name: name.to_string(),
+        wall_s,
+        phases: phases::phase_totals()
+            .into_iter()
+            .map(|(phase, total, calls)| PhaseTime {
+                phase,
+                total_s: total.as_secs_f64(),
+                calls,
+            })
+            .collect(),
+        metrics: take_metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink is process-global and other tests in this crate push real
+    // metrics concurrently, so assert only on this test's uniquely-prefixed
+    // entries, never on global emptiness.
+    #[test]
+    fn sink_drains_and_records_assemble() {
+        metric("test-sink.alpha", 1.5, "ms");
+        metric("test-sink.beta", 2.0, "x");
+        let rec = experiment_record("unit", 0.25);
+        assert_eq!(rec.name, "unit");
+        let names: Vec<&str> = rec.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"test-sink.alpha") && names.contains(&"test-sink.beta"));
+        // The record drained them: a second record sees neither.
+        let again = experiment_record("unit-again", 0.1);
+        assert!(
+            again
+                .metrics
+                .iter()
+                .all(|m| !m.name.starts_with("test-sink.")),
+            "already-drained metrics must not reappear: {:?}",
+            again.metrics
+        );
+    }
+
+    #[test]
+    fn report_serializes_to_stable_json() {
+        let report = PerfReport {
+            schema_version: SCHEMA_VERSION,
+            scale: 0.25,
+            queries: 30,
+            seed: 42,
+            threads: 2,
+            full: false,
+            experiments: vec![ExperimentRecord {
+                name: "drift".into(),
+                wall_s: 1.25,
+                phases: vec![PhaseTime {
+                    phase: "query-exec".into(),
+                    total_s: 0.5,
+                    calls: 4,
+                }],
+                metrics: vec![Metric {
+                    name: "drift.p1.frozen_ms".into(),
+                    value: 3.5,
+                    unit: "ms".into(),
+                }],
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).expect("serializes");
+        for needle in [
+            "\"schema_version\": 1",
+            "\"drift.p1.frozen_ms\"",
+            "\"query-exec\"",
+            "\"wall_s\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+}

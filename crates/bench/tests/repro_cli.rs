@@ -49,6 +49,7 @@ fn list_shows_every_experiment_and_succeeds() {
         "lookup",
         "threads",
         "optcost",
+        "drift",
         "all",
     ] {
         assert!(err.contains(name), "`repro list` must mention {name}");
@@ -85,6 +86,62 @@ fn bad_scale_values_fail_without_panicking() {
             "{bad:?} must report a parse error, got: {err}"
         );
     }
+}
+
+#[test]
+fn json_flag_writes_a_parseable_perf_report() {
+    let dir = std::env::temp_dir().join(format!("repro-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench.json");
+    let path_s = path.to_str().expect("utf-8 path");
+    // fig5 is the cheapest experiment; tiny scale keeps this fast even in
+    // debug builds.
+    let out = repro(&[
+        "fig5",
+        "--scale",
+        "0.02",
+        "--queries",
+        "4",
+        "--json",
+        path_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&path).expect("report written");
+    for needle in [
+        "\"schema_version\"",
+        "\"experiments\"",
+        "\"name\": \"fig5\"",
+        "\"wall_s\"",
+        "\"phases\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    // Round-trips through the vendored JSON parser.
+    let value: serde::Value = serde_json::from_str(&text).expect("valid JSON");
+    drop(value);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_flag_requires_a_path() {
+    let out = repro(&["fig5", "--json"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--json needs a file path"));
+}
+
+#[test]
+fn json_write_failure_is_an_error_exit() {
+    let out = repro(&[
+        "fig5",
+        "--scale",
+        "0.02",
+        "--queries",
+        "4",
+        "--json",
+        "/nonexistent-dir/bench.json",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot write"), "{}", stderr(&out));
 }
 
 #[test]

@@ -8,12 +8,30 @@
 //! against them with the cost model, and rebuilds with a freshly optimized
 //! layout when the predicted cost degrades beyond a configurable factor of
 //! the cost at the last (re)build.
+//!
+//! ## Cache sharing across re-learns
+//!
+//! Pricing and re-learning both run against a flattened data sample
+//! ([`crate::optimizer::SampleSpace`]), whose expensive half — row
+//! sampling, per-dimension RMI training, flattening — depends only on the
+//! data. Flood is clustered, so rebuilds permute rows but never change the
+//! data *multiset*; with [`AdaptiveConfig::share_cache`] (the default) the
+//! index keeps one [`EvaluatorCache`] alive across every check and
+//! re-learn: the data sample is flattened **once**, and the
+//! query-dependent layers (flattened windows, per-dimension mask caches,
+//! layout memos) are keyed on a fingerprint of the sampled observation
+//! window, so the degradation check that triggers a re-learn hands its
+//! masks and memo entries straight to the layout search. With
+//! `share_cache: false` every check and re-learn re-flattens from scratch
+//! — the cold baseline the `repro drift` experiment measures against.
+//! [`AdaptiveFlood::diagnostics`] reports both modes' work.
 
 use crate::config::FloodConfig;
 use crate::index::FloodIndex;
-use crate::optimizer::LayoutOptimizer;
+use crate::optimizer::{EvaluatorCache, LayoutOptimizer, OptimizedLayout};
 use flood_store::{MultiDimIndex, RangeQuery, ScanStats, Table, Visitor};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 /// Configuration for [`AdaptiveFlood`].
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +43,11 @@ pub struct AdaptiveConfig {
     /// Retrain when `cost(current layout, window)` exceeds
     /// `degradation_factor × cost(layout at last build, its workload)`.
     pub degradation_factor: f64,
+    /// Share the optimizer's flattened sample and statistics caches across
+    /// checks and re-learns (the default). `false` re-flattens everything
+    /// per check/re-learn — the cold baseline for measuring what sharing
+    /// saves.
+    pub share_cache: bool,
 }
 
 impl Default for AdaptiveConfig {
@@ -33,7 +56,42 @@ impl Default for AdaptiveConfig {
             window: 100,
             check_every: 50,
             degradation_factor: 1.5,
+            share_cache: true,
         }
+    }
+}
+
+/// Work counters for one [`AdaptiveFlood`]'s lifetime, for the `repro
+/// drift` experiment and the re-learn regression tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdaptiveDiagnostics {
+    /// Times the layout was replaced.
+    pub relearns: usize,
+    /// Degradation checks run (windows priced).
+    pub checks: usize,
+    /// Wall-clock of each re-learn *search* (a degraded check triggered
+    /// Algorithm 1), whether or not the resulting layout was adopted.
+    pub relearn_wall: Vec<Duration>,
+    /// During re-learn searches: cost evaluations and per-dimension mask
+    /// fetches served by cache state built *before* the search began — the
+    /// degradation check's pricing work, or earlier windows. Always 0 with
+    /// `share_cache: false`.
+    pub cache_hits_across_relearns: usize,
+    /// Times the data sample was flattened (sampling + RMI training).
+    /// 1 for the whole lifetime with `share_cache`; grows with every check
+    /// and re-learn without it.
+    pub sample_flattens: usize,
+    /// Observation windows flattened into a fresh evaluator.
+    pub window_flattens: usize,
+    /// Checks/re-learns answered by a pooled evaluator (same window
+    /// fingerprint; only possible with `share_cache`).
+    pub window_reuses: usize,
+}
+
+impl AdaptiveDiagnostics {
+    /// Total wall-clock spent in re-learn searches.
+    pub fn relearn_wall_total(&self) -> Duration {
+        self.relearn_wall.iter().sum()
     }
 }
 
@@ -47,7 +105,16 @@ pub struct AdaptiveFlood {
     window: VecDeque<RangeQuery>,
     since_check: usize,
     baseline_cost: f64,
+    /// Shared flattened sample + per-window evaluators (`share_cache`).
+    shared: EvaluatorCache,
     relearns: usize,
+    checks: usize,
+    relearn_wall: Vec<Duration>,
+    cross_hits: usize,
+    /// Flatten counters for the cold path (the shared path reads its own
+    /// from [`EvaluatorCache`]).
+    cold_sample_flattens: usize,
+    cold_window_flattens: usize,
 }
 
 impl AdaptiveFlood {
@@ -60,7 +127,16 @@ impl AdaptiveFlood {
         flood_cfg: FloodConfig,
         cfg: AdaptiveConfig,
     ) -> Self {
-        let learned = optimizer.optimize(table, initial_workload);
+        let mut shared = EvaluatorCache::new();
+        let (learned, cold_sample_flattens, cold_window_flattens) = if cfg.share_cache {
+            (
+                optimizer.optimize_shared(table, initial_workload, &mut shared),
+                0,
+                0,
+            )
+        } else {
+            (optimizer.optimize(table, initial_workload), 1, 1)
+        };
         let index = FloodIndex::build(table, learned.layout, flood_cfg.clone());
         AdaptiveFlood {
             index,
@@ -70,7 +146,13 @@ impl AdaptiveFlood {
             window: VecDeque::with_capacity(cfg.window),
             since_check: 0,
             baseline_cost: learned.predicted_ns,
+            shared,
             relearns: 0,
+            checks: 0,
+            relearn_wall: Vec::new(),
+            cross_hits: 0,
+            cold_sample_flattens,
+            cold_window_flattens,
         }
     }
 
@@ -84,45 +166,103 @@ impl AdaptiveFlood {
         visitor: &mut dyn Visitor,
     ) -> (ScanStats, bool) {
         let stats = self.index.execute(query, agg_dim, visitor);
+        let retrained = self.observe(query);
+        (stats, retrained)
+    }
+
+    /// Record an already-executed query in the observation window and run
+    /// the periodic degradation check. Returns whether a retrain happened.
+    ///
+    /// Harnesses that time query execution separately from adaptation
+    /// execute against [`AdaptiveFlood::index`] and then feed the query
+    /// here; [`AdaptiveFlood::execute_adaptive`] is the two fused.
+    pub fn observe(&mut self, query: &RangeQuery) -> bool {
         if self.window.len() == self.cfg.window {
             self.window.pop_front();
         }
         self.window.push_back(query.clone());
         self.since_check += 1;
-        let mut retrained = false;
         if self.since_check >= self.cfg.check_every && self.window.len() >= self.cfg.window / 2 {
             self.since_check = 0;
-            retrained = self.maybe_retrain();
+            return self.maybe_retrain();
         }
-        (stats, retrained)
+        false
     }
 
     /// Price the current layout on the window; retrain when degraded.
     /// Returns whether a retrain happened.
+    ///
+    /// Both modes price the layout on the optimizer's deterministic query
+    /// sample of the window ([`LayoutOptimizer::sample_queries`]) — the
+    /// same subset a re-learn would search on, so the degradation
+    /// comparison and the adopt-or-keep comparison read from one scale.
     pub fn maybe_retrain(&mut self) -> bool {
-        let window: Vec<RangeQuery> = self.window.iter().cloned().collect();
-        if window.is_empty() {
+        if self.window.is_empty() {
             return false;
         }
-        let current = self
-            .optimizer
-            .predict_cost(self.index.data(), &window, self.index.layout());
+        let window: Vec<RangeQuery> = self.window.iter().cloned().collect();
+        self.checks += 1;
+        if self.cfg.share_cache {
+            self.check_shared(&window)
+        } else {
+            self.check_cold(&window)
+        }
+    }
+
+    /// Shared path: one data sample for the lifetime, evaluators pooled by
+    /// window fingerprint, the check's pricing work feeding the search.
+    fn check_shared(&mut self, window: &[RangeQuery]) -> bool {
+        let (queries, mut rng) = self.optimizer.sample_queries(window);
+        let eval = self
+            .shared
+            .evaluator(&self.optimizer, self.index.data(), &queries, &mut rng);
+        let current = eval.predict(self.index.layout());
         if current <= self.cfg.degradation_factor * self.baseline_cost {
             return false;
         }
-        // Degraded: learn a fresh layout for the recent window. The rebuild
-        // happens on the index's own data copy (Flood is clustered: the
-        // data multiset is the table).
-        let learned = self.optimizer.optimize(self.index.data(), &window);
-        // Only swap when the optimizer actually found something cheaper.
+        // Degraded: re-learn on the same evaluator. The epoch boundary
+        // separates the check's cache state from the search, so the
+        // cross-epoch counter reports exactly what the check pre-paid.
+        eval.advance_epoch();
+        let cross0 = eval.cross_epoch_hits();
+        let t0 = Instant::now();
+        let learned = self.optimizer.optimize_in(eval);
+        let wall = t0.elapsed();
+        self.cross_hits += eval.cross_epoch_hits() - cross0;
+        self.finish_retrain(learned, current, wall)
+    }
+
+    /// Cold path: every check and every re-learn samples, trains, and
+    /// flattens from scratch — what the shared path exists to avoid.
+    fn check_cold(&mut self, window: &[RangeQuery]) -> bool {
+        self.cold_sample_flattens += 1;
+        self.cold_window_flattens += 1;
+        let mut eval = self.optimizer.evaluator_sampled(self.index.data(), window);
+        let current = eval.predict(self.index.layout());
+        if current <= self.cfg.degradation_factor * self.baseline_cost {
+            return false;
+        }
+        self.cold_sample_flattens += 1;
+        self.cold_window_flattens += 1;
+        let t0 = Instant::now();
+        let learned = self.optimizer.optimize(self.index.data(), window);
+        let wall = t0.elapsed();
+        self.finish_retrain(learned, current, wall)
+    }
+
+    /// Adopt the learned layout when it beats the degraded current cost;
+    /// otherwise raise the baseline so the same window doesn't thrash.
+    fn finish_retrain(&mut self, learned: OptimizedLayout, current: f64, wall: Duration) -> bool {
+        self.relearn_wall.push(wall);
         if learned.predicted_ns < current {
+            // The rebuild happens on the index's own data copy (Flood is
+            // clustered: the data multiset is the table).
             self.index =
                 FloodIndex::build(self.index.data(), learned.layout, self.flood_cfg.clone());
             self.baseline_cost = learned.predicted_ns;
             self.relearns += 1;
             true
         } else {
-            // Keep the layout but raise the baseline so we don't thrash.
             self.baseline_cost = current;
             false
         }
@@ -141,6 +281,28 @@ impl AdaptiveFlood {
     /// Predicted cost baseline (ns/query) of the current layout.
     pub fn baseline_cost(&self) -> f64 {
         self.baseline_cost
+    }
+
+    /// Lifetime work counters (see [`AdaptiveDiagnostics`]).
+    pub fn diagnostics(&self) -> AdaptiveDiagnostics {
+        let (sample_flattens, window_flattens, window_reuses) = if self.cfg.share_cache {
+            (
+                self.shared.data_builds(),
+                self.shared.window_builds(),
+                self.shared.window_reuses(),
+            )
+        } else {
+            (self.cold_sample_flattens, self.cold_window_flattens, 0)
+        };
+        AdaptiveDiagnostics {
+            relearns: self.relearns,
+            checks: self.checks,
+            relearn_wall: self.relearn_wall.clone(),
+            cache_hits_across_relearns: self.cross_hits,
+            sample_flattens,
+            window_flattens,
+            window_reuses,
+        }
     }
 }
 
@@ -198,6 +360,7 @@ mod tests {
                 window: 20,
                 check_every: 10,
                 degradation_factor: 1.5,
+                ..Default::default()
             },
         );
         let mut retrains = 0;
@@ -207,6 +370,13 @@ mod tests {
             retrains += r as usize;
         }
         assert_eq!(retrains, 0, "same workload should not trigger retraining");
+        let d = a.diagnostics();
+        assert!(d.checks > 0, "checks must run");
+        assert_eq!(d.relearn_wall.len(), 0, "no degraded check, no search");
+        assert_eq!(
+            d.sample_flattens, 1,
+            "shared mode flattens the data sample once, ever"
+        );
     }
 
     #[test]
@@ -223,6 +393,7 @@ mod tests {
                 window: 24,
                 check_every: 12,
                 degradation_factor: 1.2,
+                ..Default::default()
             },
         );
         let before = a.index().layout().clone();
@@ -245,6 +416,54 @@ mod tests {
             after.order().contains(&1),
             "new layout must index the hot dimension: {after}"
         );
+        let d = a.diagnostics();
+        assert_eq!(d.relearns, a.relearns());
+        assert!(
+            d.relearn_wall.len() >= d.relearns,
+            "every adopted re-learn came from a timed search"
+        );
+        assert!(
+            d.cache_hits_across_relearns > 0,
+            "the degradation check's pricing must feed the search"
+        );
+        assert_eq!(d.sample_flattens, 1, "one data flatten across re-learns");
+    }
+
+    #[test]
+    fn cold_mode_retrains_without_cross_relearn_hits() {
+        let t = table();
+        let w0 = workload_on(0, 30);
+        let mut a = AdaptiveFlood::build(
+            &t,
+            &w0,
+            optimizer(),
+            FloodConfig::default(),
+            AdaptiveConfig {
+                window: 24,
+                check_every: 12,
+                degradation_factor: 1.2,
+                share_cache: false,
+            },
+        );
+        let w1 = workload_on(1, 40);
+        let mut retrained = false;
+        for q in &w1 {
+            let mut v = CountVisitor::default();
+            let (_, r) = a.execute_adaptive(q, None, &mut v);
+            retrained |= r;
+        }
+        assert!(retrained, "cold mode must still adapt");
+        let d = a.diagnostics();
+        assert_eq!(
+            d.cache_hits_across_relearns, 0,
+            "no shared state to hit cold"
+        );
+        assert_eq!(
+            d.sample_flattens,
+            1 + d.checks + d.relearn_wall.len(),
+            "cold mode re-flattens per check and per re-learn search: {d:?}"
+        );
+        assert_eq!(d.window_reuses, 0);
     }
 
     #[test]
@@ -260,6 +479,7 @@ mod tests {
                 window: 16,
                 check_every: 8,
                 degradation_factor: 1.1,
+                ..Default::default()
             },
         );
         let w1 = workload_on(1, 30);

@@ -55,7 +55,7 @@ pub mod knn;
 pub mod layout;
 pub mod optimizer;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveFlood};
+pub use adaptive::{AdaptiveConfig, AdaptiveDiagnostics, AdaptiveFlood};
 pub use config::{FloodBuilder, FloodConfig, Refinement};
 pub use cost::{CostModel, QueryCostEstimate, WeightModels};
 pub use delta::DeltaFlood;
@@ -64,4 +64,4 @@ pub use grid::Grid;
 pub use index::FloodIndex;
 pub use knn::{KnnSearcher, Neighbor};
 pub use layout::Layout;
-pub use optimizer::{LayoutOptimizer, OptimizerConfig};
+pub use optimizer::{CostEvaluator, EvaluatorCache, LayoutOptimizer, OptimizerConfig};

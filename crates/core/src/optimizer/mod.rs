@@ -27,11 +27,14 @@
 //!    rounded column vectors, so each distinct layout is scored once
 //!    ([`OptimizedLayout::cost_evals`] / [`OptimizedLayout::cache_hits`]
 //!    report the effect);
-//! 2. **incremental per-dimension statistics** keyed on
-//!    `(dim, column_count)` ([`sample::StatsCache`]) — a memo *miss* whose
-//!    probe moved one dimension re-counts only that dimension and derives
-//!    the rest by AND-ing cached bitsets
-//!    ([`OptimizedLayout::dim_recounts`] / [`OptimizedLayout::dim_reuses`]).
+//! 2. **incremental per-query statistics** keyed on
+//!    `(query fingerprint, dim, column_count)` ([`sample::StatsCache`]) — a
+//!    memo *miss* whose probe moved one dimension re-counts only that
+//!    dimension's filtered queries and derives the rest by AND-ing cached
+//!    bitsets ([`OptimizedLayout::dim_recounts`] /
+//!    [`OptimizedLayout::dim_reuses`]); because entries are keyed by query
+//!    identity, the cache also survives the *workload* changing, which is
+//!    what [`EvaluatorCache`] exploits across `AdaptiveFlood` re-learns.
 //!
 //! Callers that score many explicit layouts against one workload (Fig 14's
 //! cost surface) should hold a [`CostEvaluator`] instead of calling
@@ -48,7 +51,7 @@ pub mod gradient;
 pub mod sample;
 
 pub use gradient::{descend, GdConfig};
-pub use sample::{SampleSpace, StatsCache};
+pub use sample::{DataSample, SampleSpace, StatsCache};
 
 use crate::cost::CostModel;
 use crate::layout::Layout;
@@ -58,6 +61,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration for [`LayoutOptimizer`].
@@ -117,11 +121,11 @@ pub struct OptimizedLayout {
     /// Evaluations answered from the layout memo instead of re-deriving
     /// statistics from the flattened sample.
     pub cache_hits: usize,
-    /// Per-dimension contributions counted from scratch — the dirty set
-    /// across every memo miss (see [`sample::StatsCache`]).
+    /// Per-(query, dimension) contributions counted from scratch — the
+    /// dirty set across every memo miss (see [`sample::StatsCache`]).
     pub dim_recounts: usize,
-    /// Per-dimension contributions served from the incremental cache —
-    /// dimensions probes needed but never moved.
+    /// Per-(query, dimension) contributions served from the incremental
+    /// cache — contributions probes needed but never changed.
     pub dim_reuses: usize,
 }
 
@@ -151,6 +155,20 @@ impl LayoutOptimizer {
         &self.cfg
     }
 
+    /// The deterministic query sampling `optimize` applies before
+    /// flattening: shuffle the workload with the configured seed and keep
+    /// [`OptimizerConfig::query_sample`] queries. Returns the sampled
+    /// queries plus the RNG in the exact state `optimize` would hand to the
+    /// data-sample builder, so external callers (the shared re-learn path)
+    /// reproduce `optimize`'s stream bit for bit.
+    pub fn sample_queries(&self, workload: &[RangeQuery]) -> (Vec<RangeQuery>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut queries: Vec<RangeQuery> = workload.to_vec();
+        queries.shuffle(&mut rng);
+        queries.truncate(self.cfg.query_sample.max(1));
+        (queries, rng)
+    }
+
     /// Find the cheapest layout for `workload` over `table` (Algorithm 1).
     ///
     /// # Panics
@@ -162,21 +180,67 @@ impl LayoutOptimizer {
         );
         assert!(!table.is_empty(), "cannot optimize over an empty table");
         let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-
         // Sample queries, then build the flattened data sample.
-        let mut queries: Vec<RangeQuery> = workload.to_vec();
-        queries.shuffle(&mut rng);
-        queries.truncate(self.cfg.query_sample.max(1));
+        let (queries, mut rng) = self.sample_queries(workload);
         let space = SampleSpace::build(table, &queries, self.cfg.data_sample, &mut rng);
+        let mut evaluator =
+            CostEvaluator::over_space(space, self.cost.clone(), self.cfg.incremental);
+        self.search(&mut evaluator, start)
+    }
+
+    /// [`LayoutOptimizer::optimize`] against a shared [`EvaluatorCache`]:
+    /// the flattened data sample is built at most once per table and every
+    /// query-dependent layer (flat queries, per-dimension masks, layout
+    /// memo) is keyed on the sampled window's fingerprint, so repeat
+    /// windows — and the degradation check that preceded this call — feed
+    /// the search instead of being recomputed.
+    ///
+    /// With [`OptimizerConfig::data_sample`] ≥ the table size this is
+    /// bit-identical to [`LayoutOptimizer::optimize`]; with a partial
+    /// sample the shared path keeps the *original* sample alive while a
+    /// cold call would draw a fresh one (same multiset, different rows), so
+    /// predicted costs can differ within sampling noise.
+    ///
+    /// # Panics
+    /// Panics if the workload is empty or the table has no rows.
+    pub fn optimize_shared(
+        &self,
+        table: &Table,
+        workload: &[RangeQuery],
+        shared: &mut EvaluatorCache,
+    ) -> OptimizedLayout {
+        assert!(
+            !workload.is_empty(),
+            "cannot optimize for an empty workload"
+        );
+        assert!(!table.is_empty(), "cannot optimize over an empty table");
+        let start = Instant::now();
+        let (queries, mut rng) = self.sample_queries(workload);
+        let evaluator = shared.evaluator(self, table, &queries, &mut rng);
+        self.search(evaluator, start)
+    }
+
+    /// Run Algorithm 1's candidate loop against an existing evaluator
+    /// (counters in the result are deltas over this call, so a reused
+    /// evaluator reports only this search's work).
+    pub fn optimize_in(&self, evaluator: &mut CostEvaluator) -> OptimizedLayout {
+        self.search(evaluator, Instant::now())
+    }
+
+    /// Algorithm 1's search loop over one evaluator. `start` anchors
+    /// `learn_time` so callers can include (or exclude) their sampling and
+    /// flattening work.
+    fn search(&self, evaluator: &mut CostEvaluator, start: Instant) -> OptimizedLayout {
+        let (evals0, hits0) = (evaluator.cost_evals(), evaluator.cache_hits());
+        let (recounts0, reuses0) = (evaluator.dim_recounts(), evaluator.dim_reuses());
 
         // Candidate dimensions: everything the sampled workload filters,
         // most selective first. Never-filtered dimensions are left out of
         // the index entirely (§7.5: Flood "chooses not to include the least
         // frequently filtered dimensions").
-        let mut candidates = space.dims_by_selectivity();
+        let mut candidates = evaluator.space().dims_by_selectivity();
         if candidates.is_empty() {
-            candidates = (0..table.dims()).collect();
+            candidates = (0..evaluator.space().dims()).collect();
         }
 
         let gd_cfg = GdConfig {
@@ -187,15 +251,13 @@ impl LayoutOptimizer {
         };
         // Starting point: equal log-split of a cell budget of
         // n / init_points_per_cell.
-        let target_cells = (table.len() / self.cfg.init_points_per_cell.max(1))
+        let target_cells = (evaluator.space().full_len() / self.cfg.init_points_per_cell.max(1))
             .clamp(4, self.cfg.max_total_cells) as f64;
 
         // One evaluator for the whole search: the layout memo and the
         // per-dimension stats cache are both shared across sort-dimension
         // candidates (candidate orders differ, but a dimension's masks
         // depend only on its own column count).
-        let mut evaluator =
-            CostEvaluator::over_space(space, self.cost.clone(), self.cfg.incremental);
         let mut best: Option<(Layout, f64)> = None;
         let mut diagnostics = Vec::new();
         for (i, &sort_dim) in candidates.iter().enumerate() {
@@ -227,10 +289,10 @@ impl LayoutOptimizer {
             predicted_ns,
             learn_time: start.elapsed(),
             candidates: diagnostics,
-            cost_evals: evaluator.cost_evals(),
-            cache_hits: evaluator.cache_hits(),
-            dim_recounts: evaluator.dim_recounts(),
-            dim_reuses: evaluator.dim_reuses(),
+            cost_evals: evaluator.cost_evals() - evals0,
+            cache_hits: evaluator.cache_hits() - hits0,
+            dim_recounts: evaluator.dim_recounts() - recounts0,
+            dim_reuses: evaluator.dim_reuses() - reuses0,
         }
     }
 
@@ -251,6 +313,164 @@ impl LayoutOptimizer {
         let space = SampleSpace::build(table, workload, self.cfg.data_sample, &mut rng);
         CostEvaluator::over_space(space, self.cost.clone(), self.cfg.incremental)
     }
+
+    /// [`LayoutOptimizer::evaluator`] over the *sampled* workload — the
+    /// query subset [`LayoutOptimizer::optimize`] would search on — so
+    /// pricing a layout here is directly comparable to an `optimize` run's
+    /// `predicted_ns` on the same workload.
+    pub fn evaluator_sampled(&self, table: &Table, workload: &[RangeQuery]) -> CostEvaluator {
+        let (queries, mut rng) = self.sample_queries(workload);
+        let space = SampleSpace::build(table, &queries, self.cfg.data_sample, &mut rng);
+        CostEvaluator::over_space(space, self.cost.clone(), self.cfg.incremental)
+    }
+}
+
+/// Re-learn cache: one flattened [`DataSample`] per table, one long-lived
+/// per-query [`StatsCache`], and the current observation window's
+/// [`CostEvaluator`], keyed by the window's fingerprint
+/// ([`SampleSpace::query_fingerprint`] of the *sampled* window).
+///
+/// `AdaptiveFlood` holds one of these across rebuilds. The data multiset of
+/// a clustered index never changes, so the expensive query-independent work
+/// (row sampling, per-dimension RMI training, flattening) happens once.
+/// When the window changes, the evaluator is rebuilt — a cheap query
+/// flatten — but its mask cache is *carried over*: masks are keyed by each
+/// query's own fingerprint, and sliding windows share most of their
+/// queries, so a degradation check or re-learn re-counts only the queries
+/// that actually entered the window since the masks were last built. The
+/// layout memo resets with the window (costs are workload-dependent), and
+/// the mask cache is epoch-pruned so long-dead queries stop holding
+/// memory.
+///
+/// Contract: one cache serves **one logical table** (the same multiset,
+/// in any row order) and **one cost model** (every call must pass
+/// optimizers sharing the model the cache was first used with). Shape
+/// changes rebuild the data sample automatically; same-shape content
+/// changes are a caller bug, caught by a `debug_assert` on an
+/// order-invariant table fingerprint.
+#[derive(Debug, Default)]
+pub struct EvaluatorCache {
+    data: Option<Arc<DataSample>>,
+    /// Order-invariant content fingerprint of the table the data sample
+    /// was built from (`table_multiset_fp`) — rebuilds of a clustered
+    /// index permute rows without changing it, so it identifies "the same
+    /// table" across rebuilds while rejecting a different table that
+    /// happens to share shape.
+    table_fp: u64,
+    /// `(window fingerprint, evaluator)` for the current window.
+    current: Option<(u64, CostEvaluator)>,
+    data_builds: usize,
+    window_builds: usize,
+    window_reuses: usize,
+}
+
+/// Order-invariant fingerprint of a table's content: per-dimension
+/// wrapping sums plus shape. Any permutation of the rows (what a Flood
+/// rebuild does) maps to the same value; a table with different content
+/// collides only adversarially. O(n·d) — cheap next to a flatten, but not
+/// free, hence debug-only verification on the reuse path.
+fn table_multiset_fp(table: &Table) -> u64 {
+    let mut h: u64 = 0x9E3779B97F4A7C15 ^ (table.len() as u64) ^ ((table.dims() as u64) << 32);
+    for d in 0..table.dims() {
+        let mut sum = 0u64;
+        for r in 0..table.len() {
+            sum = sum.wrapping_add(table.value(r, d));
+        }
+        h = h.rotate_left(7) ^ sum.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Mask-cache entries tolerated before stale pruning kicks in (couple of
+/// MB at typical sample sizes).
+const MASK_CACHE_CAP: usize = 8_192;
+/// Epochs (window rotations) an entry may sit unused before pruning.
+const MASK_KEEP_EPOCHS: usize = 2;
+
+impl EvaluatorCache {
+    /// An empty cache; the first use builds the data sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The evaluator for `queries` over `table`: the current evaluator when
+    /// the window fingerprint matches, otherwise a fresh query layer over
+    /// the shared data sample (built only when absent or when `table`'s
+    /// shape changed) carrying the accumulated per-query mask cache. `rng`
+    /// must be in the post-query-sampling state
+    /// ([`LayoutOptimizer::sample_queries`]) so a fresh data sample draws
+    /// the same rows a cold `optimize` would.
+    pub fn evaluator(
+        &mut self,
+        optimizer: &LayoutOptimizer,
+        table: &Table,
+        queries: &[RangeQuery],
+        rng: &mut StdRng,
+    ) -> &mut CostEvaluator {
+        let fp = SampleSpace::query_fingerprint(queries);
+        if self.current.as_ref().is_some_and(|(f, _)| *f == fp) {
+            self.window_reuses += 1;
+            return &mut self.current.as_mut().expect("checked above").1;
+        }
+        let cfg = optimizer.config();
+        let data = match &self.data {
+            Some(d) if d.full_len() == table.len() && d.dims() == table.dims() => {
+                // The release-mode check is shape-only (O(1)); debug builds
+                // verify the table really is the same multiset the sample
+                // was drawn from — same-shape-different-content misuse
+                // would otherwise produce silently wrong statistics. One
+                // cache serves one logical table; use a fresh cache per
+                // table (the cost model is likewise fixed per cache).
+                debug_assert_eq!(
+                    table_multiset_fp(table),
+                    self.table_fp,
+                    "EvaluatorCache reused across different table contents"
+                );
+                Arc::clone(d)
+            }
+            _ => {
+                self.data_builds += 1;
+                // Masks over the old sample are meaningless for the new one.
+                self.current = None;
+                self.table_fp = table_multiset_fp(table);
+                let d = Arc::new(DataSample::build(table, cfg.data_sample, rng));
+                self.data = Some(Arc::clone(&d));
+                d
+            }
+        };
+        self.window_builds += 1;
+        let space = SampleSpace::over(data, queries);
+        // Rotate the window: keep the per-query mask cache (new epoch,
+        // stale entries pruned), reset the layout memo.
+        let mut stats = match self.current.take() {
+            Some((_, ev)) => ev.into_cache(),
+            None => space.stats_cache(),
+        };
+        stats.advance_epoch();
+        if stats.entry_count() > MASK_CACHE_CAP {
+            stats.prune_stale(stats.epoch().saturating_sub(MASK_KEEP_EPOCHS));
+        }
+        let evaluator =
+            CostEvaluator::with_cache(space, optimizer.cost.clone(), cfg.incremental, stats);
+        self.current = Some((fp, evaluator));
+        &mut self.current.as_mut().expect("just set").1
+    }
+
+    /// Times the data sample was flattened (1 after any use; more only if
+    /// the table shape changed).
+    pub fn data_builds(&self) -> usize {
+        self.data_builds
+    }
+
+    /// Windows flattened into a fresh evaluator.
+    pub fn window_builds(&self) -> usize {
+        self.window_builds
+    }
+
+    /// Requests answered by the pooled current evaluator (fingerprint hit).
+    pub fn window_reuses(&self) -> usize {
+        self.window_reuses
+    }
 }
 
 /// Scores layouts against one flattened sample (built once), caching work
@@ -269,9 +489,13 @@ pub struct CostEvaluator {
     space: SampleSpace,
     cost: CostModel,
     cache: StatsCache,
-    memo: HashMap<(Vec<usize>, Vec<usize>), f64>,
+    /// Layout memo: predicted cost plus the epoch the entry was computed
+    /// in (for cross-epoch attribution, mirroring [`StatsCache`]).
+    memo: HashMap<(Vec<usize>, Vec<usize>), (f64, usize)>,
+    epoch: usize,
     cost_evals: usize,
     cache_hits: usize,
+    cross_epoch_memo_hits: usize,
     incremental: bool,
 }
 
@@ -279,15 +503,41 @@ impl CostEvaluator {
     /// An evaluator over an already-flattened sample.
     fn over_space(space: SampleSpace, cost: CostModel, incremental: bool) -> Self {
         let cache = space.stats_cache();
+        CostEvaluator::with_cache(space, cost, incremental, cache)
+    }
+
+    /// An evaluator adopting an existing mask cache (which must belong to
+    /// `space`'s data sample). The layout memo starts empty — costs depend
+    /// on the query set — but adopted masks keep serving any query they
+    /// were built for.
+    fn with_cache(
+        space: SampleSpace,
+        cost: CostModel,
+        incremental: bool,
+        cache: StatsCache,
+    ) -> Self {
         CostEvaluator {
             space,
             cost,
             cache,
             memo: HashMap::new(),
+            epoch: 0,
             cost_evals: 0,
             cache_hits: 0,
+            cross_epoch_memo_hits: 0,
             incremental,
         }
+    }
+
+    /// Tear down into the mask cache, for carrying into the next window's
+    /// evaluator.
+    fn into_cache(self) -> StatsCache {
+        self.cache
+    }
+
+    /// The flattened sample this evaluator scores against.
+    pub fn space(&self) -> &SampleSpace {
+        &self.space
     }
 
     /// Predicted average query time (ns) of `layout` on the sampled
@@ -301,18 +551,53 @@ impl CostEvaluator {
     fn predict_order(&mut self, order: &[usize], cols: &[usize]) -> f64 {
         self.cost_evals += 1;
         let key = (order.to_vec(), cols.to_vec());
-        if let Some(&c) = self.memo.get(&key) {
+        if let Some(&(c, born)) = self.memo.get(&key) {
             self.cache_hits += 1;
+            if born < self.epoch {
+                self.cross_epoch_memo_hits += 1;
+            }
             return c;
         }
-        let stats = if self.incremental {
-            self.space.query_stats_cached(order, cols, &mut self.cache)
+        let c = if self.incremental {
+            self.predict_per_query(&key)
         } else {
-            self.space.query_stats(order, cols)
+            self.cost
+                .predict_workload(&self.space.query_stats(order, cols))
         };
-        let c = self.cost.predict_workload(&stats);
-        self.memo.insert(key, c);
+        self.memo.insert(key, (c, self.epoch));
         c
+    }
+
+    /// The incremental pricing path: each query's cost under this layout is
+    /// memoized in the carried cache keyed on `(layout, query fingerprint)`
+    /// — a pair's cost depends on nothing else, so statistics and weight
+    /// models run only for queries this layout was never priced on (in any
+    /// window sharing the cache). Bit-identical to
+    /// `predict_workload(query_stats(..))`: per-query statistics are
+    /// per-query facts, and the mean is summed in query order.
+    fn predict_per_query(&mut self, key: &(Vec<usize>, Vec<usize>)) -> f64 {
+        let qn = self.space.query_count();
+        if qn == 0 {
+            return 0.0;
+        }
+        let mut costs: Vec<Option<f64>> = Vec::with_capacity(qn);
+        for qi in 0..qn {
+            let qfp = self.space.qfps()[qi];
+            costs.push(self.cache.cost_probe(key, qfp));
+        }
+        let missing: Vec<usize> = (0..qn).filter(|&qi| costs[qi].is_none()).collect();
+        if !missing.is_empty() {
+            let stats =
+                self.space
+                    .query_stats_cached_for(&key.0, &key.1, &missing, &mut self.cache);
+            for (st, &qi) in stats.iter().zip(&missing) {
+                let t = self.cost.predict(st).time_ns;
+                self.cache.cost_insert(key, self.space.qfps()[qi], t);
+                costs[qi] = Some(t);
+            }
+        }
+        let sum: f64 = costs.iter().map(|c| c.expect("filled above")).sum();
+        sum / qn as f64
     }
 
     /// Cost-model evaluations requested so far (memoized + fresh).
@@ -334,6 +619,21 @@ impl CostEvaluator {
     /// Per-dimension contributions served from the incremental cache.
     pub fn dim_reuses(&self) -> usize {
         self.cache.reuses()
+    }
+
+    /// Start a new epoch: subsequent memo hits and mask reuses on state
+    /// created before this call count as cross-epoch (see
+    /// [`CostEvaluator::cross_epoch_hits`]).
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+        self.cache.advance_epoch();
+    }
+
+    /// Memo hits + per-dimension mask reuses served by state created in an
+    /// earlier epoch — how much of this epoch's work previous epochs (e.g.
+    /// the degradation check before a re-learn) already paid for.
+    pub fn cross_epoch_hits(&self) -> usize {
+        self.cross_epoch_memo_hits + self.cache.cross_epoch_reuses()
     }
 }
 
@@ -435,9 +735,10 @@ mod tests {
     }
 
     /// The cache diagnostics against a known probe sequence: a fresh layout
-    /// counts its dimensions, a changed column count re-counts exactly the
-    /// moved dimension, and a repeat layout hits the memo and touches
-    /// nothing.
+    /// counts its filtered (query, dimension) pairs, a changed column count
+    /// re-counts exactly the moved dimension, and a repeat layout hits the
+    /// memo and touches nothing. All 12 workload queries filter both dims,
+    /// so each mask unit appears 12 times.
     #[test]
     fn evaluator_diagnostics_follow_known_probe_sequence() {
         let opt = LayoutOptimizer::with_config(CostModel::analytic_default(), fast_cfg());
@@ -445,29 +746,30 @@ mod tests {
         let w = workload();
         let mut eval = opt.evaluator(&t, &w);
 
-        // Probe 1: grid dim 0 @ 8 columns, sort dim 1 — both fresh.
+        // Probe 1: grid dim 0 @ 8 columns, sort dim 1 — both fresh for
+        // every query.
         eval.predict(&Layout::new(vec![0, 1], vec![8]));
         assert_eq!((eval.cost_evals(), eval.cache_hits()), (1, 0));
-        assert_eq!((eval.dim_recounts(), eval.dim_reuses()), (2, 0));
+        assert_eq!((eval.dim_recounts(), eval.dim_reuses()), (24, 0));
 
         // Probe 2: dim 0 moves to 16 columns — only it is re-counted; the
-        // sort entry is reused.
+        // sort masks are reused.
         eval.predict(&Layout::new(vec![0, 1], vec![16]));
         assert_eq!((eval.cost_evals(), eval.cache_hits()), (2, 0));
-        assert_eq!((eval.dim_recounts(), eval.dim_reuses()), (3, 1));
+        assert_eq!((eval.dim_recounts(), eval.dim_reuses()), (36, 12));
 
         // Probe 3: the first layout again — answered from the memo, no
         // per-dimension work at all.
         eval.predict(&Layout::new(vec![0, 1], vec![8]));
         assert_eq!((eval.cost_evals(), eval.cache_hits()), (3, 1));
-        assert_eq!((eval.dim_recounts(), eval.dim_reuses()), (3, 1));
+        assert_eq!((eval.dim_recounts(), eval.dim_reuses()), (36, 12));
 
-        // Probe 4: same column counts under a swapped order — a memo miss,
-        // but every per-dimension contribution is already cached: dim 1 @ 8
-        // is fresh, dim 0's sort mask is fresh, and that's all.
+        // Probe 4: same column counts under a swapped order — a memo miss
+        // with two fresh mask units per query: dim 1 as a grid dim @ 8,
+        // dim 0 as the sort dimension.
         eval.predict(&Layout::new(vec![1, 0], vec![8]));
         assert_eq!((eval.cost_evals(), eval.cache_hits()), (4, 1));
-        assert_eq!((eval.dim_recounts(), eval.dim_reuses()), (5, 1));
+        assert_eq!((eval.dim_recounts(), eval.dim_reuses()), (60, 12));
     }
 
     /// `incremental: false` takes the from-scratch scan path and must agree

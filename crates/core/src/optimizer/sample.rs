@@ -7,6 +7,19 @@
 //! every marginal uniform, a dimension with `c` columns splits at
 //! `i/c` for `i = 1..c` in flattened space.
 //!
+//! ## Two layers: data sample vs query layer
+//!
+//! The expensive half of a [`SampleSpace`] — sampling rows, training one RMI
+//! per dimension, flattening the sample twice (row- and column-major) —
+//! depends only on the *data*. The cheap half — flattening the queries and
+//! computing per-dimension selectivities — depends on the *query set*.
+//! [`DataSample`] holds the first and is shareable (behind an `Arc`) across
+//! any number of query sets over the same table;
+//! [`SampleSpace::over`] attaches a query layer without touching the data.
+//! `AdaptiveFlood` exploits this across re-learns: the data multiset of a
+//! clustered index never changes, so one [`DataSample`] serves every
+//! observation window, keyed by [`SampleSpace::query_fingerprint`].
+//!
 //! ## Incremental per-dimension statistics
 //!
 //! A layout's statistics are a *conjunction* of independent per-dimension
@@ -14,16 +27,27 @@
 //! columns of grid dimension `d` (inside the query's column range? on a
 //! boundary column?), and whether it passes the sort-dimension filter.
 //! [`SampleSpace::query_stats`] recomputes all of them with one scan per
-//! call; [`SampleSpace::query_stats_cached`] instead caches each
-//! dimension's contribution as per-query bitsets keyed on
-//! `(dim, column_count)` in a [`StatsCache`], so a gradient-descent probe
-//! that moves one dimension's column count re-counts **only that
-//! dimension** (the dirty set) and re-derives `N_s`/`N_c`/the exact-point
-//! count by AND-ing cached masks — a word-parallel operation 64× narrower
-//! than the point scan. The two paths are bit-identical by construction:
-//! identical column arithmetic, identical multiplication order for `N_c`,
-//! and one shared [`QueryStatistics::estimated`] constructor (pinned by
+//! call; [`SampleSpace::query_stats_cached`] instead caches each filtered
+//! query-dimension's contribution as bitsets keyed on
+//! `(query fingerprint, dim, column_count)` in a [`StatsCache`], so a
+//! gradient-descent probe that moves one dimension's column count
+//! re-counts **only that dimension** (the dirty set) and re-derives
+//! `N_s`/`N_c`/the exact-point count by AND-ing cached masks — a
+//! word-parallel operation 64× narrower than the point scan. Keying by the
+//! *query's own* fingerprint (not its position in some window) makes the
+//! cache valid across query sets over the same data sample: sliding
+//! observation windows share most of their queries, so an `AdaptiveFlood`
+//! re-learn finds the masks its earlier checks and re-learns already
+//! built. The two paths are bit-identical by construction: identical
+//! column arithmetic, identical multiplication order for `N_c`, and one
+//! shared [`QueryStatistics::estimated`] constructor (pinned by
 //! `tests/prop_incremental.rs` over arbitrary probe sequences).
+//!
+//! Cache entries additionally remember the [`StatsCache::epoch`] they were
+//! created in; reuses of entries born in an earlier epoch are counted
+//! separately ([`StatsCache::cross_epoch_reuses`]), which is how
+//! `AdaptiveFlood` attributes re-learn cache hits to work done by earlier
+//! degradation checks.
 
 use crate::cost::features::QueryStatistics;
 use flood_learned::cdf::CdfModel;
@@ -32,6 +56,7 @@ use flood_store::{RangeQuery, Table};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A flattened query: per-dimension bounds in `[0, 1]` flat space.
 #[derive(Debug, Clone)]
@@ -42,9 +67,12 @@ pub struct FlatQuery {
     pub dims_filtered: usize,
 }
 
-/// The flattened data + query sample used for cost evaluation.
-#[derive(Debug, Clone)]
-pub struct SampleSpace {
+/// The query-independent half of a [`SampleSpace`]: sampled rows flattened
+/// through per-dimension RMIs. Building one costs a table sample, `dims`
+/// RMI trainings, and two copies of the flattened sample — everything a
+/// re-learn on the same table can skip by sharing it via `Arc`.
+#[derive(Debug)]
+pub struct DataSample {
     /// Row-major flattened sample values: `flat[p * dims + d]`.
     flat: Vec<f32>,
     /// Column-major copy: `flat_by_dim[d * n_points + p]`. Mask building in
@@ -56,30 +84,23 @@ pub struct SampleSpace {
     /// Scale factor from sample counts to full-dataset counts.
     scale: f64,
     full_n: usize,
-    queries: Vec<FlatQuery>,
-    /// Average flattened query width per dimension (selectivity), `None`
-    /// for dimensions never filtered.
-    avg_selectivity: Vec<Option<f64>>,
+    /// The per-dimension CDFs the sample was flattened through; kept so new
+    /// query sets can be flattened against the *same* space later.
+    cdfs: Vec<Rmi>,
     /// Process-unique identity stamped at build time; a [`StatsCache`]
     /// carries its creator's id so cross-space reuse panics instead of
     /// silently producing wrong statistics (sample sizes can collide,
-    /// identities cannot). Clones share the id — their masks are valid
-    /// for each other by construction.
+    /// identities cannot).
     space_id: u64,
 }
 
-/// Source of [`SampleSpace::space_id`] values.
+/// Source of [`DataSample::space_id`] values.
 static NEXT_SPACE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
-impl SampleSpace {
+impl DataSample {
     /// Sample up to `max_sample` rows of `table`, train per-dimension RMIs
-    /// on the sample, and flatten both the sample and the `queries`.
-    pub fn build(
-        table: &Table,
-        queries: &[RangeQuery],
-        max_sample: usize,
-        rng: &mut StdRng,
-    ) -> Self {
+    /// on the sample, and flatten it (Algorithm 1 lines 6–8, data side).
+    pub fn build(table: &Table, max_sample: usize, rng: &mut StdRng) -> Self {
         let full_n = table.len();
         let n_dims = table.dims();
         let take = max_sample.clamp(1, full_n.max(1));
@@ -90,7 +111,7 @@ impl SampleSpace {
         };
         let n_points = rows.len();
 
-        // Per-dimension CDFs trained on the sample (Algorithm 1 line 6-8).
+        // Per-dimension CDFs trained on the sample.
         let mut cdfs = Vec::with_capacity(n_dims);
         for d in 0..n_dims {
             let mut vals: Vec<u64> = rows.iter().map(|&r| table.value(r, d)).collect();
@@ -113,7 +134,74 @@ impl SampleSpace {
             }
         }
 
-        // Flatten the queries and record selectivities.
+        DataSample {
+            flat,
+            flat_by_dim,
+            n_points,
+            n_dims,
+            scale: full_n as f64 / n_points.max(1) as f64,
+            full_n,
+            cdfs,
+            space_id: NEXT_SPACE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Number of sampled points.
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Rows in the full table the sample stands in for.
+    pub fn full_len(&self) -> usize {
+        self.full_n
+    }
+
+    /// Dimensions per row.
+    pub fn dims(&self) -> usize {
+        self.n_dims
+    }
+}
+
+/// The flattened data + query sample used for cost evaluation: a shared
+/// [`DataSample`] plus one flattened query set.
+#[derive(Debug, Clone)]
+pub struct SampleSpace {
+    data: Arc<DataSample>,
+    queries: Vec<FlatQuery>,
+    /// Per-query fingerprints, aligned with `queries` — the cache keys of
+    /// the incremental path.
+    qfps: Vec<u64>,
+    /// Average flattened query width per dimension (selectivity), `None`
+    /// for dimensions never filtered.
+    avg_selectivity: Vec<Option<f64>>,
+    /// Fingerprint of the raw query set this space was built over (see
+    /// [`SampleSpace::query_fingerprint`]).
+    query_fp: u64,
+}
+
+impl SampleSpace {
+    /// Sample up to `max_sample` rows of `table`, train per-dimension RMIs
+    /// on the sample, and flatten both the sample and the `queries`.
+    pub fn build(
+        table: &Table,
+        queries: &[RangeQuery],
+        max_sample: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let data = Arc::new(DataSample::build(table, max_sample, rng));
+        SampleSpace::over(data, queries)
+    }
+
+    /// Attach a query layer to an existing (shared) data sample: flatten
+    /// `queries` through the sample's CDFs and record selectivities. Costs
+    /// no sampling, no RMI training, no data flattening.
+    pub fn over(data: Arc<DataSample>, queries: &[RangeQuery]) -> Self {
+        let n_dims = data.n_dims;
         let mut sel_sum = vec![0.0f64; n_dims];
         let mut sel_cnt = vec![0usize; n_dims];
         let flat_queries: Vec<FlatQuery> = queries
@@ -123,8 +211,8 @@ impl SampleSpace {
                 for d in 0..n_dims {
                     match q.bound(d) {
                         Some((lo, hi)) => {
-                            let flo = cdfs[d].cdf(lo) as f32;
-                            let fhi = cdfs[d].cdf(hi) as f32;
+                            let flo = data.cdfs[d].cdf(lo) as f32;
+                            let fhi = data.cdfs[d].cdf(hi) as f32;
                             sel_sum[d] += (fhi - flo) as f64;
                             sel_cnt[d] += 1;
                             bounds.push(Some((flo, fhi)));
@@ -148,27 +236,68 @@ impl SampleSpace {
             })
             .collect();
 
+        let qfps: Vec<u64> = queries.iter().map(fingerprint_query).collect();
         SampleSpace {
-            flat,
-            flat_by_dim,
-            n_points,
-            n_dims,
-            scale: full_n as f64 / n_points.max(1) as f64,
-            full_n,
+            query_fp: SampleSpace::query_fingerprint(queries),
+            data,
             queries: flat_queries,
+            qfps,
             avg_selectivity,
-            space_id: NEXT_SPACE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// Order-sensitive fingerprint of a query set: a stable 64-bit hash
+    /// combining every query's own fingerprint. Two windows with equal
+    /// queries in equal order collide by construction; anything else
+    /// collides with probability ~2⁻⁶⁴. The keying `AdaptiveFlood` uses to
+    /// recognise a repeat observation window.
+    pub fn query_fingerprint(queries: &[RangeQuery]) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv_eat(&mut h, queries.len() as u64);
+        for q in queries {
+            fnv_eat(&mut h, fingerprint_query(q));
+        }
+        h
+    }
+
+    /// The shared data sample.
+    pub fn data(&self) -> &Arc<DataSample> {
+        &self.data
+    }
+
+    /// Fingerprint of the query set this space carries.
+    pub fn query_fp(&self) -> u64 {
+        self.query_fp
+    }
+
+    /// Number of queries in this space's query layer.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Per-query fingerprints, aligned with the query layer.
+    pub(crate) fn qfps(&self) -> &[u64] {
+        &self.qfps
     }
 
     /// Number of sampled points.
     pub fn len(&self) -> usize {
-        self.n_points
+        self.data.n_points
     }
 
     /// True when the sample is empty.
     pub fn is_empty(&self) -> bool {
-        self.n_points == 0
+        self.data.n_points == 0
+    }
+
+    /// Rows in the full table the sample stands in for.
+    pub fn full_len(&self) -> usize {
+        self.data.full_n
+    }
+
+    /// Dimensions per row.
+    pub fn dims(&self) -> usize {
+        self.data.n_dims
     }
 
     /// Dimensions filtered by at least one sampled query, most selective
@@ -196,10 +325,12 @@ impl SampleSpace {
     /// counts (`order.len() - 1` entries).
     pub fn query_stats(&self, order: &[usize], cols: &[usize]) -> Vec<QueryStatistics> {
         assert_eq!(cols.len() + 1, order.len());
+        let n_dims = self.data.n_dims;
+        let n_points = self.data.n_points;
         let grid_dims = &order[..order.len() - 1];
         let sort_dim = *order.last().expect("non-empty order");
         let total_cells: f64 = cols.iter().map(|&c| c as f64).product::<f64>().max(1.0);
-        let avg_cell = self.full_n as f64 / total_cells;
+        let avg_cell = self.data.full_n as f64 / total_cells;
 
         let mut out = Vec::with_capacity(self.queries.len());
         for q in &self.queries {
@@ -226,13 +357,13 @@ impl SampleSpace {
             // Any filter on an unindexed dimension forces per-point checks,
             // so no sub-range can be exact.
             let has_unindexed_filter =
-                (0..self.n_dims).any(|d| q.bounds[d].is_some() && !order.contains(&d));
+                (0..n_dims).any(|d| q.bounds[d].is_some() && !order.contains(&d));
 
             // Scan estimate from the sample.
             let mut ns_sample = 0usize;
             let mut exact_sample = 0usize;
-            'points: for p in 0..self.n_points {
-                let row = &self.flat[p * self.n_dims..(p + 1) * self.n_dims];
+            'points: for p in 0..n_points {
+                let row = &self.data.flat[p * n_dims..(p + 1) * n_dims];
                 let mut interior = !has_unindexed_filter;
                 for ((&d, &c), &(lo_col, hi_col, filtered)) in
                     grid_dims.iter().zip(cols).zip(&ranges)
@@ -256,8 +387,8 @@ impl SampleSpace {
                     exact_sample += 1;
                 }
             }
-            let ns = ns_sample as f64 * self.scale;
-            let exact = exact_sample as f64 * self.scale;
+            let ns = ns_sample as f64 * self.data.scale;
+            let exact = exact_sample as f64 * self.data.scale;
             out.push(QueryStatistics::estimated(
                 nc,
                 ns,
@@ -271,25 +402,32 @@ impl SampleSpace {
         out
     }
 
-    /// A [`StatsCache`] bound to this sample, for
+    /// A [`StatsCache`] bound to this sample and query set, for
     /// [`SampleSpace::query_stats_cached`].
     pub fn stats_cache(&self) -> StatsCache {
         StatsCache {
             grid: HashMap::new(),
             sort: HashMap::new(),
-            space_id: self.space_id,
+            costs: HashMap::new(),
+            space_id: self.data.space_id,
+            epoch: 0,
             recounts: 0,
             reuses: 0,
+            cross_epoch_reuses: 0,
+            cost_hits: 0,
+            cost_misses: 0,
         }
     }
 
     /// [`SampleSpace::query_stats`], incrementally: identical output (bit
-    /// for bit), but each dimension's per-point contribution is cached in
-    /// `cache` keyed on `(dim, column_count)`, so only dimensions whose
-    /// column count this probe actually changed are re-counted.
+    /// for bit), but each filtered query-dimension's per-point contribution
+    /// is cached in `cache` keyed on `(query fingerprint, dim, cols)`, so
+    /// only contributions this probe actually introduced are re-counted —
+    /// whether the previous probe differed by one column count, or by a
+    /// whole observation window that shares queries with this one.
     ///
     /// # Panics
-    /// Panics if `cache` was built by a different [`SampleSpace`] (the
+    /// Panics if `cache` was built over a different [`DataSample`] (the
     /// masks would be meaningless) or if `cols`/`order` lengths disagree.
     pub fn query_stats_cached(
         &self,
@@ -297,81 +435,123 @@ impl SampleSpace {
         cols: &[usize],
         cache: &mut StatsCache,
     ) -> Vec<QueryStatistics> {
+        let all: Vec<usize> = (0..self.queries.len()).collect();
+        self.query_stats_cached_for(order, cols, &all, cache)
+    }
+
+    /// [`SampleSpace::query_stats_cached`] restricted to the queries at
+    /// `subset` (indices into this space's query list), in `subset` order —
+    /// the entry point for per-query cost memoization, which only needs
+    /// statistics for the queries whose `(query, layout)` cost is not
+    /// already known.
+    pub fn query_stats_cached_for(
+        &self,
+        order: &[usize],
+        cols: &[usize],
+        subset: &[usize],
+        cache: &mut StatsCache,
+    ) -> Vec<QueryStatistics> {
         assert_eq!(cols.len() + 1, order.len());
         assert!(
-            cache.space_id == self.space_id,
+            cache.space_id == self.data.space_id,
             "StatsCache built for a different SampleSpace"
         );
+        let n_dims = self.data.n_dims;
+        let n_points = self.data.n_points;
         let grid_dims = &order[..order.len() - 1];
         let sort_dim = *order.last().expect("non-empty order");
         let total_cells: f64 = cols.iter().map(|&c| c as f64).product::<f64>().max(1.0);
-        let avg_cell = self.full_n as f64 / total_cells;
+        let avg_cell = self.data.full_n as f64 / total_cells;
 
-        // Dirty-set recomputation: build masks only for (dim, cols) pairs
-        // this probe introduced; everything else is served from the cache.
-        for (&d, &c) in grid_dims.iter().zip(cols) {
-            if cache.grid.contains_key(&(d, c)) {
+        // Dirty-set recomputation: build masks only for the filtered
+        // (query, dim, cols) triples this probe introduced; everything else
+        // is served from the cache, including entries built for *other*
+        // query sets that share queries with this one.
+        for &qi in subset {
+            let (q, qfp) = (&self.queries[qi], self.qfps[qi]);
+            for (&d, &c) in grid_dims.iter().zip(cols) {
+                if q.bounds[d].is_none() {
+                    continue;
+                }
+                if let Some(entry) = cache.grid.get_mut(&(qfp, d, c)) {
+                    cache.reuses += 1;
+                    if entry.created_epoch < cache.epoch {
+                        cache.cross_epoch_reuses += 1;
+                    }
+                    entry.last_used_epoch = cache.epoch;
+                } else {
+                    cache.recounts += 1;
+                    let entry = self.build_query_grid_masks(qi, d, c, cache.epoch);
+                    cache.grid.insert((qfp, d, c), entry);
+                }
+            }
+            if q.bounds[sort_dim].is_none() {
+                continue;
+            }
+            if let Some(entry) = cache.sort.get_mut(&(qfp, sort_dim)) {
                 cache.reuses += 1;
+                if entry.created_epoch < cache.epoch {
+                    cache.cross_epoch_reuses += 1;
+                }
+                entry.last_used_epoch = cache.epoch;
             } else {
                 cache.recounts += 1;
-                let entry = self.build_grid_entry(d, c);
-                cache.grid.insert((d, c), entry);
+                let entry = self.build_query_sort_mask(qi, sort_dim, cache.epoch);
+                cache.sort.insert((qfp, sort_dim), entry);
             }
         }
-        if cache.sort.contains_key(&sort_dim) {
-            cache.reuses += 1;
-        } else {
-            cache.recounts += 1;
-            let entry = self.build_sort_entry(sort_dim);
-            cache.sort.insert(sort_dim, entry);
-        }
 
-        let words = self.n_points.div_ceil(WORD_BITS);
+        let words = n_points.div_ceil(WORD_BITS);
         // All-points mask, with trailing bits beyond `n_points` cleared so
         // popcounts equal point counts.
         let mut ones = vec![!0u64; words];
         if let Some(last) = ones.last_mut() {
-            let tail = self.n_points % WORD_BITS;
+            let tail = n_points % WORD_BITS;
             if tail != 0 {
                 *last = (1u64 << tail) - 1;
             }
         }
-        let sort_entry = &cache.sort[&sort_dim];
         let mut acc = vec![0u64; words];
-        let mut out = Vec::with_capacity(self.queries.len());
-        for (qi, q) in self.queries.iter().enumerate() {
+        let mut out = Vec::with_capacity(subset.len());
+        for &qi in subset {
+            let (q, qfp) = (&self.queries[qi], self.qfps[qi]);
             // N_c: multiply per-dimension column counts in `grid_dims`
             // order — the same f64 multiplication sequence as the full
             // scan, so the product is bit-identical.
             let mut nc = 1.0f64;
             acc.copy_from_slice(&ones);
             for (&d, &c) in grid_dims.iter().zip(cols) {
-                let masks = &cache.grid[&(d, c)].per_query[qi];
-                nc *= masks.ncols;
-                if let Some(f) = &masks.filtered {
-                    and(&mut acc, &f.pass);
+                match q.bounds[d] {
+                    Some(_) => {
+                        let masks = &cache.grid[&(qfp, d, c)];
+                        nc *= masks.ncols;
+                        and(&mut acc, &masks.pass);
+                    }
+                    // The query rectangle spans the whole dimension: every
+                    // column contributes to N_c and every point passes.
+                    None => nc *= c as f64,
                 }
             }
-            if let Some(m) = &sort_entry.per_query[qi] {
-                and(&mut acc, m);
+            if q.bounds[sort_dim].is_some() {
+                and(&mut acc, &cache.sort[&(qfp, sort_dim)].pass);
             }
             let ns_sample = popcount(&acc);
             // Any filter on an unindexed dimension forces per-point checks,
             // so no sub-range can be exact.
             let has_unindexed_filter =
-                (0..self.n_dims).any(|d| q.bounds[d].is_some() && !order.contains(&d));
+                (0..n_dims).any(|d| q.bounds[d].is_some() && !order.contains(&d));
             let exact_sample = if has_unindexed_filter {
                 0
             } else {
                 for (&d, &c) in grid_dims.iter().zip(cols) {
-                    if let Some(f) = &cache.grid[&(d, c)].per_query[qi].filtered {
-                        and_not(&mut acc, &f.boundary);
+                    if q.bounds[d].is_some() {
+                        and_not(&mut acc, &cache.grid[&(qfp, d, c)].boundary);
                     }
                 }
                 popcount(&acc)
             };
-            let ns = ns_sample as f64 * self.scale;
-            let exact = exact_sample as f64 * self.scale;
+            let ns = ns_sample as f64 * self.data.scale;
+            let exact = exact_sample as f64 * self.data.scale;
             out.push(QueryStatistics::estimated(
                 nc,
                 ns,
@@ -385,72 +565,92 @@ impl SampleSpace {
         out
     }
 
-    /// Count one grid dimension at one column count, for every query: the
-    /// per-point pass/boundary bitsets and the query rectangle's column
+    /// Count one filtered query's grid contribution at one column count:
+    /// the per-point pass/boundary bitsets and the query rectangle's column
     /// span. Uses exactly the column arithmetic of the full scan.
-    fn build_grid_entry(&self, dim: usize, c: usize) -> GridEntry {
-        let words = self.n_points.div_ceil(WORD_BITS);
-        let col_vals = &self.flat_by_dim[dim * self.n_points..(dim + 1) * self.n_points];
-        let per_query = self
-            .queries
-            .iter()
-            .map(|q| match q.bounds[dim] {
-                Some((lo, hi)) => {
-                    let lo_col = ((lo as f64 * c as f64) as u32).min(c as u32 - 1);
-                    let hi_col = ((hi as f64 * c as f64) as u32).min(c as u32 - 1);
-                    let mut pass = vec![0u64; words];
-                    let mut boundary = vec![0u64; words];
-                    for (p, &v) in col_vals.iter().enumerate() {
-                        let col = ((v as f64 * c as f64) as u32).min(c as u32 - 1);
-                        if col < lo_col || col > hi_col {
-                            continue;
-                        }
-                        pass[p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
-                        if col == lo_col || col == hi_col {
-                            boundary[p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
-                        }
-                    }
-                    GridMasks {
-                        ncols: (hi_col - lo_col + 1) as f64,
-                        filtered: Some(FilteredMasks { pass, boundary }),
-                    }
-                }
-                // The query rectangle spans the whole dimension: every
-                // column contributes to N_c, every point passes, and no
-                // boundary column shrinks the exact sub-range.
-                None => GridMasks {
-                    ncols: c as f64,
-                    filtered: None,
-                },
-            })
-            .collect();
-        GridEntry { per_query }
+    fn build_query_grid_masks(&self, qi: usize, dim: usize, c: usize, epoch: usize) -> GridMasks {
+        let n_points = self.data.n_points;
+        let words = n_points.div_ceil(WORD_BITS);
+        let col_vals = &self.data.flat_by_dim[dim * n_points..(dim + 1) * n_points];
+        let (lo, hi) = self.queries[qi].bounds[dim].expect("only filtered dims are cached");
+        let lo_col = ((lo as f64 * c as f64) as u32).min(c as u32 - 1);
+        let hi_col = ((hi as f64 * c as f64) as u32).min(c as u32 - 1);
+        let mut pass = vec![0u64; words];
+        let mut boundary = vec![0u64; words];
+        for (p, &v) in col_vals.iter().enumerate() {
+            let col = ((v as f64 * c as f64) as u32).min(c as u32 - 1);
+            if col < lo_col || col > hi_col {
+                continue;
+            }
+            pass[p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
+            if col == lo_col || col == hi_col {
+                boundary[p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
+            }
+        }
+        GridMasks {
+            ncols: (hi_col - lo_col + 1) as f64,
+            pass,
+            boundary,
+            created_epoch: epoch,
+            last_used_epoch: epoch,
+        }
     }
 
-    /// Count the sort-dimension crossings for every query: which points
-    /// pass the query's sort-dimension bound (`None` when unfiltered —
-    /// refinement never runs and every point passes).
-    fn build_sort_entry(&self, dim: usize) -> SortEntry {
-        let words = self.n_points.div_ceil(WORD_BITS);
-        let col_vals = &self.flat_by_dim[dim * self.n_points..(dim + 1) * self.n_points];
-        let per_query = self
-            .queries
-            .iter()
-            .map(|q| {
-                q.bounds[dim].map(|(lo, hi)| {
-                    let mut pass = vec![0u64; words];
-                    for (p, &v) in col_vals.iter().enumerate() {
-                        if v < lo || v > hi {
-                            continue;
-                        }
-                        pass[p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
-                    }
-                    pass
-                })
-            })
-            .collect();
-        SortEntry { per_query }
+    /// Count one filtered query's sort-dimension crossings: which points
+    /// pass the query's sort-dimension bound. (Unfiltered sort dimensions
+    /// are never cached — refinement never runs and every point passes.)
+    fn build_query_sort_mask(&self, qi: usize, dim: usize, epoch: usize) -> SortMask {
+        let n_points = self.data.n_points;
+        let words = n_points.div_ceil(WORD_BITS);
+        let col_vals = &self.data.flat_by_dim[dim * n_points..(dim + 1) * n_points];
+        let (lo, hi) = self.queries[qi].bounds[dim].expect("only filtered dims are cached");
+        let mut pass = vec![0u64; words];
+        for (p, &v) in col_vals.iter().enumerate() {
+            if v < lo || v > hi {
+                continue;
+            }
+            pass[p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
+        }
+        SortMask {
+            pass,
+            created_epoch: epoch,
+            last_used_epoch: epoch,
+        }
     }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a over one little-endian word: stable across runs and toolchains
+/// (unlike `DefaultHasher`), cheap, and collision-safe enough for cache
+/// keying.
+#[inline]
+fn fnv_eat(h: &mut u64, v: u64) {
+    for byte in v.to_le_bytes() {
+        *h ^= byte as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Stable fingerprint of one query's per-dimension bounds — the
+/// query-identity half of the [`StatsCache`] key. Equal-bound queries
+/// collide by construction (their masks are identical, so sharing the
+/// entry is exactly right).
+fn fingerprint_query(q: &RangeQuery) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_eat(&mut h, q.dims() as u64);
+    for d in 0..q.dims() {
+        match q.bound(d) {
+            Some((lo, hi)) => {
+                fnv_eat(&mut h, 1);
+                fnv_eat(&mut h, lo);
+                fnv_eat(&mut h, hi);
+            }
+            None => fnv_eat(&mut h, 0),
+        }
+    }
+    h
 }
 
 const WORD_BITS: usize = 64;
@@ -474,21 +674,12 @@ fn popcount(acc: &[u64]) -> usize {
     acc.iter().map(|w| w.count_ones() as usize).sum()
 }
 
-/// One grid dimension's cached contribution to one query at one column
-/// count.
+/// One filtered query's cached grid contribution at one column count.
 #[derive(Debug, Clone)]
 struct GridMasks {
     /// Columns of this dimension inside the query rectangle — the factor
     /// this dimension contributes to `N_c`.
     ncols: f64,
-    /// Pass/boundary bitsets when the query filters this dimension; `None`
-    /// when unfiltered (every point passes, no boundary).
-    filtered: Option<FilteredMasks>,
-}
-
-/// Bitsets over sample points for one filtered (query, dim, cols) triple.
-#[derive(Debug, Clone)]
-struct FilteredMasks {
     /// Bit `p` set ⇔ point `p`'s column lies inside the query's column
     /// range.
     pass: Vec<u64>,
@@ -496,53 +687,168 @@ struct FilteredMasks {
     /// (`lo_col` or `hi_col`) — it is visited but not inside an exact
     /// sub-range.
     boundary: Vec<u64>,
+    /// Cache epoch this entry was counted in (see [`StatsCache::epoch`]).
+    created_epoch: usize,
+    /// Cache epoch this entry last served a probe (staleness pruning).
+    last_used_epoch: usize,
 }
 
-/// All queries' masks for one `(dim, cols)` pair.
-#[derive(Debug, Clone)]
-struct GridEntry {
-    per_query: Vec<GridMasks>,
+/// One `(layout, query)` pair's cached predicted cost.
+#[derive(Debug, Clone, Copy)]
+struct CostEntry {
+    /// The cost model's prediction for this query under this layout.
+    time_ns: f64,
+    /// Cache epoch this entry was computed in.
+    created_epoch: usize,
+    /// Cache epoch this entry last served a probe (staleness pruning).
+    last_used_epoch: usize,
 }
 
-/// All queries' sort-dimension pass masks for one dimension (column-count
+/// One filtered query's cached sort-dimension pass mask (column-count
 /// independent: refinement bounds don't depend on the grid).
 #[derive(Debug, Clone)]
-struct SortEntry {
-    per_query: Vec<Option<Vec<u64>>>,
+struct SortMask {
+    pass: Vec<u64>,
+    /// Cache epoch this entry was counted in (see [`StatsCache::epoch`]).
+    created_epoch: usize,
+    /// Cache epoch this entry last served a probe (staleness pruning).
+    last_used_epoch: usize,
 }
 
-/// Memo of per-dimension statistics for one [`SampleSpace`], keyed on
-/// `(dim, column_count)` — the dirty-set cache behind
-/// [`SampleSpace::query_stats_cached`].
+/// Memo of per-query, per-dimension statistics over one [`DataSample`],
+/// keyed on `(query fingerprint, dim, column_count)` — the dirty-set cache
+/// behind [`SampleSpace::query_stats_cached`].
 ///
 /// A gradient-descent probe that moves one dimension hits the cache for
 /// every unmoved dimension and re-counts only the moved one; because the
 /// finite-difference probes of [`crate::optimizer::gradient::descend`]
 /// revisit the same per-dimension column counts over and over (and every
 /// sort-dimension candidate of Algorithm 1 shares the cache), most probes
-/// re-count *nothing* and reduce to bitset ANDs. [`StatsCache::recounts`] /
-/// [`StatsCache::reuses`] report the effect.
+/// re-count *nothing* and reduce to bitset ANDs. Because entries are keyed
+/// by query identity rather than window position, the cache also survives
+/// the query set changing: re-pricing a slid observation window re-counts
+/// only the queries that actually entered it. [`StatsCache::recounts`] /
+/// [`StatsCache::reuses`] report the effect in (query, dim) units.
+///
+/// Validity is tied to the *data sample* only; the cache carries the
+/// sample's process-unique identity and rejects use with any other.
 #[derive(Debug, Clone)]
 pub struct StatsCache {
-    grid: HashMap<(usize, usize), GridEntry>,
-    sort: HashMap<usize, SortEntry>,
-    /// Identity of the owning sample (process-unique, stamped at build
+    grid: HashMap<(u64, usize, usize), GridMasks>,
+    sort: HashMap<(u64, usize), SortMask>,
+    /// Per-(layout, query) predicted costs: `costs[(order, cols)][qfp]` is
+    /// the cost model's `time_ns` for that query under that layout. A
+    /// `(query, layout)` pair's cost depends on nothing else, so entries
+    /// outlive the observation window that created them — the layer that
+    /// makes repeat pricing of recurring queries free across re-learns.
+    /// Valid for one cost model (the holder's optimizer never swaps its
+    /// model mid-flight).
+    costs: HashMap<(Vec<usize>, Vec<usize>), HashMap<u64, CostEntry>>,
+    /// Identity of the owning data sample (process-unique, stamped at build
     /// time), to reject cross-space reuse — sizes alone can collide.
     space_id: u64,
+    /// Current epoch: a caller-advanced generation counter. Entries
+    /// remember their creation epoch, so reuse of work done in an earlier
+    /// generation (e.g. a previous degradation check feeding a re-learn) is
+    /// observable via [`StatsCache::cross_epoch_reuses`].
+    epoch: usize,
     recounts: usize,
     reuses: usize,
+    cross_epoch_reuses: usize,
+    cost_hits: usize,
+    cost_misses: usize,
 }
 
 impl StatsCache {
-    /// Per-dimension contributions counted from scratch (cache misses).
+    /// The cached per-query cost of `layout_key` for the query with
+    /// fingerprint `qfp`, counting the hit (cross-epoch hits feed
+    /// [`StatsCache::cross_epoch_reuses`]).
+    pub(crate) fn cost_probe(
+        &mut self,
+        layout_key: &(Vec<usize>, Vec<usize>),
+        qfp: u64,
+    ) -> Option<f64> {
+        let entry = self.costs.get_mut(layout_key)?.get_mut(&qfp)?;
+        self.cost_hits += 1;
+        if entry.created_epoch < self.epoch {
+            self.cross_epoch_reuses += 1;
+        }
+        entry.last_used_epoch = self.epoch;
+        Some(entry.time_ns)
+    }
+
+    /// Record a freshly computed per-query cost.
+    pub(crate) fn cost_insert(
+        &mut self,
+        layout_key: &(Vec<usize>, Vec<usize>),
+        qfp: u64,
+        time_ns: f64,
+    ) {
+        self.cost_misses += 1;
+        self.costs.entry(layout_key.clone()).or_default().insert(
+            qfp,
+            CostEntry {
+                time_ns,
+                created_epoch: self.epoch,
+                last_used_epoch: self.epoch,
+            },
+        );
+    }
+
+    /// Per-(layout, query) cost lookups served from the cache.
+    pub fn cost_hits(&self) -> usize {
+        self.cost_hits
+    }
+
+    /// Per-(layout, query) costs computed fresh (stats + weight models).
+    pub fn cost_misses(&self) -> usize {
+        self.cost_misses
+    }
+
+    /// Per-(query, dimension) contributions counted from scratch (cache
+    /// misses).
     pub fn recounts(&self) -> usize {
         self.recounts
     }
 
-    /// Per-dimension contributions served from the cache — dimensions a
-    /// probe needed but did not move.
+    /// Per-(query, dimension) contributions served from the cache —
+    /// contributions a probe needed but did not change.
     pub fn reuses(&self) -> usize {
         self.reuses
+    }
+
+    /// Reuses of entries created in an earlier epoch (before the last
+    /// [`StatsCache::advance_epoch`]).
+    pub fn cross_epoch_reuses(&self) -> usize {
+        self.cross_epoch_reuses
+    }
+
+    /// Start a new epoch: subsequent reuses of entries created before this
+    /// call count as cross-epoch.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Cached entries (grid + sort masks + per-query costs).
+    pub fn entry_count(&self) -> usize {
+        self.grid.len() + self.sort.len() + self.costs.values().map(HashMap::len).sum::<usize>()
+    }
+
+    /// Drop entries that last served a probe before `min_last_used` —
+    /// long-lived holders (adaptive indexes) bound memory this way once
+    /// old windows' queries stop recurring.
+    pub fn prune_stale(&mut self, min_last_used: usize) {
+        self.grid.retain(|_, e| e.last_used_epoch >= min_last_used);
+        self.sort.retain(|_, e| e.last_used_epoch >= min_last_used);
+        for per_query in self.costs.values_mut() {
+            per_query.retain(|_, e| e.last_used_epoch >= min_last_used);
+        }
+        self.costs.retain(|_, per_query| !per_query.is_empty());
     }
 }
 
@@ -680,6 +986,145 @@ mod tests {
         let b = space(&qs, 500);
         let mut cache = a.stats_cache();
         let _ = b.query_stats_cached(&[0, 2], &[8], &mut cache);
+    }
+
+    #[test]
+    fn masks_carry_across_overlapping_query_sets() {
+        let q1 = RangeQuery::all(3)
+            .with_range(0, 0, 99)
+            .with_range(2, 0, 399);
+        let q2 = RangeQuery::all(3)
+            .with_range(1, 500, 600)
+            .with_range(0, 10, 50);
+        let q3 = RangeQuery::all(3).with_range(0, 200, 300);
+        let data = {
+            let mut rng = StdRng::seed_from_u64(3);
+            Arc::new(DataSample::build(&table(), 1_000, &mut rng))
+        };
+        // Window A = {q1, q2}; window B slides to {q2, q3}. One cache
+        // serves both: B's probe re-counts only q3's contributions.
+        let a = SampleSpace::over(data.clone(), &[q1, q2.clone()]);
+        let b = SampleSpace::over(data, &[q2, q3]);
+        let mut cache = a.stats_cache();
+        let probe: (&[usize], &[usize]) = (&[0, 1, 2], &[8, 16]);
+        assert_eq!(
+            a.query_stats(probe.0, probe.1),
+            a.query_stats_cached(probe.0, probe.1, &mut cache)
+        );
+        let recounts_after_a = cache.recounts();
+        assert_eq!(
+            b.query_stats(probe.0, probe.1),
+            b.query_stats_cached(probe.0, probe.1, &mut cache),
+            "a cache warmed by window A must still price window B exactly"
+        );
+        // q2's grid entries (dims 0 and 1) are reused; q3 filters dim 0
+        // only, so exactly one fresh grid entry is counted.
+        assert_eq!(
+            cache.recounts() - recounts_after_a,
+            1,
+            "only the query that entered the window is re-counted"
+        );
+    }
+
+    #[test]
+    fn prune_drops_only_stale_entries() {
+        let qs = vec![RangeQuery::all(3).with_range(0, 0, 99)];
+        let s = space(&qs, 500);
+        let mut cache = s.stats_cache();
+        let _ = s.query_stats_cached(&[0, 2], &[8], &mut cache);
+        cache.advance_epoch();
+        let _ = s.query_stats_cached(&[0, 2], &[16], &mut cache); // (q,0,8) idle
+        let before = cache.entry_count();
+        cache.prune_stale(cache.epoch());
+        assert_eq!(cache.entry_count(), before - 1, "only (q,0,8) was stale");
+        // The pruned entry rebuilds on demand, exactly.
+        assert_eq!(
+            s.query_stats(&[0, 2], &[8]),
+            s.query_stats_cached(&[0, 2], &[8], &mut cache)
+        );
+    }
+
+    #[test]
+    fn shared_data_sample_matches_from_scratch_build() {
+        let qs = vec![
+            RangeQuery::all(3)
+                .with_range(0, 0, 99)
+                .with_range(2, 0, 399),
+            RangeQuery::all(3).with_range(1, 500, 600),
+        ];
+        // Build once from the table, then re-attach the same queries to the
+        // shared data sample: statistics must be identical bit for bit.
+        let direct = space(&qs, 1_500);
+        let reattached = SampleSpace::over(direct.data().clone(), &qs);
+        assert_eq!(direct.query_fp(), reattached.query_fp());
+        for (order, cols) in [
+            (vec![0usize, 1, 2], vec![8usize, 8]),
+            (vec![1, 0], vec![16]),
+        ] {
+            assert_eq!(
+                direct.query_stats(&order, &cols),
+                reattached.query_stats(&order, &cols),
+            );
+        }
+        assert_eq!(
+            direct.dims_by_selectivity(),
+            reattached.dims_by_selectivity()
+        );
+    }
+
+    #[test]
+    fn query_fingerprint_tracks_content_and_order() {
+        let a = vec![
+            RangeQuery::all(3).with_range(0, 0, 99),
+            RangeQuery::all(3).with_range(1, 5, 10),
+        ];
+        let b = a.clone();
+        assert_eq!(
+            SampleSpace::query_fingerprint(&a),
+            SampleSpace::query_fingerprint(&b)
+        );
+        let shifted = vec![
+            RangeQuery::all(3).with_range(0, 0, 100),
+            RangeQuery::all(3).with_range(1, 5, 10),
+        ];
+        assert_ne!(
+            SampleSpace::query_fingerprint(&a),
+            SampleSpace::query_fingerprint(&shifted)
+        );
+        let reordered: Vec<RangeQuery> = a.iter().rev().cloned().collect();
+        assert_ne!(
+            SampleSpace::query_fingerprint(&a),
+            SampleSpace::query_fingerprint(&reordered)
+        );
+        // Filtered vs unfiltered dimension must not collide with a (0,0)
+        // bound.
+        let unfiltered = vec![RangeQuery::all(3)];
+        let zero_bound = vec![RangeQuery::all(3).with_range(0, 0, 0)];
+        assert_ne!(
+            SampleSpace::query_fingerprint(&unfiltered),
+            SampleSpace::query_fingerprint(&zero_bound)
+        );
+    }
+
+    #[test]
+    fn epochs_attribute_cross_check_reuse() {
+        let qs = vec![RangeQuery::all(3)
+            .with_range(0, 0, 99)
+            .with_range(2, 0, 399)];
+        let s = space(&qs, 1_000);
+        let mut cache = s.stats_cache();
+        // Epoch 0: a "degradation check" prices one layout.
+        let _ = s.query_stats_cached(&[0, 2], &[8], &mut cache);
+        assert_eq!(cache.cross_epoch_reuses(), 0);
+        // Epoch 1: a "re-learn" probes the same and a fresh layout.
+        cache.advance_epoch();
+        let _ = s.query_stats_cached(&[0, 2], &[8], &mut cache); // both entries old
+        let _ = s.query_stats_cached(&[0, 2], &[16], &mut cache); // sort old, grid fresh
+        assert_eq!(cache.cross_epoch_reuses(), 3);
+        // Same-epoch reuse of the epoch-1 grid entry does not count.
+        let before = cache.cross_epoch_reuses();
+        let _ = s.query_stats_cached(&[0, 2], &[16], &mut cache);
+        assert_eq!(cache.cross_epoch_reuses(), before + 1, "sort entry is old");
     }
 
     #[test]

@@ -15,4 +15,7 @@ pub mod dist;
 pub mod workloads;
 
 pub use datasets::{Dataset, DatasetKind};
-pub use workloads::{DimFilter, QueryTemplate, Workload, WorkloadKind};
+pub use workloads::{
+    DimFilter, DriftConfig, DriftMode, DriftPhase, DriftingWorkload, QueryTemplate, Workload,
+    WorkloadKind,
+};

@@ -42,20 +42,36 @@ impl<'a> QueryBuilder<'a> {
     /// Instantiate one template; `scale` multiplies every range filter's
     /// rank width (calibration knob).
     pub fn query(&mut self, template: &QueryTemplate, scale: f64) -> RangeQuery {
+        self.query_in_band(template, scale, (0.0, 1.0))
+    }
+
+    /// [`QueryBuilder::query`] with every filter's center rank drawn from
+    /// the `band` fraction of rank space instead of all of it — the
+    /// center-of-mass knob drifting workloads shift per phase. The full
+    /// band `(0.0, 1.0)` reproduces `query` exactly (same RNG stream).
+    pub fn query_in_band(
+        &mut self,
+        template: &QueryTemplate,
+        scale: f64,
+        band: (f64, f64),
+    ) -> RangeQuery {
+        let n = self.table.len();
+        let (b_lo, b_hi) = (band.0.clamp(0.0, 1.0), band.1.clamp(0.0, 1.0));
+        assert!(b_lo < b_hi, "band must be non-empty: {band:?}");
+        let lo_rank_bound = (b_lo * n as f64) as usize;
+        let hi_rank_bound = (((b_hi * n as f64) as usize).max(lo_rank_bound + 1)).min(n);
         let mut q = RangeQuery::all(self.table.dims());
         for f in &template.filters {
             match *f {
                 DimFilter::Point { dim } => {
-                    let n = self.table.len();
-                    let rank = self.rng.gen_range(0..n);
+                    let rank = self.rng.gen_range(lo_rank_bound..hi_rank_bound);
                     let v = self.sorted_dim(dim)[rank];
                     q = q.with_eq(dim, v);
                 }
                 DimFilter::Range { dim, selectivity } => {
-                    let n = self.table.len();
                     let sel = (selectivity * scale).clamp(0.0, 1.0);
                     let width = ((sel * n as f64) as usize).max(1);
-                    let center = self.rng.gen_range(0..n);
+                    let center = self.rng.gen_range(lo_rank_bound..hi_rank_bound);
                     let lo_rank = center.saturating_sub(width / 2);
                     let hi_rank = (lo_rank + width - 1).min(n - 1);
                     let vals = self.sorted_dim(dim);
@@ -137,13 +153,24 @@ impl<'a> QueryBuilder<'a> {
         template: &QueryTemplate,
         target: Option<f64>,
     ) -> RangeQuery {
+        self.calibrated_query_in_band(template, target, (0.0, 1.0))
+    }
+
+    /// [`QueryBuilder::calibrated_query`] with centers drawn from a rank
+    /// band (see [`QueryBuilder::query_in_band`]).
+    pub fn calibrated_query_in_band(
+        &mut self,
+        template: &QueryTemplate,
+        target: Option<f64>,
+        band: (f64, f64),
+    ) -> RangeQuery {
         let n_ranges = template
             .filters
             .iter()
             .filter(|f| matches!(f, DimFilter::Range { .. }))
             .count();
         let mut scale = 1.0f64;
-        let mut q = self.query(template, scale);
+        let mut q = self.query_in_band(template, scale, band);
         let Some(target) = target else {
             return q;
         };
@@ -161,7 +188,7 @@ impl<'a> QueryBuilder<'a> {
                 }
                 scale *= ratio.powf(1.0 / n_ranges as f64);
             }
-            q = self.query(template, scale);
+            q = self.query_in_band(template, scale, band);
         }
         q
     }
@@ -224,6 +251,29 @@ mod tests {
             (0.0001..0.01).contains(&avg),
             "calibrated selectivity {avg}, want ≈0.001"
         );
+    }
+
+    #[test]
+    fn band_confines_centers_and_full_band_matches_query() {
+        let t = table();
+        let template = QueryTemplate::new("r", vec![DimFilter::range(2, 0.02)]);
+        // Dim 2 is the identity column, so value space = rank space: a
+        // band's queries must land in the matching value band.
+        let mut b = QueryBuilder::new(&t, 3);
+        for _ in 0..10 {
+            let q = b.query_in_band(&template, 1.0, (0.7, 1.0));
+            let (lo, _) = q.bound(2).expect("filtered");
+            assert!(lo >= 30_000 * 6 / 10, "low band center: lo={lo}");
+        }
+        // The full band is the same RNG stream as plain `query`.
+        let mut b1 = QueryBuilder::new(&t, 7);
+        let mut b2 = QueryBuilder::new(&t, 7);
+        for _ in 0..5 {
+            assert_eq!(
+                b1.query(&template, 1.0),
+                b2.query_in_band(&template, 1.0, (0.0, 1.0))
+            );
+        }
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! a train/test pair drawn from the same distribution (§7.3).
 
 pub mod builder;
+pub mod drift;
 pub mod random;
 
 pub use builder::QueryBuilder;
+pub use drift::{DriftConfig, DriftMode, DriftPhase, DriftingWorkload};
 pub use random::random_workload;
 
 use crate::datasets::Dataset;
