@@ -85,6 +85,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "§8: adaptive re-learning under workload drift",
         exp::drift::run,
     ),
+    (
+        "serve",
+        "§8: serving under live adaptation — latency across layout swaps",
+        exp::serve::run,
+    ),
 ];
 
 fn print_experiment_list() {

@@ -19,6 +19,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod lookup;
 pub mod optcost;
+pub mod serve;
 pub mod tab1;
 pub mod tab2;
 pub mod tab3;

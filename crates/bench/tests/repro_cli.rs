@@ -50,6 +50,7 @@ fn list_shows_every_experiment_and_succeeds() {
         "threads",
         "optcost",
         "drift",
+        "serve",
         "all",
     ] {
         assert!(err.contains(name), "`repro list` must mention {name}");

@@ -3,11 +3,25 @@
 //!
 //! "Flood could periodically evaluate the cost (§4) of the current layout
 //! on queries over a recent time window. If the cost exceeds a threshold,
-//! Flood can replace the layout." — [`AdaptiveFlood`] keeps a sliding
-//! window of observed queries, periodically prices the current layout
-//! against them with the cost model, and rebuilds with a freshly optimized
-//! layout when the predicted cost degrades beyond a configurable factor of
-//! the cost at the last (re)build.
+//! Flood can replace the layout." — the loop is split into two halves with
+//! very different sharing requirements:
+//!
+//! * [`ObservationLog`] — the *read side*: a sliding window of observed
+//!   queries plus the check cadence counter, entirely behind interior
+//!   mutability (a short-lived mutex around the deque, atomics for the
+//!   counters). Any number of concurrent readers can
+//!   [`ObservationLog::record`] through a shared reference while serving
+//!   queries; exactly one of them is told a degradation check is due.
+//! * [`Relearner`] — the *build side*: the layout optimizer, the cost
+//!   baseline, and the re-learn caches. [`Relearner::check`] prices the
+//!   current layout on a window snapshot and, when degraded, runs
+//!   Algorithm 1 and decides adoption. It never touches an index: it
+//!   returns the winning [`OptimizedLayout`] and the caller rebuilds and
+//!   *publishes* however it likes — in place here, or behind an
+//!   epoch-swapped `Arc` in `flood-serve`.
+//!
+//! [`AdaptiveFlood`] composes the two with a [`FloodIndex`] into the
+//! single-threaded §8 loop: observe, check, rebuild in place.
 //!
 //! ## Cache sharing across re-learns
 //!
@@ -16,7 +30,7 @@
 //! sampling, per-dimension RMI training, flattening — depends only on the
 //! data. Flood is clustered, so rebuilds permute rows but never change the
 //! data *multiset*; with [`AdaptiveConfig::share_cache`] (the default) the
-//! index keeps one [`EvaluatorCache`] alive across every check and
+//! [`Relearner`] keeps one [`EvaluatorCache`] alive across every check and
 //! re-learn: the data sample is flattened **once**, and the
 //! query-dependent layers (flattened windows, per-dimension mask caches,
 //! layout memos) are keyed on a fingerprint of the sampled observation
@@ -28,12 +42,16 @@
 
 use crate::config::FloodConfig;
 use crate::index::FloodIndex;
+use crate::layout::Layout;
 use crate::optimizer::{EvaluatorCache, LayoutOptimizer, OptimizedLayout};
 use flood_store::{MultiDimIndex, RangeQuery, ScanStats, Table, Visitor};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Configuration for [`AdaptiveFlood`].
+/// Configuration for the adaptive loop ([`AdaptiveFlood`], and the serving
+/// layer's background adaptation in `flood-serve`).
 #[derive(Debug, Clone, Copy)]
 pub struct AdaptiveConfig {
     /// Number of recent queries kept in the observation window.
@@ -61,8 +79,8 @@ impl Default for AdaptiveConfig {
     }
 }
 
-/// Work counters for one [`AdaptiveFlood`]'s lifetime, for the `repro
-/// drift` experiment and the re-learn regression tests.
+/// Work counters for one adaptive loop's lifetime, for the `repro drift`
+/// experiment and the re-learn regression tests.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AdaptiveDiagnostics {
     /// Times the layout was replaced.
@@ -95,15 +113,101 @@ impl AdaptiveDiagnostics {
     }
 }
 
-/// A self-retuning Flood index.
+/// The read side of the adaptive loop: a sliding window of observed
+/// queries plus the check-cadence counter, safe to record into from any
+/// number of concurrent readers through a shared reference.
+///
+/// The deque sits behind a mutex held only for a push (microseconds — the
+/// serving path never blocks behind a re-learn), the cadence counter is an
+/// atomic, and the due-check handshake uses a compare-exchange so exactly
+/// one recorder per crossing is told a check is due.
 #[derive(Debug)]
-pub struct AdaptiveFlood {
-    index: FloodIndex,
+pub struct ObservationLog {
+    window: Mutex<VecDeque<RangeQuery>>,
+    cap: usize,
+    check_every: usize,
+    since_check: AtomicUsize,
+    observed: AtomicU64,
+}
+
+impl ObservationLog {
+    /// A log keeping the most recent `cap` queries, declaring a check due
+    /// every `check_every` records (once the window is at least half
+    /// full).
+    pub fn new(cap: usize, check_every: usize) -> Self {
+        ObservationLog {
+            window: Mutex::new(VecDeque::with_capacity(cap)),
+            cap,
+            check_every,
+            since_check: AtomicUsize::new(0),
+            observed: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observed query. Returns `true` when this record makes a
+    /// degradation check due — `check_every` records have accumulated and
+    /// the window is at least half full. Under concurrent recording
+    /// exactly one caller per crossing sees `true`; the cadence counter
+    /// only resets when a due check is claimed, matching the serial loop.
+    pub fn record(&self, query: &RangeQuery) -> bool {
+        let len = {
+            let mut w = self.window.lock().expect("observation window poisoned");
+            if w.len() == self.cap {
+                w.pop_front();
+            }
+            w.push_back(query.clone());
+            w.len()
+        };
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        let n = self.since_check.fetch_add(1, Ordering::AcqRel) + 1;
+        n >= self.check_every
+            && len >= self.cap / 2
+            && self
+                .since_check
+                .compare_exchange(n, 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// The current window contents, oldest first.
+    pub fn snapshot(&self) -> Vec<RangeQuery> {
+        self.window
+            .lock()
+            .expect("observation window poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Queries currently in the window.
+    pub fn len(&self) -> usize {
+        self.window
+            .lock()
+            .expect("observation window poisoned")
+            .len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total queries ever recorded (not capped by the window).
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+}
+
+/// The build side of the adaptive loop: prices observation windows against
+/// the cost baseline and runs the layout search when degraded.
+///
+/// Owns no index — [`Relearner::check`] returns the adopted
+/// [`OptimizedLayout`] (or `None`) and the caller rebuilds/publishes.
+/// That split is what lets `flood-serve` run the search and rebuild off
+/// the serving path and swap the result in atomically.
+#[derive(Debug)]
+pub struct Relearner {
     optimizer: LayoutOptimizer,
-    flood_cfg: FloodConfig,
     cfg: AdaptiveConfig,
-    window: VecDeque<RangeQuery>,
-    since_check: usize,
     baseline_cost: f64,
     /// Shared flattened sample + per-window evaluators (`share_cache`).
     shared: EvaluatorCache,
@@ -117,16 +221,16 @@ pub struct AdaptiveFlood {
     cold_window_flattens: usize,
 }
 
-impl AdaptiveFlood {
-    /// Build with an initial workload (used to learn the first layout and
-    /// set the cost baseline).
-    pub fn build(
+impl Relearner {
+    /// Learn the initial layout for `initial_workload` over `table` and
+    /// seed the cost baseline with its predicted cost. Returns the
+    /// relearner and the learned layout for the caller to build.
+    pub fn learn_initial(
         table: &Table,
         initial_workload: &[RangeQuery],
         optimizer: LayoutOptimizer,
-        flood_cfg: FloodConfig,
         cfg: AdaptiveConfig,
-    ) -> Self {
+    ) -> (Self, OptimizedLayout) {
         let mut shared = EvaluatorCache::new();
         let (learned, cold_sample_flattens, cold_window_flattens) = if cfg.share_cache {
             (
@@ -137,14 +241,9 @@ impl AdaptiveFlood {
         } else {
             (optimizer.optimize(table, initial_workload), 1, 1)
         };
-        let index = FloodIndex::build(table, learned.layout, flood_cfg.clone());
-        AdaptiveFlood {
-            index,
+        let relearner = Relearner {
             optimizer,
-            flood_cfg,
             cfg,
-            window: VecDeque::with_capacity(cfg.window),
-            since_check: 0,
             baseline_cost: learned.predicted_ns,
             shared,
             relearns: 0,
@@ -153,6 +252,203 @@ impl AdaptiveFlood {
             cross_hits: 0,
             cold_sample_flattens,
             cold_window_flattens,
+        };
+        (relearner, learned)
+    }
+
+    /// Price `current` on the observation `window`; when degraded past the
+    /// baseline, search for a replacement. Returns the layout to adopt, or
+    /// `None` to keep the current one (an un-adopted search raises the
+    /// baseline so the same window doesn't thrash).
+    ///
+    /// Both modes price the layout on the optimizer's deterministic query
+    /// sample of the window ([`LayoutOptimizer::sample_queries`]) — the
+    /// same subset a re-learn would search on, so the degradation
+    /// comparison and the adopt-or-keep comparison read from one scale.
+    pub fn check(
+        &mut self,
+        window: &[RangeQuery],
+        data: &Table,
+        current: &Layout,
+    ) -> Option<OptimizedLayout> {
+        if window.is_empty() {
+            return None;
+        }
+        self.checks += 1;
+        if self.cfg.share_cache {
+            self.check_shared(window, data, current)
+        } else {
+            self.check_cold(window, data, current)
+        }
+    }
+
+    /// Shared path: one data sample for the lifetime, evaluators pooled by
+    /// window fingerprint, the check's pricing work feeding the search.
+    fn check_shared(
+        &mut self,
+        window: &[RangeQuery],
+        data: &Table,
+        layout: &Layout,
+    ) -> Option<OptimizedLayout> {
+        let (queries, mut rng) = self.optimizer.sample_queries(window);
+        let eval = self
+            .shared
+            .evaluator(&self.optimizer, data, &queries, &mut rng);
+        let current = eval.predict(layout);
+        if current <= self.cfg.degradation_factor * self.baseline_cost {
+            return None;
+        }
+        // Degraded: re-learn on the same evaluator. The epoch boundary
+        // separates the check's cache state from the search, so the
+        // cross-epoch counter reports exactly what the check pre-paid.
+        eval.advance_epoch();
+        let cross0 = eval.cross_epoch_hits();
+        let t0 = Instant::now();
+        let learned = self.optimizer.optimize_in(eval);
+        let wall = t0.elapsed();
+        self.cross_hits += eval.cross_epoch_hits() - cross0;
+        self.finish(learned, current, wall)
+    }
+
+    /// Cold path: every check and every re-learn samples, trains, and
+    /// flattens from scratch — what the shared path exists to avoid.
+    fn check_cold(
+        &mut self,
+        window: &[RangeQuery],
+        data: &Table,
+        layout: &Layout,
+    ) -> Option<OptimizedLayout> {
+        self.cold_sample_flattens += 1;
+        self.cold_window_flattens += 1;
+        let mut eval = self.optimizer.evaluator_sampled(data, window);
+        let current = eval.predict(layout);
+        if current <= self.cfg.degradation_factor * self.baseline_cost {
+            return None;
+        }
+        self.cold_sample_flattens += 1;
+        self.cold_window_flattens += 1;
+        let t0 = Instant::now();
+        let learned = self.optimizer.optimize(data, window);
+        let wall = t0.elapsed();
+        self.finish(learned, current, wall)
+    }
+
+    /// Adopt the learned layout when it beats the degraded current cost;
+    /// otherwise raise the baseline so the same window doesn't thrash.
+    fn finish(
+        &mut self,
+        learned: OptimizedLayout,
+        current: f64,
+        wall: Duration,
+    ) -> Option<OptimizedLayout> {
+        self.relearn_wall.push(wall);
+        if learned.predicted_ns < current {
+            self.baseline_cost = learned.predicted_ns;
+            self.relearns += 1;
+            Some(learned)
+        } else {
+            self.baseline_cost = current;
+            None
+        }
+    }
+
+    /// Re-learn unconditionally on `workload` (no degradation gate, always
+    /// adopted) — deterministic layout swaps for the serving experiments
+    /// and the soak harness.
+    pub fn relearn_on(&mut self, data: &Table, workload: &[RangeQuery]) -> OptimizedLayout {
+        let t0 = Instant::now();
+        let learned = if self.cfg.share_cache {
+            let (queries, mut rng) = self.optimizer.sample_queries(workload);
+            let eval = self
+                .shared
+                .evaluator(&self.optimizer, data, &queries, &mut rng);
+            eval.advance_epoch();
+            let cross0 = eval.cross_epoch_hits();
+            let learned = self.optimizer.optimize_in(eval);
+            self.cross_hits += eval.cross_epoch_hits() - cross0;
+            learned
+        } else {
+            self.cold_sample_flattens += 1;
+            self.cold_window_flattens += 1;
+            self.optimizer.optimize(data, workload)
+        };
+        self.relearn_wall.push(t0.elapsed());
+        self.baseline_cost = learned.predicted_ns;
+        self.relearns += 1;
+        learned
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Predicted cost baseline (ns/query) of the current layout.
+    pub fn baseline_cost(&self) -> f64 {
+        self.baseline_cost
+    }
+
+    /// Times a re-learned layout was adopted.
+    pub fn relearns(&self) -> usize {
+        self.relearns
+    }
+
+    /// Lifetime work counters (see [`AdaptiveDiagnostics`]).
+    pub fn diagnostics(&self) -> AdaptiveDiagnostics {
+        let (sample_flattens, window_flattens, window_reuses) = if self.cfg.share_cache {
+            (
+                self.shared.data_builds(),
+                self.shared.window_builds(),
+                self.shared.window_reuses(),
+            )
+        } else {
+            (self.cold_sample_flattens, self.cold_window_flattens, 0)
+        };
+        AdaptiveDiagnostics {
+            relearns: self.relearns,
+            checks: self.checks,
+            relearn_wall: self.relearn_wall.clone(),
+            cache_hits_across_relearns: self.cross_hits,
+            sample_flattens,
+            window_flattens,
+            window_reuses,
+        }
+    }
+}
+
+/// A self-retuning Flood index: [`ObservationLog`] + [`Relearner`] +
+/// [`FloodIndex`], rebuilt in place on the caller's thread.
+///
+/// Shared readers can record observations through
+/// [`AdaptiveFlood::record`] (`&self`); the check and rebuild still take
+/// `&mut self`. For a serving layer where the rebuild itself happens off
+/// the read path, see `flood-serve`.
+#[derive(Debug)]
+pub struct AdaptiveFlood {
+    index: FloodIndex,
+    flood_cfg: FloodConfig,
+    obs: ObservationLog,
+    relearner: Relearner,
+}
+
+impl AdaptiveFlood {
+    /// Build with an initial workload (used to learn the first layout and
+    /// set the cost baseline).
+    pub fn build(
+        table: &Table,
+        initial_workload: &[RangeQuery],
+        optimizer: LayoutOptimizer,
+        flood_cfg: FloodConfig,
+        cfg: AdaptiveConfig,
+    ) -> Self {
+        let (relearner, learned) =
+            Relearner::learn_initial(table, initial_workload, optimizer, cfg);
+        let index = FloodIndex::build(table, learned.layout, flood_cfg.clone());
+        AdaptiveFlood {
+            index,
+            flood_cfg,
+            obs: ObservationLog::new(cfg.window, cfg.check_every),
+            relearner,
         }
     }
 
@@ -177,94 +473,38 @@ impl AdaptiveFlood {
     /// execute against [`AdaptiveFlood::index`] and then feed the query
     /// here; [`AdaptiveFlood::execute_adaptive`] is the two fused.
     pub fn observe(&mut self, query: &RangeQuery) -> bool {
-        if self.window.len() == self.cfg.window {
-            self.window.pop_front();
+        if self.record(query) {
+            self.maybe_retrain()
+        } else {
+            false
         }
-        self.window.push_back(query.clone());
-        self.since_check += 1;
-        if self.since_check >= self.cfg.check_every && self.window.len() >= self.cfg.window / 2 {
-            self.since_check = 0;
-            return self.maybe_retrain();
-        }
-        false
+    }
+
+    /// The read-side half of [`AdaptiveFlood::observe`]: record a query
+    /// through a shared reference (no `&mut` needed — concurrent readers
+    /// can call this while executing against [`AdaptiveFlood::index`]).
+    /// Returns `true` when a degradation check is due; hand that to
+    /// [`AdaptiveFlood::maybe_retrain`] on the writer's turn.
+    pub fn record(&self, query: &RangeQuery) -> bool {
+        self.obs.record(query)
     }
 
     /// Price the current layout on the window; retrain when degraded.
     /// Returns whether a retrain happened.
-    ///
-    /// Both modes price the layout on the optimizer's deterministic query
-    /// sample of the window ([`LayoutOptimizer::sample_queries`]) — the
-    /// same subset a re-learn would search on, so the degradation
-    /// comparison and the adopt-or-keep comparison read from one scale.
     pub fn maybe_retrain(&mut self) -> bool {
-        if self.window.is_empty() {
-            return false;
-        }
-        let window: Vec<RangeQuery> = self.window.iter().cloned().collect();
-        self.checks += 1;
-        if self.cfg.share_cache {
-            self.check_shared(&window)
-        } else {
-            self.check_cold(&window)
-        }
-    }
-
-    /// Shared path: one data sample for the lifetime, evaluators pooled by
-    /// window fingerprint, the check's pricing work feeding the search.
-    fn check_shared(&mut self, window: &[RangeQuery]) -> bool {
-        let (queries, mut rng) = self.optimizer.sample_queries(window);
-        let eval = self
-            .shared
-            .evaluator(&self.optimizer, self.index.data(), &queries, &mut rng);
-        let current = eval.predict(self.index.layout());
-        if current <= self.cfg.degradation_factor * self.baseline_cost {
-            return false;
-        }
-        // Degraded: re-learn on the same evaluator. The epoch boundary
-        // separates the check's cache state from the search, so the
-        // cross-epoch counter reports exactly what the check pre-paid.
-        eval.advance_epoch();
-        let cross0 = eval.cross_epoch_hits();
-        let t0 = Instant::now();
-        let learned = self.optimizer.optimize_in(eval);
-        let wall = t0.elapsed();
-        self.cross_hits += eval.cross_epoch_hits() - cross0;
-        self.finish_retrain(learned, current, wall)
-    }
-
-    /// Cold path: every check and every re-learn samples, trains, and
-    /// flattens from scratch — what the shared path exists to avoid.
-    fn check_cold(&mut self, window: &[RangeQuery]) -> bool {
-        self.cold_sample_flattens += 1;
-        self.cold_window_flattens += 1;
-        let mut eval = self.optimizer.evaluator_sampled(self.index.data(), window);
-        let current = eval.predict(self.index.layout());
-        if current <= self.cfg.degradation_factor * self.baseline_cost {
-            return false;
-        }
-        self.cold_sample_flattens += 1;
-        self.cold_window_flattens += 1;
-        let t0 = Instant::now();
-        let learned = self.optimizer.optimize(self.index.data(), window);
-        let wall = t0.elapsed();
-        self.finish_retrain(learned, current, wall)
-    }
-
-    /// Adopt the learned layout when it beats the degraded current cost;
-    /// otherwise raise the baseline so the same window doesn't thrash.
-    fn finish_retrain(&mut self, learned: OptimizedLayout, current: f64, wall: Duration) -> bool {
-        self.relearn_wall.push(wall);
-        if learned.predicted_ns < current {
-            // The rebuild happens on the index's own data copy (Flood is
-            // clustered: the data multiset is the table).
-            self.index =
-                FloodIndex::build(self.index.data(), learned.layout, self.flood_cfg.clone());
-            self.baseline_cost = learned.predicted_ns;
-            self.relearns += 1;
-            true
-        } else {
-            self.baseline_cost = current;
-            false
+        let window = self.obs.snapshot();
+        match self
+            .relearner
+            .check(&window, self.index.data(), self.index.layout())
+        {
+            Some(learned) => {
+                // The rebuild happens on the index's own data copy (Flood
+                // is clustered: the data multiset is the table).
+                self.index =
+                    FloodIndex::build(self.index.data(), learned.layout, self.flood_cfg.clone());
+                true
+            }
+            None => false,
         }
     }
 
@@ -273,36 +513,24 @@ impl AdaptiveFlood {
         &self.index
     }
 
+    /// The observation window (shared read side).
+    pub fn observations(&self) -> &ObservationLog {
+        &self.obs
+    }
+
     /// Times the layout has been replaced.
     pub fn relearns(&self) -> usize {
-        self.relearns
+        self.relearner.relearns()
     }
 
     /// Predicted cost baseline (ns/query) of the current layout.
     pub fn baseline_cost(&self) -> f64 {
-        self.baseline_cost
+        self.relearner.baseline_cost()
     }
 
     /// Lifetime work counters (see [`AdaptiveDiagnostics`]).
     pub fn diagnostics(&self) -> AdaptiveDiagnostics {
-        let (sample_flattens, window_flattens, window_reuses) = if self.cfg.share_cache {
-            (
-                self.shared.data_builds(),
-                self.shared.window_builds(),
-                self.shared.window_reuses(),
-            )
-        } else {
-            (self.cold_sample_flattens, self.cold_window_flattens, 0)
-        };
-        AdaptiveDiagnostics {
-            relearns: self.relearns,
-            checks: self.checks,
-            relearn_wall: self.relearn_wall.clone(),
-            cache_hits_across_relearns: self.cross_hits,
-            sample_flattens,
-            window_flattens,
-            window_reuses,
-        }
+        self.relearner.diagnostics()
     }
 }
 
@@ -489,5 +717,84 @@ mod tests {
             let truth = (0..t.len()).filter(|&r| q.matches(&t.row(r))).count() as u64;
             assert_eq!(v.count, truth);
         }
+    }
+
+    /// The observe() bugfix regression: concurrent readers sharing
+    /// `&AdaptiveFlood` record observations while executing; a later
+    /// `&mut` check sees every one of them. Before the split, recording
+    /// required `&mut self` even on the no-relearn path, so this could
+    /// not compile, let alone run.
+    #[test]
+    fn shared_readers_record_observations() {
+        let t = table();
+        let w0 = workload_on(0, 30);
+        let a = AdaptiveFlood::build(
+            &t,
+            &w0,
+            optimizer(),
+            FloodConfig::default(),
+            AdaptiveConfig {
+                window: 64,
+                check_every: 1_000_000, // never due mid-run
+                degradation_factor: 1.5,
+                ..Default::default()
+            },
+        );
+        let queries = workload_on(1, 25);
+        let threads = 4;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let (a, queries) = (&a, &queries);
+                scope.spawn(move || {
+                    for q in queries {
+                        let mut v = CountVisitor::default();
+                        a.index().execute(q, None, &mut v);
+                        let due = a.record(q);
+                        assert!(!due, "cadence of 1M can never be due here");
+                    }
+                });
+            }
+        });
+        let obs = a.observations();
+        assert_eq!(obs.observed(), (threads * queries.len()) as u64);
+        assert_eq!(obs.len(), 64, "window retains the most recent cap");
+        // The writer's turn sees the recorded window and can check on it.
+        let mut a = a;
+        let checks0 = a.diagnostics().checks;
+        a.maybe_retrain();
+        assert_eq!(a.diagnostics().checks, checks0 + 1);
+    }
+
+    /// One recorder per cadence crossing is told a check is due, even with
+    /// concurrent recording.
+    #[test]
+    fn due_checks_fire_once_per_crossing() {
+        let log = ObservationLog::new(8, 5);
+        let q = RangeQuery::all(1);
+        let dues: usize = (0..25).map(|_| log.record(&q) as usize).sum();
+        // 25 records, cadence 5, window fills at 4 (cap/2): crossings at
+        // 5, 10, 15, 20, 25.
+        assert_eq!(dues, 5);
+
+        let log = ObservationLog::new(64, 10);
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (log, total, q) = (&log, &total, &q);
+                scope.spawn(move || {
+                    let mut mine = 0;
+                    for _ in 0..100 {
+                        mine += log.record(q) as usize;
+                    }
+                    total.fetch_add(mine, Ordering::Relaxed);
+                });
+            }
+        });
+        let dues = total.load(Ordering::Relaxed);
+        assert!(
+            (30..=40).contains(&dues),
+            "400 records at cadence 10 claim ~40 checks once the window \
+             half-fills, never more: {dues}"
+        );
     }
 }

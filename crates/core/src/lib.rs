@@ -55,7 +55,7 @@ pub mod knn;
 pub mod layout;
 pub mod optimizer;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveDiagnostics, AdaptiveFlood};
+pub use adaptive::{AdaptiveConfig, AdaptiveDiagnostics, AdaptiveFlood, ObservationLog, Relearner};
 pub use config::{FloodBuilder, FloodConfig, Refinement};
 pub use cost::{CostModel, QueryCostEstimate, WeightModels};
 pub use delta::DeltaFlood;

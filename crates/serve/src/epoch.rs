@@ -1,0 +1,186 @@
+//! Epoch-swapped index publication: the one shared-mutable cell in the
+//! serving layer.
+//!
+//! The live index lives behind `RwLock<Arc<EpochIndex>>`. Readers take the
+//! read lock just long enough to clone the `Arc` (nanoseconds — never for
+//! the duration of a query), then execute against their private snapshot
+//! with no further coordination. A publisher builds the replacement index
+//! entirely off the lock, then swaps the `Arc` under the write lock — the
+//! only writer-side critical section is a pointer exchange.
+//!
+//! Retirement is `Arc` drop semantics: the swapped-out epoch stays alive
+//! exactly as long as the last in-flight reader holds its snapshot, and
+//! the publisher keeps only a [`Weak`] per retired epoch, so
+//! [`PublishedIndex::retired_epochs`] can report when old layouts were
+//! actually freed without ever extending their lifetime.
+
+use flood_core::FloodIndex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
+
+/// One published layout generation: an immutable [`FloodIndex`] tagged
+/// with its epoch number.
+#[derive(Debug)]
+pub struct EpochIndex {
+    epoch: u64,
+    index: FloodIndex,
+}
+
+impl EpochIndex {
+    /// The epoch this index was published as (0 = the initial build).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The index itself.
+    pub fn index(&self) -> &FloodIndex {
+        &self.index
+    }
+}
+
+/// A reader's snapshot: a strong reference to one epoch's index. Holding
+/// it pins that epoch (and nothing else) alive; dropping the last one
+/// frees the retired layout.
+pub type IndexSnapshot = Arc<EpochIndex>;
+
+/// The publication point: the current epoch's index, swappable atomically
+/// while readers stream through.
+#[derive(Debug)]
+pub struct PublishedIndex {
+    current: RwLock<Arc<EpochIndex>>,
+    /// `(epoch, weak)` per swapped-out generation, oldest first. Weak so
+    /// diagnostics never keep a retired layout alive.
+    retired: Mutex<Vec<(u64, Weak<EpochIndex>)>>,
+    swaps: AtomicU64,
+}
+
+impl PublishedIndex {
+    /// Publish `index` as epoch 0.
+    pub fn new(index: FloodIndex) -> Self {
+        PublishedIndex {
+            current: RwLock::new(Arc::new(EpochIndex { epoch: 0, index })),
+            retired: Mutex::new(Vec::new()),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Grab a snapshot of the current epoch. The read lock is held only
+    /// for the `Arc` clone; queries run lock-free against the snapshot.
+    pub fn snapshot(&self) -> IndexSnapshot {
+        self.current
+            .read()
+            .expect("published index poisoned")
+            .clone()
+    }
+
+    /// The current epoch number (monotone, +1 per publish).
+    pub fn epoch(&self) -> u64 {
+        self.current.read().expect("published index poisoned").epoch
+    }
+
+    /// Swap `index` in as the next epoch, retiring the current one.
+    /// Returns the new epoch number. The caller builds `index` off the
+    /// serving path; the write lock covers only the pointer exchange.
+    pub fn publish(&self, index: FloodIndex) -> u64 {
+        let old = {
+            let mut cur = self.current.write().expect("published index poisoned");
+            let epoch = cur.epoch + 1;
+            std::mem::replace(&mut *cur, Arc::new(EpochIndex { epoch, index }))
+        };
+        let epoch = old.epoch + 1;
+        self.retired
+            .lock()
+            .expect("retired list poisoned")
+            .push((old.epoch, Arc::downgrade(&old)));
+        self.swaps.fetch_add(1, Ordering::Release);
+        epoch
+    }
+
+    /// Times a new epoch was published (== current epoch number).
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Acquire)
+    }
+
+    /// Swapped-out epochs whose memory has been freed — their last
+    /// in-flight reader dropped its snapshot.
+    pub fn retired_epochs(&self) -> usize {
+        self.retired
+            .lock()
+            .expect("retired list poisoned")
+            .iter()
+            .filter(|(_, w)| w.upgrade().is_none())
+            .count()
+    }
+
+    /// Swapped-out epochs still pinned by at least one in-flight reader.
+    pub fn live_retired(&self) -> usize {
+        self.retired
+            .lock()
+            .expect("retired list poisoned")
+            .iter()
+            .filter(|(_, w)| w.upgrade().is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flood_core::{FloodBuilder, Layout};
+    use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, Table};
+
+    fn table() -> Table {
+        let n = 2_000u64;
+        Table::from_columns(vec![
+            (0..n).map(|i| i % 50).collect(),
+            (0..n).map(|i| (i * 7) % 50).collect(),
+            (0..n).collect(),
+        ])
+    }
+
+    fn build(t: &Table, order: Vec<usize>) -> FloodIndex {
+        FloodBuilder::new()
+            .layout(Layout::new(order, vec![4, 4]))
+            .build(t)
+    }
+
+    #[test]
+    fn epochs_are_monotone_and_swaps_count() {
+        let t = table();
+        let p = PublishedIndex::new(build(&t, vec![0, 1, 2]));
+        assert_eq!(p.epoch(), 0);
+        assert_eq!(p.swaps(), 0);
+        assert_eq!(p.publish(build(&t, vec![1, 0, 2])), 1);
+        assert_eq!(p.publish(build(&t, vec![2, 1, 0])), 2);
+        assert_eq!(p.epoch(), 2);
+        assert_eq!(p.swaps(), 2);
+        assert_eq!(p.snapshot().epoch(), 2);
+    }
+
+    #[test]
+    fn retired_epoch_lives_until_last_reader_drops() {
+        let t = table();
+        let p = PublishedIndex::new(build(&t, vec![0, 1, 2]));
+        let held = p.snapshot(); // in-flight reader on epoch 0
+        p.publish(build(&t, vec![1, 0, 2]));
+        assert_eq!(p.live_retired(), 1, "epoch 0 pinned by the reader");
+        assert_eq!(p.retired_epochs(), 0);
+        // The pinned snapshot still answers queries against its layout.
+        let q = RangeQuery::all(3).with_range(0, 10, 20);
+        let mut v = CountVisitor::default();
+        held.index().execute(&q, None, &mut v);
+        drop(held);
+        assert_eq!(p.live_retired(), 0, "last reader gone, epoch 0 freed");
+        assert_eq!(p.retired_epochs(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_a_swap() {
+        let t = table();
+        let p = PublishedIndex::new(build(&t, vec![0, 1, 2]));
+        let snap = p.snapshot();
+        p.publish(build(&t, vec![1, 0, 2]));
+        assert_eq!(snap.epoch(), 0, "a snapshot never migrates epochs");
+        assert_eq!(p.snapshot().epoch(), 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! The serving front end: shared readers over a [`PublishedIndex`] with
+//! background adaptation.
+//!
+//! [`FloodServer`] composes the pieces the rest of the workspace provides:
+//!
+//! * reads go through [`PublishedIndex::snapshot`] — every request (or
+//!   batch) pins one epoch and never observes a mix of layouts;
+//! * admission is layered on the `flood-exec` scoped pool:
+//!   [`FloodServer::execute`] is the closed-loop per-request path,
+//!   [`FloodServer::serve_batch`] / [`FloodServer::serve_stream`] the
+//!   open-loop batched path ([`flood_exec::QueryExecutor::execute_batch`]
+//!   under one snapshot per batch);
+//! * every served query is recorded in an [`ObservationLog`] through
+//!   `&self`, and the [`Relearner`] — behind a mutex that readers never
+//!   touch — prices the window, searches, and rebuilds off the serving
+//!   path, publishing the replacement with a pointer swap
+//!   ([`FloodServer::maybe_adapt`]).
+
+use crate::epoch::{IndexSnapshot, PublishedIndex};
+use flood_core::{
+    AdaptiveConfig, AdaptiveDiagnostics, FloodConfig, FloodIndex, LayoutOptimizer, ObservationLog,
+    Relearner,
+};
+use flood_exec::{QueryExecutor, ThreadPool};
+use flood_store::{RangeQuery, ScanStats, Table, Visitor};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Configuration for [`FloodServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Window / cadence / degradation threshold for background adaptation.
+    pub adaptive: AdaptiveConfig,
+    /// Admission: [`FloodServer::serve_stream`] cuts an open-loop stream
+    /// into batches of at most this many queries; each batch executes
+    /// under one snapshot.
+    pub batch: usize,
+    /// Worker threads for batched execution. 0 sizes from the environment
+    /// (`FLOOD_THREADS`, else available parallelism).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            adaptive: AdaptiveConfig::default(),
+            batch: 64,
+            threads: 0,
+        }
+    }
+}
+
+/// What one [`FloodServer::maybe_adapt`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptOutcome {
+    /// No degradation check was due.
+    NotDue,
+    /// A check was due but another adaptation was in flight; the due flag
+    /// is left set so a later call retries.
+    Busy,
+    /// The window was priced; the current layout survives.
+    Kept,
+    /// A re-learned layout was built and published as this epoch.
+    Swapped(u64),
+}
+
+/// One batch's results: every query answered against the same epoch.
+#[derive(Debug)]
+pub struct ServedBatch<V> {
+    /// The epoch the whole batch was served from.
+    pub epoch: u64,
+    /// Per-query `(visitor, stats)` in input order.
+    pub results: Vec<(V, ScanStats)>,
+}
+
+/// Serving-layer counters ([`FloodServer::diagnostics`]).
+#[derive(Debug, Clone)]
+pub struct ServeDiagnostics {
+    /// Current epoch number.
+    pub epoch: u64,
+    /// Layout swaps published.
+    pub swaps: u64,
+    /// Swapped-out epochs whose last reader has dropped (memory freed).
+    pub retired_epochs: usize,
+    /// Swapped-out epochs still pinned by in-flight snapshots.
+    pub live_retired: usize,
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests answered (== `submitted` once the server is idle: the
+    /// serving path never drops a request).
+    pub completed: u64,
+    /// Queries recorded in the observation window.
+    pub observed: u64,
+    /// `maybe_adapt` calls that found the relearner busy.
+    pub adapt_skipped: u64,
+    /// The build side's counters (checks, relearns, cache work).
+    pub adaptive: AdaptiveDiagnostics,
+}
+
+/// A shared-read front end over one table's [`FloodIndex`], re-learning
+/// its layout in the background while readers stream through.
+///
+/// All serving methods take `&self`: share a `FloodServer` across threads
+/// (e.g. `std::thread::scope`) and call [`FloodServer::execute`] /
+/// [`FloodServer::serve_batch`] from readers while one maintenance thread
+/// polls [`FloodServer::maybe_adapt`].
+#[derive(Debug)]
+pub struct FloodServer {
+    published: PublishedIndex,
+    flood_cfg: FloodConfig,
+    exec: QueryExecutor,
+    batch: usize,
+    obs: ObservationLog,
+    /// Set by the recorder that crosses the check cadence, consumed by
+    /// the adaptation turn that wins the relearner lock.
+    check_due: AtomicBool,
+    /// The build side. Readers never take this lock — a re-learn in
+    /// flight only makes `maybe_adapt` report [`AdaptOutcome::Busy`].
+    relearner: Mutex<Relearner>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    adapt_skipped: AtomicU64,
+}
+
+impl FloodServer {
+    /// Learn an initial layout for `train` over `table`, build it, and
+    /// publish it as epoch 0.
+    pub fn build(
+        table: &Table,
+        train: &[RangeQuery],
+        optimizer: LayoutOptimizer,
+        flood_cfg: FloodConfig,
+        cfg: ServeConfig,
+    ) -> Self {
+        let (relearner, learned) = Relearner::learn_initial(table, train, optimizer, cfg.adaptive);
+        let index = FloodIndex::build(table, learned.layout, flood_cfg.clone());
+        let pool = if cfg.threads == 0 {
+            ThreadPool::from_env()
+        } else {
+            ThreadPool::new(cfg.threads)
+        };
+        FloodServer {
+            published: PublishedIndex::new(index),
+            flood_cfg,
+            exec: QueryExecutor::new(pool),
+            batch: cfg.batch.max(1),
+            obs: ObservationLog::new(cfg.adaptive.window, cfg.adaptive.check_every),
+            check_due: AtomicBool::new(false),
+            relearner: Mutex::new(relearner),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            adapt_skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Closed-loop path: execute one query against the current snapshot,
+    /// record the observation, and return `(stats, epoch served from)`.
+    pub fn execute(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        visitor: &mut dyn Visitor,
+    ) -> (ScanStats, u64) {
+        use flood_store::MultiDimIndex;
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let snap = self.published.snapshot();
+        let stats = snap.index().execute(query, agg_dim, visitor);
+        self.note(query);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        (stats, snap.epoch())
+    }
+
+    /// Open-loop path: execute a batch under one snapshot, queries spread
+    /// across the executor's workers, results in input order.
+    pub fn serve_batch<V>(&self, queries: &[RangeQuery], agg_dim: Option<usize>) -> ServedBatch<V>
+    where
+        V: Visitor + Default + Send,
+    {
+        self.submitted
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let snap = self.published.snapshot();
+        let results = self
+            .exec
+            .execute_batch::<V, _>(snap.index(), queries, agg_dim);
+        for q in queries {
+            self.note(q);
+        }
+        self.completed
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        ServedBatch {
+            epoch: snap.epoch(),
+            results,
+        }
+    }
+
+    /// Admission over an open-loop stream: cut `queries` into batches of
+    /// at most [`ServeConfig::batch`] and serve each under a fresh
+    /// snapshot, so a stream in flight picks up a published swap at the
+    /// next batch boundary.
+    pub fn serve_stream<V>(
+        &self,
+        queries: &[RangeQuery],
+        agg_dim: Option<usize>,
+    ) -> Vec<ServedBatch<V>>
+    where
+        V: Visitor + Default + Send,
+    {
+        queries
+            .chunks(self.batch)
+            .map(|chunk| self.serve_batch(chunk, agg_dim))
+            .collect()
+    }
+
+    /// Record a served query; remember when a degradation check comes due.
+    fn note(&self, query: &RangeQuery) {
+        if self.obs.record(query) {
+            self.check_due.store(true, Ordering::Release);
+        }
+    }
+
+    /// The adaptation turn, callable from any maintenance thread. When a
+    /// check is due and no other adaptation is in flight: price the
+    /// window against the current snapshot, and when degraded, search,
+    /// rebuild off the serving path, and publish the replacement.
+    pub fn maybe_adapt(&self) -> AdaptOutcome {
+        if !self.check_due.load(Ordering::Acquire) {
+            return AdaptOutcome::NotDue;
+        }
+        let Ok(mut relearner) = self.relearner.try_lock() else {
+            self.adapt_skipped.fetch_add(1, Ordering::Relaxed);
+            return AdaptOutcome::Busy;
+        };
+        self.check_due.store(false, Ordering::Release);
+        let snap = self.published.snapshot();
+        let window = self.obs.snapshot();
+        match relearner.check(&window, snap.index().data(), snap.index().layout()) {
+            Some(learned) => AdaptOutcome::Swapped(self.rebuild_and_publish(&snap, learned.layout)),
+            None => AdaptOutcome::Kept,
+        }
+    }
+
+    /// Re-learn on `workload` unconditionally and publish the result —
+    /// deterministic swap schedules for experiments and soak tests.
+    /// Blocks until the new epoch is live; returns its number.
+    pub fn force_relearn(&self, workload: &[RangeQuery]) -> u64 {
+        let mut relearner = self.relearner.lock().expect("relearner poisoned");
+        let snap = self.published.snapshot();
+        let learned = relearner.relearn_on(snap.index().data(), workload);
+        self.rebuild_and_publish(&snap, learned.layout)
+    }
+
+    /// Build a new index over the snapshot's data (Flood is clustered —
+    /// the data multiset is the table) and swap it in.
+    fn rebuild_and_publish(&self, snap: &IndexSnapshot, layout: flood_core::Layout) -> u64 {
+        let index = FloodIndex::build(snap.index().data(), layout, self.flood_cfg.clone());
+        self.published.publish(index)
+    }
+
+    /// A snapshot of the current epoch (for harnesses that pin an epoch
+    /// across their own measurement loops).
+    pub fn snapshot(&self) -> IndexSnapshot {
+        self.published.snapshot()
+    }
+
+    /// The publication point (epoch / swap / retirement accounting).
+    pub fn published(&self) -> &PublishedIndex {
+        &self.published
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.published.epoch()
+    }
+
+    /// Worker threads batched execution uses.
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
+
+    /// Serving-layer counters plus the build side's diagnostics.
+    pub fn diagnostics(&self) -> ServeDiagnostics {
+        let adaptive = self
+            .relearner
+            .lock()
+            .expect("relearner poisoned")
+            .diagnostics();
+        ServeDiagnostics {
+            epoch: self.published.epoch(),
+            swaps: self.published.swaps(),
+            retired_epochs: self.published.retired_epochs(),
+            live_retired: self.published.live_retired(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            observed: self.obs.observed(),
+            adapt_skipped: self.adapt_skipped.load(Ordering::Relaxed),
+            adaptive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flood_core::{CostModel, OptimizerConfig};
+    use flood_store::{CountVisitor, MultiDimIndex, Table};
+
+    fn table() -> Table {
+        let n = 6_000u64;
+        Table::from_columns(vec![
+            (0..n).map(|i| (i * 7919) % 10_000).collect(),
+            (0..n).map(|i| (i * 104729) % 10_000).collect(),
+            (0..n).collect(),
+        ])
+    }
+
+    fn optimizer() -> LayoutOptimizer {
+        LayoutOptimizer::with_config(
+            CostModel::analytic_default(),
+            OptimizerConfig {
+                data_sample: 600,
+                query_sample: 10,
+                gd_steps: 6,
+                max_total_cells: 1 << 10,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn workload_on(dim: usize, n: usize) -> Vec<RangeQuery> {
+        (0..n)
+            .map(|i| {
+                RangeQuery::all(3).with_range(
+                    dim,
+                    (i as u64 * 37) % 9_000,
+                    (i as u64 * 37) % 9_000 + 150,
+                )
+            })
+            .collect()
+    }
+
+    fn server(adaptive: AdaptiveConfig) -> (Table, FloodServer) {
+        let t = table();
+        let s = FloodServer::build(
+            &t,
+            &workload_on(0, 30),
+            optimizer(),
+            FloodConfig::default(),
+            ServeConfig {
+                adaptive,
+                batch: 16,
+                threads: 1,
+            },
+        );
+        (t, s)
+    }
+
+    #[test]
+    fn per_request_results_match_ground_truth() {
+        let (t, s) = server(AdaptiveConfig::default());
+        for q in &workload_on(1, 20) {
+            let mut v = CountVisitor::default();
+            let (_, epoch) = s.execute(q, None, &mut v);
+            assert_eq!(epoch, 0);
+            let truth = (0..t.len()).filter(|&r| q.matches(&t.row(r))).count() as u64;
+            assert_eq!(v.count, truth);
+        }
+        let d = s.diagnostics();
+        assert_eq!(d.submitted, 20);
+        assert_eq!(d.completed, 20);
+        assert_eq!(d.observed, 20);
+    }
+
+    #[test]
+    fn batched_stream_matches_serial_and_counts_requests() {
+        let (t, s) = server(AdaptiveConfig::default());
+        let queries = workload_on(1, 40);
+        let batches = s.serve_stream::<CountVisitor>(&queries, None);
+        assert_eq!(batches.len(), 3, "40 queries at batch 16 → 16+16+8");
+        let mut served = 0;
+        for b in &batches {
+            for ((v, s_), q) in b.results.iter().zip(queries[served..].iter()) {
+                let mut want = CountVisitor::default();
+                let want_stats = s.snapshot().index().execute(q, None, &mut want);
+                assert_eq!(v.count, want.count);
+                assert_eq!(*s_, want_stats);
+                let truth = (0..t.len()).filter(|&r| q.matches(&t.row(r))).count() as u64;
+                assert_eq!(v.count, truth);
+            }
+            served += b.results.len();
+        }
+        assert_eq!(served, queries.len());
+        let d = s.diagnostics();
+        assert_eq!(d.submitted, 40);
+        assert_eq!(d.completed, 40, "zero dropped requests");
+    }
+
+    #[test]
+    fn shifted_workload_swaps_in_the_background_turn() {
+        let (t, s) = server(AdaptiveConfig {
+            window: 24,
+            check_every: 12,
+            degradation_factor: 1.2,
+            ..Default::default()
+        });
+        assert_eq!(s.maybe_adapt(), AdaptOutcome::NotDue);
+        let before = s.snapshot();
+        let mut swapped = false;
+        for q in &workload_on(1, 60) {
+            let mut v = CountVisitor::default();
+            s.execute(q, None, &mut v);
+            if let AdaptOutcome::Swapped(e) = s.maybe_adapt() {
+                assert!(e >= 1);
+                swapped = true;
+            }
+        }
+        assert!(swapped, "shifted workload must publish a new layout");
+        assert_eq!(before.epoch(), 0, "pinned snapshot stays on its epoch");
+        assert!(s.snapshot().index().layout().order().contains(&1));
+        // The pinned pre-swap snapshot still answers correctly.
+        let q = &workload_on(1, 1)[0];
+        let mut v = CountVisitor::default();
+        before.index().execute(q, None, &mut v);
+        let truth = (0..t.len()).filter(|&r| q.matches(&t.row(r))).count() as u64;
+        assert_eq!(v.count, truth);
+        drop(before);
+        let d = s.diagnostics();
+        assert!(d.swaps >= 1);
+        assert_eq!(
+            d.retired_epochs as u64, d.swaps,
+            "all retired epochs freed once readers dropped"
+        );
+    }
+
+    #[test]
+    fn force_relearn_publishes_deterministically() {
+        let (_, s) = server(AdaptiveConfig::default());
+        assert_eq!(s.force_relearn(&workload_on(1, 24)), 1);
+        assert_eq!(s.force_relearn(&workload_on(0, 24)), 2);
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.diagnostics().adaptive.relearns, 2);
+    }
+}

@@ -15,6 +15,19 @@ use crate::table::Table;
 use crate::visitor::Visitor;
 
 /// A read-optimized index over a fixed multi-dimensional table.
+///
+/// # Shared-read contract
+///
+/// [`execute`](MultiDimIndex::execute) takes `&self` and must not mutate
+/// any state observable by another call: all per-query scratch (cell
+/// lists, refinement bounds, visitor state, [`ScanStats`]) lives on the
+/// caller's stack or in the `&mut` visitor, never in the index. Any number
+/// of threads may therefore execute against one index concurrently with no
+/// synchronization, and every call returns exactly what a serial run would
+/// — this is what lets `flood-exec` fan a batch across its pool and
+/// `flood-serve` hand one `Arc`'d snapshot to every in-flight reader while
+/// a replacement index is built elsewhere. Implementations that want
+/// interior caches must keep them thread-safe *and* result-invisible.
 pub trait MultiDimIndex {
     /// Execute `query`, feeding matching rows to `visitor`.
     ///
@@ -160,6 +173,18 @@ impl ScanPlan for ChunkedScanPlan<'_> {
         self.plan_stats
     }
 }
+
+// The shared-read contract above leans on the core store types being
+// freely shareable across threads; losing `Send + Sync` (say, by adding an
+// `Rc` or a `Cell` to one of them) would surface far away, in the exec and
+// serve crates. Pin it here, where the contract is stated.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Table>();
+    _assert_send_sync::<RangeQuery>();
+    _assert_send_sync::<ScanStats>();
+    _assert_send_sync::<CumulativeColumn>();
+};
 
 /// Counts matched points on behalf of [`ScanStats`] while forwarding to the
 /// task's visitor.

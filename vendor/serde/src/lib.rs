@@ -125,8 +125,7 @@ pub fn __get_field<T: Deserialize>(
     ty: &str,
 ) -> Result<T, Error> {
     match m.iter().find(|(k, _)| k == field) {
-        Some((_, v)) => T::from_value(v)
-            .map_err(|e| Error::custom(format!("{ty}.{field}: {e}"))),
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{field}: {e}"))),
         None => T::from_value(&Value::Null)
             .map_err(|_| Error::custom(format!("missing field `{field}` in {ty}"))),
     }

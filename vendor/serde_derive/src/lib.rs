@@ -30,8 +30,14 @@ struct Variant {
 
 /// A parsed `struct` or `enum` definition.
 enum Parsed {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derive `serde::Serialize`.
@@ -155,9 +161,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         match toks.next() {
             None => return Ok(names),
             Some(TokenTree::Ident(id)) => names.push(id.to_string()),
-            Some(other) => {
-                return Err(format!("serde derive: expected field name, got `{other}`"))
-            }
+            Some(other) => return Err(format!("serde derive: expected field name, got `{other}`")),
         }
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
@@ -230,7 +234,9 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
             None => return Ok(variants),
             Some(TokenTree::Ident(id)) => id.to_string(),
             Some(other) => {
-                return Err(format!("serde derive: expected variant name, got `{other}`"))
+                return Err(format!(
+                    "serde derive: expected variant name, got `{other}`"
+                ))
             }
         };
         let fields = match toks.peek() {
@@ -424,9 +430,7 @@ fn gen_deserialize(parsed: &Parsed) -> String {
                         let inits: Vec<String> = fs
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "{f}: ::serde::__get_field(__mm, {f:?}, \"{name}::{vn}\")?"
-                                )
+                                format!("{f}: ::serde::__get_field(__mm, {f:?}, \"{name}::{vn}\")?")
                             })
                             .collect();
                         tagged_arms.push_str(&format!(

@@ -60,10 +60,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(T::from_value(&v)?)
 }
@@ -278,10 +275,7 @@ impl<'a> Parser<'a> {
             self.pos += kw.len();
             Ok(v)
         } else {
-            Err(Error::new(format!(
-                "invalid keyword at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid keyword at byte {}", self.pos)))
         }
     }
 
@@ -375,10 +369,7 @@ impl<'a> Parser<'a> {
                             continue; // parse_hex4 already advanced pos
                         }
                         _ => {
-                            return Err(Error::new(format!(
-                                "invalid escape at byte {}",
-                                self.pos
-                            )))
+                            return Err(Error::new(format!("invalid escape at byte {}", self.pos)))
                         }
                     }
                     self.pos += 1;
