@@ -12,8 +12,8 @@ use crate::full_scan::CountingVisitor;
 use flood_learned::rmi::{Rmi, RmiConfig};
 use flood_store::index_trait::ChunkedScanPlan;
 use flood_store::{
-    scan_filtered, CumulativeColumn, MultiDimIndex, PartitionedScan, RangeQuery, ScanPlan,
-    ScanStats, Table, Visitor,
+    scan_filtered, scan_filtered_packed, CumulativeColumn, MultiDimIndex, PartitionedScan,
+    RangeQuery, ScanMode, ScanPlan, ScanStats, Table, Visitor,
 };
 
 /// A learned clustered index over one dimension.
@@ -24,6 +24,7 @@ pub struct ClusteredIndex {
     rmi: Rmi,
     /// Optional cumulative SUM columns for exact-range aggregation.
     cumulatives: Vec<(usize, CumulativeColumn)>,
+    mode: ScanMode,
 }
 
 impl ClusteredIndex {
@@ -51,7 +52,14 @@ impl ClusteredIndex {
             key_dim,
             rmi,
             cumulatives,
+            mode: ScanMode::default(),
         }
+    }
+
+    /// Select the scan kernel for residual-filtered ranges (serial and
+    /// planned).
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.mode = mode;
     }
 
     /// The clustering dimension.
@@ -84,16 +92,16 @@ impl ClusteredIndex {
             residual = strip_dim(query, self.key_dim);
         }
         let exact = residual.num_filtered() == 0;
-        let cumulative = if exact {
-            agg_dim.and_then(|d| {
-                self.cumulatives
-                    .iter()
-                    .find(|(dim, _)| *dim == d)
-                    .map(|(_, c)| c)
-            })
-        } else {
-            None
-        };
+        // Selected whenever the aggregation column has prefix sums: exact
+        // ranges answer from it outright, and the packed kernel uses it for
+        // blocks the residual accepts wholesale. (The decode-first filtered
+        // kernel ignores it.)
+        let cumulative = agg_dim.and_then(|d| {
+            self.cumulatives
+                .iter()
+                .find(|(dim, _)| *dim == d)
+                .map(|(_, c)| c)
+        });
         KeyRangePlan {
             start,
             end,
@@ -142,6 +150,16 @@ impl MultiDimIndex for ClusteredIndex {
                 &mut counter,
                 &mut stats,
             ),
+            Some(residual) if self.mode == ScanMode::Packed => scan_filtered_packed(
+                &self.data,
+                residual,
+                plan.start,
+                plan.end,
+                agg_dim,
+                plan.cumulative,
+                &mut counter,
+                &mut stats,
+            ),
             Some(residual) => scan_filtered(
                 &self.data,
                 residual,
@@ -181,6 +199,7 @@ impl PartitionedScan for ClusteredIndex {
             plan.residual,
             agg_dim,
             plan.cumulative,
+            self.mode,
             &[(plan.start, plan.end)],
             max_tasks,
             ScanStats {

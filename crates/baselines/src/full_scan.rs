@@ -3,14 +3,20 @@
 
 use flood_store::index_trait::ChunkedScanPlan;
 use flood_store::{
-    scan_full, MultiDimIndex, PartitionedScan, RangeQuery, ScanPlan, ScanStats, Table, Visitor,
+    scan_full, scan_full_packed, MultiDimIndex, PartitionedScan, RangeQuery, ScanMode, ScanPlan,
+    ScanStats, Table, Visitor,
 };
 
 /// A degenerate "index" that scans the whole table for every query — the
 /// correctness oracle and performance floor for all other indexes.
+///
+/// Compressed tables scan in [`ScanMode::Packed`] by default (predicates
+/// resolved against packed blocks without decoding);
+/// [`FullScan::set_scan_mode`] selects the decode-first kernel for A/B runs.
 #[derive(Debug)]
 pub struct FullScan {
     data: Table,
+    mode: ScanMode,
 }
 
 impl FullScan {
@@ -18,12 +24,18 @@ impl FullScan {
     pub fn build(table: &Table) -> Self {
         FullScan {
             data: table.clone(),
+            mode: ScanMode::default(),
         }
     }
 
     /// The underlying data.
     pub fn data(&self) -> &Table {
         &self.data
+    }
+
+    /// Select the scan kernel for subsequent queries (serial and planned).
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.mode = mode;
     }
 }
 
@@ -39,7 +51,14 @@ impl MultiDimIndex for FullScan {
             inner: visitor,
             matched: 0,
         };
-        scan_full(&self.data, query, agg_dim, &mut counter, &mut stats);
+        match self.mode {
+            ScanMode::Packed => {
+                scan_full_packed(&self.data, query, agg_dim, None, &mut counter, &mut stats)
+            }
+            ScanMode::DecodeFirst => {
+                scan_full(&self.data, query, agg_dim, &mut counter, &mut stats)
+            }
+        }
         stats.points_matched = counter.matched;
         stats.ranges_scanned = 1;
         stats
@@ -69,6 +88,7 @@ impl PartitionedScan for FullScan {
             Some(query.clone()),
             agg_dim,
             None,
+            self.mode,
             &[(0, self.data.len())],
             max_tasks,
             // The serial path reports the whole table as one scanned range.

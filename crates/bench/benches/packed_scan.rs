@@ -1,0 +1,71 @@
+//! Criterion bench: packed-domain scans vs decode-first, selectivity sweep.
+//!
+//! One compressed table, two physical orders:
+//!
+//! * `sorted/*` — filter column is the sort key: tight per-block `[min, max]`
+//!   spans, so low selectivity turns into wholesale block skipping.
+//! * `unsorted/*` — every block spans the domain: no skipping possible, the
+//!   comparison isolates the word-parallel (SWAR) probe path.
+//!
+//! Each point runs both [`ScanMode`]s over the identical `FullScan` so the
+//! delta is purely the kernel. BASELINES.md records reference numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flood_baselines::FullScan;
+use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, ScanMode, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 400_000;
+const DOMAIN: u64 = 1 << 32;
+
+/// (sorted?, selectivity per-mille) → (index, query at that selectivity).
+fn setup(sorted: bool, permille: u64) -> (FullScan, FullScan, RangeQuery) {
+    let mut rng = StdRng::seed_from_u64(0xb10c);
+    let mut key: Vec<u64> = (0..N).map(|_| rng.gen_range(0..DOMAIN)).collect();
+    let mut quantiles = key.clone();
+    quantiles.sort_unstable();
+    if sorted {
+        key = quantiles.clone();
+    }
+    let agg: Vec<u64> = (0..N).map(|_| rng.gen_range(0..1_000)).collect();
+    let mut t = Table::from_columns(vec![key, agg]);
+    t.compress();
+    // Bounds from quantile positions: the query matches permille/1000 rows.
+    let span = (N * permille as usize / 1000).max(1);
+    let lo_idx = (N - span) / 2;
+    let q = RangeQuery::all(2).with_range(0, quantiles[lo_idx], quantiles[lo_idx + span - 1]);
+    let mut packed = FullScan::build(&t);
+    packed.set_scan_mode(ScanMode::Packed);
+    let mut decode = FullScan::build(&t);
+    decode.set_scan_mode(ScanMode::DecodeFirst);
+    (packed, decode, q)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packed_scan");
+    group.throughput(Throughput::Elements(N as u64));
+    for sorted in [true, false] {
+        let shape = if sorted { "sorted" } else { "unsorted" };
+        for permille in [1u64, 10, 100] {
+            let (packed, decode, q) = setup(sorted, permille);
+            for (mode, index) in [("packed", &packed), ("decode_first", &decode)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{shape}/{mode}"), permille),
+                    &permille,
+                    |b, _| {
+                        b.iter(|| {
+                            let mut v = CountVisitor::default();
+                            let s = index.execute(black_box(&q), None, &mut v);
+                            black_box((v.count, s.points_scanned))
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

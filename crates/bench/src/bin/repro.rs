@@ -90,6 +90,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "§8: serving under live adaptation — latency across layout swaps",
         exp::serve::run,
     ),
+    (
+        "scanspeed",
+        "§7.1+: compressed-domain scans — packed predicates vs decode-first",
+        exp::scanspeed::run,
+    ),
 ];
 
 fn print_experiment_list() {

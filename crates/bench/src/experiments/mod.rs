@@ -19,6 +19,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod lookup;
 pub mod optcost;
+pub mod scanspeed;
 pub mod serve;
 pub mod tab1;
 pub mod tab2;

@@ -51,6 +51,7 @@ fn list_shows_every_experiment_and_succeeds() {
         "optcost",
         "drift",
         "serve",
+        "scanspeed",
         "all",
     ] {
         assert!(err.contains(name), "`repro list` must mention {name}");

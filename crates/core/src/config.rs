@@ -3,6 +3,7 @@
 use crate::flatten::Flattening;
 use crate::layout::Layout;
 use flood_learned::plm::DEFAULT_DELTA;
+use flood_store::ScanMode;
 use serde::{Deserialize, Serialize};
 
 /// How refinement (§3.2.2) locates the per-cell physical sub-range over the
@@ -35,6 +36,9 @@ pub struct FloodConfig {
     /// Dimensions to pre-build cumulative SUM columns for (enables the O(1)
     /// exact-range aggregation fast path of §7.1 on those dimensions).
     pub cumulative_dims: Vec<usize>,
+    /// How per-cell scans resolve filters against compressed columns
+    /// (default: packed-domain, no effect on uncompressed tables).
+    pub scan_mode: ScanMode,
 }
 
 impl Default for FloodConfig {
@@ -46,6 +50,7 @@ impl Default for FloodConfig {
             plm_min_cell_size: 64,
             compress: false,
             cumulative_dims: Vec::new(),
+            scan_mode: ScanMode::default(),
         }
     }
 }
@@ -117,6 +122,13 @@ impl FloodBuilder {
     /// SUM aggregation.
     pub fn cumulative_sum(mut self, dim: usize) -> Self {
         self.cfg.cumulative_dims.push(dim);
+        self
+    }
+
+    /// Select the scan kernel for compressed columns (default:
+    /// [`ScanMode::Packed`]).
+    pub fn scan_mode(mut self, mode: ScanMode) -> Self {
+        self.cfg.scan_mode = mode;
         self
     }
 

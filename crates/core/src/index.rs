@@ -12,8 +12,8 @@ use crate::layout::Layout;
 use flood_learned::plm::PiecewiseLinearModel;
 use flood_store::index_trait::{MultiDimIndex, PartitionedScan, ScanPlan};
 use flood_store::{
-    partition_ranges, scan_checked_dims, scan_exact, CumulativeColumn, RangeChunk, RangeQuery,
-    ScanStats, Table, Visitor,
+    partition_ranges, scan_checked_dims, scan_checked_dims_packed, scan_exact, CumulativeColumn,
+    RangeChunk, RangeQuery, ScanMode, ScanStats, Table, Visitor,
 };
 use std::time::Instant;
 
@@ -311,6 +311,10 @@ impl FloodIndex {
             // dimension never appears in the check list.
             if checks.is_empty() {
                 scan_exact(&self.data, s, e, agg_dim, cumulative, visitor, stats);
+            } else if self.cfg.scan_mode == ScanMode::Packed {
+                scan_checked_dims_packed(
+                    &self.data, &checks, s, e, agg_dim, cumulative, visitor, stats,
+                );
             } else {
                 scan_checked_dims(&self.data, &checks, s, e, agg_dim, visitor, stats);
             }

@@ -212,6 +212,7 @@ mod tests {
                 Some(query.clone()),
                 agg_dim,
                 None,
+                flood_store::ScanMode::default(),
                 &[(0, self.data.len())],
                 max_tasks,
                 ScanStats {

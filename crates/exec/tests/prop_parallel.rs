@@ -12,9 +12,18 @@ use flood_core::{FloodBuilder, Layout};
 use flood_exec::QueryExecutor;
 use flood_store::{
     CollectVisitor, CountVisitor, MinMaxVisitor, MultiDimIndex, PartitionedScan, RangeQuery,
-    ScanStats, SumVisitor, Table,
+    ScanMode, ScanStats, SumVisitor, Table,
 };
 use proptest::prelude::*;
+
+/// Case-count override from `FLOOD_PROPTEST_CASES` (unset/invalid → default).
+fn cases(default: u32) -> u32 {
+    std::env::var("FLOOD_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
 
 /// Three columns in a small domain so queries actually match rows.
 fn make_table(rows: &[(u64, u64, u64)]) -> Table {
@@ -111,10 +120,27 @@ fn env_sized_executor_matches_serial() {
     let (want, want_stats) = serial::<CountVisitor>(&flood, &q, None);
     assert_eq!(v.count, want.count);
     assert_eq!(s, want_stats);
+
+    // Same end-to-end check with compressed storage, i.e. packed-domain
+    // scanning with block skipping (the default mode under compression).
+    let packed = FloodBuilder::new()
+        .layout(Layout::new(vec![0, 1, 2], vec![6, 6]))
+        .compress(true)
+        .build(&table);
+    check_index(&packed, &q, exec.threads());
+    let (v, s) = exec.execute::<CountVisitor>(&packed, &q, None);
+    let (want, want_stats) = serial::<CountVisitor>(&packed, &q, None);
+    assert_eq!(v.count, want.count);
+    assert_eq!(s, want_stats);
+    let (plain_want, _) = serial::<CountVisitor>(&flood, &q, None);
+    assert_eq!(
+        v.count, plain_want.count,
+        "compression must not change results"
+    );
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
 
     #[test]
     fn parallel_execute_equals_serial(
@@ -138,6 +164,62 @@ proptest! {
         if !rows.is_empty() {
             let clustered = ClusteredIndex::build(&table, 0);
             check_index(&clustered, &q, threads);
+        }
+    }
+
+    /// With compressed storage the default scan mode is packed: block
+    /// skipping must leave parallel ≡ serial intact (full stats equality,
+    /// `blocks_*` counters included — block-aligned chunking guarantees each
+    /// block-subrange is classified by exactly one task), and the packed
+    /// indexes must agree bit-for-bit with their decode-first twins modulo
+    /// the counters only the packed path records.
+    #[test]
+    fn packed_scans_parallel_equal_serial_and_decode_first(
+        rows in proptest::collection::vec((0u64..64, 0u64..64, 0u64..64), 0..400),
+        f0 in filter_strategy(),
+        f1 in filter_strategy(),
+        f2 in filter_strategy(),
+        threads in 1usize..9,
+    ) {
+        let table = make_table(&rows);
+        let mut compressed = table.clone();
+        compressed.compress();
+        let q = make_query([f0, f1, f2]);
+
+        let layout = || Layout::new(vec![0, 1, 2], vec![4, 4]);
+        let flood = FloodBuilder::new()
+            .layout(layout())
+            .compress(true)
+            .cumulative_sum(2)
+            .build(&table);
+        check_index(&flood, &q, threads);
+        let decode = FloodBuilder::new()
+            .layout(layout())
+            .compress(true)
+            .cumulative_sum(2)
+            .scan_mode(ScanMode::DecodeFirst)
+            .build(&table);
+        let (pv, ps) = serial::<SumVisitor>(&flood, &q, Some(2));
+        let (dv, ds) = serial::<SumVisitor>(&decode, &q, Some(2));
+        prop_assert_eq!((pv.sum, pv.count), (dv.sum, dv.count));
+        prop_assert_eq!(ps.sans_block_counters(), ds);
+
+        let mut full = FullScan::build(&compressed);
+        check_index(&full, &q, threads);
+        let (pv, ps) = serial::<CollectVisitor>(&full, &q, None);
+        full.set_scan_mode(ScanMode::DecodeFirst);
+        let (dv, ds) = serial::<CollectVisitor>(&full, &q, None);
+        prop_assert_eq!(&pv.rows, &dv.rows);
+        prop_assert_eq!(ps.sans_block_counters(), ds);
+
+        if !rows.is_empty() {
+            let mut clustered = ClusteredIndex::build(&compressed, 0);
+            check_index(&clustered, &q, threads);
+            let (pv, ps) = serial::<CountVisitor>(&clustered, &q, None);
+            clustered.set_scan_mode(ScanMode::DecodeFirst);
+            let (dv, ds) = serial::<CountVisitor>(&clustered, &q, None);
+            prop_assert_eq!(pv.count, dv.count);
+            prop_assert_eq!(ps.sans_block_counters(), ds);
         }
     }
 

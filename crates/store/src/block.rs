@@ -4,6 +4,13 @@
 //! the block minimum, packed at the smallest bit width that fits the largest
 //! delta. Random access is constant-time: the value at offset `i` is
 //! `min + extract_bits(packed, i * width, width)`.
+//!
+//! Blocks also answer range predicates *without decoding*: the stored
+//! `[min, max]` classifies a predicate as rejecting or accepting the whole
+//! block ([`Block::classify`]), and partially overlapping predicates are
+//! translated into the block's delta domain and evaluated against the packed
+//! words directly ([`Block::match_mask`]) — word-parallel (SWAR) when the
+//! bit width subdivides a 64-bit word, scalar otherwise.
 
 use serde::{Deserialize, Serialize};
 
@@ -14,14 +21,42 @@ pub const BLOCK_LEN: usize = 128;
 ///
 /// Values are stored as `value - min` at `width` bits each, packed
 /// little-endian into `words`. `width == 0` means all values equal `min` and
-/// no words are stored.
+/// no words are stored. `max` is kept alongside `min` so range predicates
+/// can skip or accept the whole block from metadata alone.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Block {
     min: u64,
+    max: u64,
     width: u8,
     len: u16,
     words: Box<[u64]>,
 }
+
+/// Disposition of an inclusive value-range predicate `[lo, hi]` against one
+/// block, decided from `[min, max]` metadata ([`Block::classify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockMatch {
+    /// `[lo, hi]` misses `[min, max]` entirely: no value can match, the
+    /// block's packed words need not be touched.
+    Skip,
+    /// `[lo, hi]` covers `[min, max]` wholly: every value matches, the
+    /// block's packed words need not be touched.
+    Accept,
+    /// The ranges partially overlap: the predicate, clamped and translated
+    /// into the block's delta domain (`bound - min`), must be checked
+    /// against the packed deltas via [`Block::match_mask`].
+    Probe {
+        /// `max(lo, min) - min`: the predicate's lower bound as a delta.
+        dlo: u64,
+        /// `min(hi, max) - min`: the predicate's upper bound as a delta.
+        dhi: u64,
+    },
+}
+
+/// A per-offset match bitmap for one block: bit `i` of `mask[i / 64]` is set
+/// when the value at block offset `i` matched. Two words cover
+/// [`BLOCK_LEN`] = 128 offsets.
+pub type BlockMask = [u64; 2];
 
 impl Block {
     /// Compress a slice of at most [`BLOCK_LEN`] values.
@@ -50,6 +85,7 @@ impl Block {
         }
         Block {
             min,
+            max,
             width,
             len: values.len() as u16,
             words,
@@ -87,10 +123,110 @@ impl Block {
         self.min
     }
 
+    /// Maximum value in the block.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
     /// Bit width used for deltas in this block.
     #[inline]
     pub fn width(&self) -> u8 {
         self.width
+    }
+
+    /// Classify the inclusive predicate `[lo, hi]` against this block's
+    /// `[min, max]` without touching the packed words.
+    ///
+    /// For [`BlockMatch::Probe`] the returned bounds are already clamped
+    /// into the delta domain: a `lo` below the block minimum saturates to
+    /// delta 0, a `hi` above the block maximum clamps to `max - min`, so
+    /// the bounds always fit the block's bit width.
+    #[inline]
+    pub fn classify(&self, lo: u64, hi: u64) -> BlockMatch {
+        debug_assert!(lo <= hi);
+        if hi < self.min || lo > self.max {
+            return BlockMatch::Skip;
+        }
+        if lo <= self.min && self.max <= hi {
+            return BlockMatch::Accept;
+        }
+        // Partial overlap. `hi >= min` and `lo <= max` both hold here, and a
+        // width-0 block (min == max) can never reach this arm: overlapping
+        // a single point means containing it, which is `Accept`.
+        BlockMatch::Probe {
+            dlo: lo.saturating_sub(self.min),
+            dhi: (hi - self.min).min(self.max - self.min),
+        }
+    }
+
+    /// Build the match bitmap for block offsets `[start, end)` against the
+    /// delta-domain predicate `[dlo, dhi]` (from [`BlockMatch::Probe`]),
+    /// comparing the packed words directly — no per-value decode.
+    ///
+    /// Widths that subdivide a 64-bit word run word-parallel (SWAR); other
+    /// widths fall back to a scalar pass over the packed deltas. Offsets
+    /// outside `[start, end)` are always clear; `start >= end` yields an
+    /// empty mask.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `end > self.len()`.
+    pub fn match_mask(&self, dlo: u64, dhi: u64, start: usize, end: usize) -> BlockMask {
+        debug_assert!(end <= self.len());
+        let mut mask: BlockMask = [0; 2];
+        if start >= end {
+            return mask;
+        }
+        let w = self.width as usize;
+        if w == 0 {
+            // All deltas are zero: everything matches iff the range admits 0.
+            if dlo == 0 {
+                set_mask_range(&mut mask, start, end);
+            }
+            return mask;
+        }
+        if 64 % w == 0 {
+            self.match_mask_swar(dlo, dhi, start, end, &mut mask);
+        } else {
+            for i in start..end {
+                let d = extract(&self.words, i * w, self.width);
+                if dlo <= d && d <= dhi {
+                    mask[i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+        mask
+    }
+
+    /// SWAR kernel behind [`Block::match_mask`]: `64 / width` deltas per
+    /// packed word are range-checked at once; only matching lanes are
+    /// visited when transcribing into the offset bitmap.
+    fn match_mask_swar(&self, dlo: u64, dhi: u64, start: usize, end: usize, mask: &mut BlockMask) {
+        let w = self.width as usize;
+        let lanes = 64 / w;
+        // Low bit of every lane; multiplying by it splats a lane value.
+        let ones = if w == 64 {
+            1
+        } else {
+            u64::MAX / ((1u64 << w) - 1)
+        };
+        let high = ones << (w - 1);
+        let lo_splat = dlo.wrapping_mul(ones);
+        let hi_splat = dhi.wrapping_mul(ones);
+        for word in (start / lanes)..=((end - 1) / lanes) {
+            let x = self.words[word];
+            // Lane matches ⇔ !(x < dlo) && !(dhi < x); padding lanes past
+            // `len` hold zero and are excluded by the `[start, end)` guard.
+            let mut hit = !swar_lt(x, lo_splat, high) & !swar_lt(hi_splat, x, high) & high;
+            while hit != 0 {
+                let lane = hit.trailing_zeros() as usize / w;
+                hit &= hit - 1;
+                let i = word * lanes + lane;
+                if i >= start && i < end {
+                    mask[i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
     }
 
     /// Decompress the whole block, appending to `out`.
@@ -111,6 +247,37 @@ impl Block {
 #[inline]
 pub fn bits_needed(v: u64) -> u8 {
     (64 - v.leading_zeros()) as u8
+}
+
+/// Set bits `[start, end)` of a two-word offset bitmap.
+#[inline]
+pub fn set_mask_range(mask: &mut BlockMask, start: usize, end: usize) {
+    debug_assert!(start <= end && end <= BLOCK_LEN);
+    for (k, m) in mask.iter_mut().enumerate() {
+        let (ws, we) = (k * 64, k * 64 + 64);
+        let s = start.clamp(ws, we) - ws;
+        let e = end.clamp(ws, we) - ws;
+        if s < e {
+            // `e - s` is at most 64; build the run without overflowing.
+            let run = (u64::MAX >> (64 - (e - s))) << s;
+            *m |= run;
+        }
+    }
+}
+
+/// Per-lane unsigned `a < b` over `64 / width` packed lanes, reported in
+/// each lane's high bit. `high` holds the high bit of every lane.
+///
+/// Classic carry-free SWAR comparison: `d = (a | high) - (b & !high)` keeps
+/// every lane's low-part subtraction from borrowing into its neighbour
+/// (each lane computes `2^(w-1) + a_low - b_low`, always in `[1, 2^w)`), so
+/// the high bit of `d` is the *no-borrow* flag of `a_low - b_low`. A lane
+/// then satisfies `a < b` when its high bits say `a_hi < b_hi`, or they are
+/// equal and the low part borrowed.
+#[inline]
+fn swar_lt(a: u64, b: u64, high: u64) -> u64 {
+    let d = (a | high).wrapping_sub(b & !high);
+    ((!a & b) | (!(a ^ b) & !d)) & high
 }
 
 /// Pack `width` low bits of `v` at bit offset `bit` into `words`.
@@ -222,5 +389,181 @@ mod tests {
     fn oversize_block_panics() {
         let vals = vec![0u64; BLOCK_LEN + 1];
         let _ = Block::compress(&vals);
+    }
+
+    /// Reference mask: decode every value and compare.
+    fn naive_mask(b: &Block, lo: u64, hi: u64, start: usize, end: usize) -> BlockMask {
+        let mut mask = [0u64; 2];
+        for i in start..end {
+            let v = b.get(i);
+            if lo <= v && v <= hi {
+                mask[i / 64] |= 1 << (i % 64);
+            }
+        }
+        mask
+    }
+
+    /// Full classify + probe pipeline against the decode-first reference.
+    fn assert_packed_matches(vals: &[u64], lo: u64, hi: u64, start: usize, end: usize) {
+        let b = Block::compress(vals);
+        let want = naive_mask(&b, lo, hi, start, end);
+        let got = match b.classify(lo, hi) {
+            BlockMatch::Skip => [0u64; 2],
+            BlockMatch::Accept => {
+                let mut m = [0u64; 2];
+                set_mask_range(&mut m, start.min(end), end);
+                m
+            }
+            BlockMatch::Probe { dlo, dhi } => b.match_mask(dlo, dhi, start, end),
+        };
+        assert_eq!(
+            got,
+            want,
+            "vals[0..{}] width {} lo {lo} hi {hi} range [{start},{end})",
+            vals.len(),
+            b.width()
+        );
+    }
+
+    #[test]
+    fn classify_min_max_boundaries() {
+        let b = Block::compress(&[10, 20, 30]);
+        assert_eq!((b.min(), b.max()), (10, 30));
+        // Predicate exactly on min/max: whole-block accept.
+        assert_eq!(b.classify(10, 30), BlockMatch::Accept);
+        assert_eq!(b.classify(0, u64::MAX), BlockMatch::Accept);
+        // One past either endpoint: skip.
+        assert_eq!(b.classify(0, 9), BlockMatch::Skip);
+        assert_eq!(b.classify(31, 40), BlockMatch::Skip);
+        // Predicate touching a single endpoint value: probe.
+        assert_eq!(b.classify(30, 40), BlockMatch::Probe { dlo: 20, dhi: 20 });
+        assert_eq!(b.classify(0, 10), BlockMatch::Probe { dlo: 0, dhi: 0 });
+    }
+
+    #[test]
+    fn classify_clamps_bounds_into_delta_domain() {
+        let b = Block::compress(&[100, 150, 200]);
+        // Bound below min saturates to delta 0 (not a huge wrapped delta).
+        assert_eq!(b.classify(3, 150), BlockMatch::Probe { dlo: 0, dhi: 50 });
+        // Bound above max clamps to max - min, keeping dhi within width bits.
+        assert_eq!(
+            b.classify(150, u64::MAX),
+            BlockMatch::Probe { dlo: 50, dhi: 100 }
+        );
+    }
+
+    #[test]
+    fn classify_width_zero_never_probes() {
+        let b = Block::compress(&[7; 50]);
+        assert_eq!(b.width(), 0);
+        assert_eq!(b.classify(0, 6), BlockMatch::Skip);
+        assert_eq!(b.classify(8, 9), BlockMatch::Skip);
+        assert_eq!(b.classify(7, 7), BlockMatch::Accept);
+        assert_eq!(b.classify(0, u64::MAX), BlockMatch::Accept);
+    }
+
+    #[test]
+    fn match_mask_empty_range_is_empty() {
+        let vals: Vec<u64> = (0..100).collect();
+        let b = Block::compress(&vals);
+        assert_eq!(b.match_mask(0, 99, 40, 40), [0, 0]);
+        assert_eq!(b.match_mask(0, 99, 0, 0), [0, 0]);
+        // Width-0 blocks too (the scalar-free early return).
+        let c = Block::compress(&[5; 64]);
+        assert_eq!(c.match_mask(0, 0, 10, 10), [0, 0]);
+    }
+
+    #[test]
+    fn match_mask_respects_subrange() {
+        let vals: Vec<u64> = (0..128).collect();
+        let b = Block::compress(&vals); // width 7: scalar path
+        let m = b.match_mask(0, 127, 3, 70);
+        for i in 0..128 {
+            let set = m[i / 64] >> (i % 64) & 1 == 1;
+            assert_eq!(set, (3..70).contains(&i), "offset {i}");
+        }
+    }
+
+    #[test]
+    fn swar_widths_match_decode_first() {
+        // Widths 1, 2, 4, 8, 16, 32 — every SWAR lane layout.
+        for shift in [1u32, 2, 4, 8, 16, 32] {
+            let top = if shift == 32 {
+                u64::MAX >> 32
+            } else {
+                (1 << shift) - 1
+            };
+            let vals: Vec<u64> = (0..128u64).map(|i| (i * 2654435761) % (top + 1)).collect();
+            let b = Block::compress(&vals);
+            assert!(64 % b.width() as usize == 0, "width {} not SWAR", b.width());
+            for (lo, hi) in [(0, top / 2), (top / 3, top), (top / 2, top / 2), (0, top)] {
+                assert_packed_matches(&vals, lo, hi, 0, vals.len());
+                assert_packed_matches(&vals, lo, hi, 17, 97);
+            }
+        }
+    }
+
+    #[test]
+    fn width_64_blocks_match_decode_first() {
+        let vals = vec![0u64, u64::MAX, 1, u64::MAX - 1, 1 << 63, (1 << 63) - 1, 42];
+        for (lo, hi) in [
+            (0, u64::MAX),
+            (1, u64::MAX - 1),
+            (1 << 63, u64::MAX),
+            (0, (1 << 63) - 1),
+            (42, 42),
+        ] {
+            assert_packed_matches(&vals, lo, hi, 0, vals.len());
+        }
+        let b = Block::compress(&vals);
+        assert_eq!(b.width(), 64);
+        assert_eq!((b.min(), b.max()), (0, u64::MAX));
+    }
+
+    #[test]
+    fn scalar_widths_match_decode_first() {
+        // Widths that do not subdivide a word (3, 5, 7, 13) take the scalar
+        // fallback; straddled word boundaries included.
+        for top in [7u64, 31, 127, 8000] {
+            let vals: Vec<u64> = (0..128u64).map(|i| 1000 + (i * 61) % top).collect();
+            for (lo, hi) in [
+                (1000, 1000 + top / 2),
+                (1000 + top / 4, u64::MAX),
+                (0, 1010),
+            ] {
+                assert_packed_matches(&vals, lo, hi, 0, vals.len());
+                assert_packed_matches(&vals, lo, hi, 5, 123);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_last_block_masks() {
+        // A 77-value block: offsets past len never set bits even when the
+        // zero-padding lanes would match delta 0.
+        let vals: Vec<u64> = (0..77u64).map(|i| 50 + i % 3).collect();
+        let b = Block::compress(&vals);
+        let BlockMatch::Probe { dlo, dhi } = b.classify(50, 50) else {
+            panic!("expected probe");
+        };
+        assert_eq!((dlo, dhi), (0, 0));
+        let m = b.match_mask(dlo, dhi, 0, b.len());
+        for i in 0..BLOCK_LEN {
+            let set = m[i / 64] >> (i % 64) & 1 == 1;
+            assert_eq!(set, i < 77 && i % 3 == 0, "offset {i}");
+        }
+    }
+
+    #[test]
+    fn set_mask_range_spans_words() {
+        let mut m = [0u64; 2];
+        set_mask_range(&mut m, 60, 70);
+        for i in 0..128 {
+            let set = m[i / 64] >> (i % 64) & 1 == 1;
+            assert_eq!(set, (60..70).contains(&i), "offset {i}");
+        }
+        let mut full = [0u64; 2];
+        set_mask_range(&mut full, 0, 128);
+        assert_eq!(full, [u64::MAX, u64::MAX]);
     }
 }

@@ -68,6 +68,16 @@ impl Column {
         }
     }
 
+    /// The compressed representation, when this column has one — the
+    /// packed-domain scan path keys off this to skip/probe blocks.
+    #[inline]
+    pub fn as_compressed(&self) -> Option<&CompressedColumn> {
+        match self {
+            Column::Plain(_) => None,
+            Column::Compressed(c) => Some(c),
+        }
+    }
+
     /// Re-order the column by `perm`, producing a new column in the same
     /// representation: `out[i] = self[perm[i]]`.
     pub fn permute(&self, perm: &[u32]) -> Column {
@@ -117,6 +127,13 @@ impl CompressedColumn {
         debug_assert!(i < self.len);
         // BLOCK_LEN is a power of two: the division compiles to a shift.
         self.blocks[i / BLOCK_LEN].get(i % BLOCK_LEN)
+    }
+
+    /// The underlying blocks; block `b` holds rows
+    /// `b * BLOCK_LEN .. (b + 1) * BLOCK_LEN` (last block possibly short).
+    #[inline]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
     }
 
     /// Decompress the whole column.

@@ -9,7 +9,7 @@
 use crate::cumulative::CumulativeColumn;
 use crate::partition::{partition_ranges, RangeChunk};
 use crate::query::RangeQuery;
-use crate::scan::{scan_exact, scan_filtered};
+use crate::scan::{scan_exact, scan_filtered, scan_filtered_packed, ScanMode};
 use crate::stats::ScanStats;
 use crate::table::Table;
 use crate::visitor::Visitor;
@@ -106,19 +106,23 @@ pub struct ChunkedScanPlan<'a> {
     /// Per-row residual filters; `None` = every row in range matches.
     residual: Option<RangeQuery>,
     agg_dim: Option<usize>,
-    /// Cumulative SUM column for exact ranges (ignored with a residual).
+    /// Cumulative SUM column: answers exact ranges, and — in
+    /// [`ScanMode::Packed`] — wholesale-accepted blocks under a residual.
     cumulative: Option<&'a CumulativeColumn>,
+    mode: ScanMode,
     tasks: Vec<Vec<RangeChunk>>,
     plan_stats: ScanStats,
 }
 
 impl<'a> ChunkedScanPlan<'a> {
     /// Chunk `ranges` into at most `max_tasks` balanced tasks over `table`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         table: &'a Table,
         residual: Option<RangeQuery>,
         agg_dim: Option<usize>,
         cumulative: Option<&'a CumulativeColumn>,
+        mode: ScanMode,
         ranges: &[(usize, usize)],
         max_tasks: usize,
         plan_stats: ScanStats,
@@ -128,6 +132,7 @@ impl<'a> ChunkedScanPlan<'a> {
             residual,
             agg_dim,
             cumulative,
+            mode,
             tasks: partition_ranges(ranges, max_tasks),
             plan_stats,
         }
@@ -146,6 +151,16 @@ impl ScanPlan for ChunkedScanPlan<'_> {
         };
         for c in &self.tasks[i] {
             match &self.residual {
+                Some(residual) if self.mode == ScanMode::Packed => scan_filtered_packed(
+                    self.table,
+                    residual,
+                    c.start,
+                    c.end,
+                    self.agg_dim,
+                    self.cumulative,
+                    &mut counter,
+                    stats,
+                ),
                 Some(residual) => scan_filtered(
                     self.table,
                     residual,

@@ -18,6 +18,11 @@
 //! * **Cumulative aggregate columns**: a column whose `i`-th value is the
 //!   cumulative aggregation of elements `0..=i`, so a SUM over an exact range
 //!   is just two lookups ([`CumulativeColumn`]).
+//! * **Packed-domain predicate evaluation**: range filters are resolved
+//!   against compressed columns without decoding — blocks are skipped or
+//!   accepted wholesale from per-block min/max, and the rest are compared
+//!   word-parallel in the delta domain ([`scan::scan_filtered_packed`],
+//!   selected per index via [`scan::ScanMode`]).
 //!
 //! The crate also defines the shared query model ([`RangeQuery`]) and the
 //! [`Visitor`] abstraction that all indexes use to process matching records.
@@ -35,14 +40,17 @@ pub mod stats;
 pub mod table;
 pub mod visitor;
 
-pub use block::{Block, BLOCK_LEN};
+pub use block::{Block, BlockMask, BlockMatch, BLOCK_LEN};
 pub use column::{Column, CompressedColumn};
 pub use cumulative::CumulativeColumn;
 pub use disjunction::{decompose_in_list, execute_disjoint_union};
 pub use index_trait::{ChunkedScanPlan, MultiDimIndex, PartitionedScan, ScanPlan};
 pub use partition::{partition_ranges, RangeChunk};
 pub use query::{QueryRect, RangeQuery};
-pub use scan::{scan_checked_dims, scan_exact, scan_filtered, scan_full};
+pub use scan::{
+    scan_checked_dims, scan_checked_dims_packed, scan_exact, scan_filtered, scan_filtered_packed,
+    scan_full, scan_full_packed, ScanMode,
+};
 pub use stats::ScanStats;
 pub use table::Table;
 pub use visitor::{CollectVisitor, CountVisitor, MergeVisitor, MinMaxVisitor, SumVisitor, Visitor};

@@ -20,7 +20,11 @@
 //! scanner. [`RangeChunk::continuation`] exists for Table 2's accounting:
 //! merged [`ScanStats`](crate::ScanStats) — `ranges_scanned` included —
 //! must be identical to a serial execution, so a range cut across workers
-//! still counts once.
+//! still counts once. The packed-domain scan's `blocks_*` counters lean on
+//! the same alignment: because a cut never splits a block, each
+//! block-subrange of a source range is classified (skipped / accepted /
+//! probed) by exactly one task, and the merged counters again match a
+//! serial run exactly.
 
 use crate::block::BLOCK_LEN;
 

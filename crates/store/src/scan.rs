@@ -7,14 +7,39 @@
 //! * [`scan_exact`] — the caller guarantees every row in the range matches;
 //!   skip checks entirely and, when possible, answer from a cumulative column.
 //! * [`scan_full`] — a full table scan (the `Full Scan` baseline's kernel).
+//!
+//! Each filtering kernel also has a `_packed` twin that resolves predicates
+//! against compressed columns **without decoding**: whole blocks are skipped
+//! or accepted from per-block min/max metadata, and only the survivors have
+//! their packed words compared against delta-domain bounds (see
+//! [`crate::block`]). The twins are bit-identical to the decode-first
+//! kernels in both results and the pre-existing [`ScanStats`] counters; the
+//! `blocks_*` counters they add are always zero on the decode-first path.
 
+use crate::block::{BlockMask, BlockMatch, BLOCK_LEN};
+use crate::column::CompressedColumn;
 use crate::cumulative::CumulativeColumn;
 use crate::query::RangeQuery;
 use crate::stats::ScanStats;
 use crate::table::Table;
 use crate::visitor::Visitor;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// How an index's scan path resolves filters against compressed columns.
+///
+/// Carried per index (not a process global) so concurrent queries — and
+/// concurrent tests — never observe another caller's mode.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScanMode {
+    /// Decode every value before comparing (the pre-optimization baseline).
+    DecodeFirst,
+    /// Skip/accept whole blocks from min/max metadata and compare the
+    /// packed words of the rest directly in the delta domain.
+    #[default]
+    Packed,
+}
 
 /// When enabled, the scan kernels accumulate wall-clock time into
 /// [`ScanStats::scan_ns`], letting the harness decompose any index's query
@@ -166,6 +191,224 @@ pub fn scan_full(
     stats: &mut ScanStats,
 ) {
     scan_filtered(table, query, 0, table.len(), agg_dim, visitor, stats);
+}
+
+/// Packed-domain twin of [`scan_checked_dims`]: resolve the checks against
+/// compressed columns block-at-a-time instead of row-at-a-time.
+///
+/// Per block, each check on a compressed column is classified against the
+/// block's min/max: any always-false check skips the block outright; checks
+/// that can't fail are dropped; the rest are answered in the delta domain
+/// straight off the packed words ([`crate::block::Block::match_mask`]).
+/// Blocks where every check is dropped are *accepted*: their rows are
+/// emitted wholesale — through `cumulative` with zero data access when the
+/// visitor takes [`Visitor::visit_exact_sum`] (sound even under a residual
+/// filter, because acceptance proves every in-range row matches). Checks on
+/// plain columns are applied per surviving row, as are rows of blocks that
+/// needed a mask.
+///
+/// Bit-identical to [`scan_checked_dims`] in results and in every counter
+/// that kernel records (`points_scanned` counts rows *resolved*, whether
+/// per-row or from block metadata); only the `blocks_*` counters are new.
+/// Falls back to [`scan_checked_dims`] when no checked column is
+/// compressed — `cumulative` is then unused, matching the decode-first
+/// kernel's signature.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_checked_dims_packed(
+    table: &Table,
+    checks: &[(usize, u64, u64)],
+    start: usize,
+    end: usize,
+    agg_dim: Option<usize>,
+    cumulative: Option<&CumulativeColumn>,
+    visitor: &mut dyn Visitor,
+    stats: &mut ScanStats,
+) {
+    let mut comp: Vec<(&CompressedColumn, u64, u64)> = Vec::new();
+    let mut plain: Vec<(usize, u64, u64)> = Vec::new();
+    for &(d, lo, hi) in checks {
+        match table.column(d).as_compressed() {
+            Some(c) => comp.push((c, lo, hi)),
+            None => plain.push((d, lo, hi)),
+        }
+    }
+    if comp.is_empty() || start >= end {
+        return scan_checked_dims(table, checks, start, end, agg_dim, visitor, stats);
+    }
+    timed(stats, |stats| {
+        stats.points_scanned += (end - start) as u64;
+        let mut probes: Vec<(&crate::block::Block, u64, u64)> = Vec::new();
+        'blocks: for b in start / BLOCK_LEN..=(end - 1) / BLOCK_LEN {
+            let bs = (b * BLOCK_LEN).max(start);
+            let be = ((b + 1) * BLOCK_LEN).min(end);
+            // Block-relative offsets this scan range covers.
+            let off_s = bs - b * BLOCK_LEN;
+            let off_e = be - b * BLOCK_LEN;
+            probes.clear();
+            for &(c, lo, hi) in &comp {
+                match c.blocks()[b].classify(lo, hi) {
+                    BlockMatch::Skip => {
+                        stats.blocks_skipped += 1;
+                        continue 'blocks;
+                    }
+                    BlockMatch::Accept => {}
+                    BlockMatch::Probe { dlo, dhi } => probes.push((&c.blocks()[b], dlo, dhi)),
+                }
+            }
+            if probes.is_empty() && plain.is_empty() {
+                stats.blocks_accepted += 1;
+                emit_accepted(table, bs, be, agg_dim, cumulative, visitor);
+                continue;
+            }
+            stats.blocks_probed += 1;
+            let mut mask: Option<BlockMask> = None;
+            for &(blk, dlo, dhi) in &probes {
+                let m = blk.match_mask(dlo, dhi, off_s, off_e);
+                let acc = match &mut mask {
+                    None => mask.insert(m),
+                    Some(acc) => {
+                        acc[0] &= m[0];
+                        acc[1] &= m[1];
+                        acc
+                    }
+                };
+                if *acc == [0, 0] {
+                    continue 'blocks;
+                }
+            }
+            match mask {
+                Some(m) => {
+                    for (wi, &word) in m.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let i = wi * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            emit_if_plain_match(table, b * BLOCK_LEN + i, &plain, agg_dim, visitor);
+                        }
+                    }
+                }
+                None => {
+                    for row in bs..be {
+                        emit_if_plain_match(table, row, &plain, agg_dim, visitor);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Emit every row of an accepted block range `[bs, be)` — all proven to
+/// match. Exact-capable visitors get one `visit_exact_sum`, answered from
+/// `cumulative` with no data access when available.
+fn emit_accepted(
+    table: &Table,
+    bs: usize,
+    be: usize,
+    agg_dim: Option<usize>,
+    cumulative: Option<&CumulativeColumn>,
+    visitor: &mut dyn Visitor,
+) {
+    if visitor.supports_exact() {
+        let sum = match (cumulative, agg_dim) {
+            (Some(c), _) => c.range_sum(bs, be - 1),
+            (None, Some(d)) if visitor.needs_value() => {
+                let mut s = 0u64;
+                for row in bs..be {
+                    s = s.wrapping_add(table.value(row, d));
+                }
+                s
+            }
+            _ => 0,
+        };
+        visitor.visit_exact_sum(be - bs, sum);
+    } else {
+        for row in bs..be {
+            let v = match agg_dim {
+                Some(d) if visitor.needs_value() => table.value(row, d),
+                _ => 0,
+            };
+            visitor.visit(row, v);
+        }
+    }
+}
+
+/// Emit `row` if it passes the residual checks on plain (uncompressed)
+/// columns.
+#[inline]
+fn emit_if_plain_match(
+    table: &Table,
+    row: usize,
+    plain: &[(usize, u64, u64)],
+    agg_dim: Option<usize>,
+    visitor: &mut dyn Visitor,
+) {
+    for &(d, lo, hi) in plain {
+        let v = table.value(row, d);
+        if v < lo || v > hi {
+            return;
+        }
+    }
+    let v = match agg_dim {
+        Some(d) if visitor.needs_value() => table.value(row, d),
+        _ => 0,
+    };
+    visitor.visit(row, v);
+}
+
+/// Packed-domain twin of [`scan_filtered`]. Unlike the decode-first kernel
+/// it takes the aggregation column's `cumulative` prefix sums: wholesale-
+/// accepted blocks can answer SUM without touching values even though the
+/// query carries a filter, because acceptance proves every in-range row
+/// matches it.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_filtered_packed(
+    table: &Table,
+    query: &RangeQuery,
+    start: usize,
+    end: usize,
+    agg_dim: Option<usize>,
+    cumulative: Option<&CumulativeColumn>,
+    visitor: &mut dyn Visitor,
+    stats: &mut ScanStats,
+) {
+    let checks: Vec<(usize, u64, u64)> = query
+        .filtered_dims()
+        .into_iter()
+        .map(|d| {
+            let (lo, hi) = query.bound(d).expect("filtered dim has a bound");
+            (d, lo, hi)
+        })
+        .collect();
+    if checks.is_empty() {
+        // scan_filtered visits every row unconditionally in this case; the
+        // checked-dims kernels would too, but route through the same code
+        // path the decode-first kernel uses for exact stats parity.
+        return scan_filtered(table, query, start, end, agg_dim, visitor, stats);
+    }
+    scan_checked_dims_packed(
+        table, &checks, start, end, agg_dim, cumulative, visitor, stats,
+    );
+}
+
+/// Packed-domain twin of [`scan_full`].
+pub fn scan_full_packed(
+    table: &Table,
+    query: &RangeQuery,
+    agg_dim: Option<usize>,
+    cumulative: Option<&CumulativeColumn>,
+    visitor: &mut dyn Visitor,
+    stats: &mut ScanStats,
+) {
+    scan_filtered_packed(
+        table,
+        query,
+        0,
+        table.len(),
+        agg_dim,
+        cumulative,
+        visitor,
+        stats,
+    );
 }
 
 #[cfg(test)]

@@ -26,6 +26,15 @@ pub struct ScanStats {
     pub refinements: u64,
     /// Physical sub-ranges scanned (for run-length locality statistics).
     pub ranges_scanned: u64,
+    /// Blocks the packed-domain scan dismissed from min/max metadata alone
+    /// (no word of packed data touched). Always 0 on the decode-first path.
+    pub blocks_skipped: u64,
+    /// Blocks accepted wholesale from min/max metadata (every in-range row
+    /// matches the filter). Always 0 on the decode-first path.
+    pub blocks_accepted: u64,
+    /// Blocks whose packed words were compared against delta-domain bounds.
+    /// Always 0 on the decode-first path.
+    pub blocks_probed: u64,
     /// Wall-clock nanoseconds spent in scan kernels; populated only while
     /// [`crate::scan::set_scan_timing`] is enabled (Table 2's ST).
     pub scan_ns: u64,
@@ -61,7 +70,22 @@ impl ScanStats {
         self.cells_projected += other.cells_projected;
         self.refinements += other.refinements;
         self.ranges_scanned += other.ranges_scanned;
+        self.blocks_skipped += other.blocks_skipped;
+        self.blocks_accepted += other.blocks_accepted;
+        self.blocks_probed += other.blocks_probed;
         self.scan_ns += other.scan_ns;
+    }
+
+    /// This query's counters with the packed-scan block counters zeroed —
+    /// the shape differential tests compare across scan modes, where every
+    /// shared counter must agree but block counters exist on one side only.
+    pub fn sans_block_counters(&self) -> ScanStats {
+        ScanStats {
+            blocks_skipped: 0,
+            blocks_accepted: 0,
+            blocks_probed: 0,
+            ..*self
+        }
     }
 }
 

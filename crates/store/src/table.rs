@@ -50,6 +50,17 @@ impl Table {
         }
     }
 
+    /// Compress only the listed columns, leaving the rest plain — a mixed
+    /// table lets hot filter columns scan packed while wide/incompressible
+    /// ones stay flat.
+    pub fn compress_dims(&mut self, dims: &[usize]) {
+        for &d in dims {
+            if let Column::Plain(v) = &self.columns[d] {
+                self.columns[d] = Column::compressed(v);
+            }
+        }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {

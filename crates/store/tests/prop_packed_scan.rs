@@ -1,0 +1,477 @@
+//! Differential property suite: the packed-domain scan kernels are
+//! bit-identical to the decode-first kernels.
+//!
+//! For arbitrary tables (mixed plain/compressed columns), check lists, row
+//! sub-ranges and visitors, `scan_checked_dims_packed` must produce exactly
+//! the results *and* the [`ScanStats`] of `scan_checked_dims` — block
+//! counters aside, which exist only on the packed side and are compared
+//! via [`ScanStats::sans_block_counters`]. Likewise `scan_filtered_packed`
+//! vs `scan_filtered` and `scan_full_packed` vs `scan_full`.
+//!
+//! Generators deliberately cover the adversarial block shapes: width-0
+//! (constant) blocks from run-length columns, width-64 blocks from
+//! full-range values, predicate bounds snapped exactly onto a block's
+//! min/max, and partial last blocks from non-multiple-of-128 lengths.
+//! Deterministic anchors at the bottom pin the counter semantics the
+//! properties can't see (how many blocks were skipped/accepted/probed).
+//!
+//! `FLOOD_PROPTEST_CASES` scales the case count (CI raises it on push).
+
+use flood_store::{
+    scan_checked_dims, scan_checked_dims_packed, scan_filtered, scan_filtered_packed, scan_full,
+    scan_full_packed, CollectVisitor, CountVisitor, CumulativeColumn, MinMaxVisitor, RangeQuery,
+    ScanStats, SumVisitor, Table, Visitor, BLOCK_LEN,
+};
+use proptest::prelude::*;
+
+/// Case-count override from `FLOOD_PROPTEST_CASES` (unset/invalid → default).
+fn cases(default: u32) -> u32 {
+    std::env::var("FLOOD_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// SplitMix64 — deterministic column fill from a proptest-chosen seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Column 2's run-length spec: `(value, run_len)` pairs. Runs ≥ [`BLOCK_LEN`]
+/// (and adjacent equal runs) produce genuine width-0 blocks.
+type Runs = Vec<(u64, usize)>;
+
+/// Three columns sharing the length the runs column dictates:
+/// d0 local (small deltas), d1 full-range u64 (width-64 blocks), d2 runs.
+fn build_table(runs: &Runs, seed: u64) -> Table {
+    let len: usize = runs.iter().map(|&(_, n)| n).sum();
+    let mut s = seed;
+    let d0: Vec<u64> = (0..len)
+        .map(|_| (1 << 20) | (splitmix(&mut s) % 256))
+        .collect();
+    let d1: Vec<u64> = (0..len).map(|_| splitmix(&mut s)).collect();
+    let d2: Vec<u64> = runs
+        .iter()
+        .flat_map(|&(v, n)| std::iter::repeat_n(v, n))
+        .collect();
+    Table::from_columns(vec![d0, d1, d2])
+}
+
+/// How one query bound is chosen once the table exists.
+#[derive(Debug, Clone, Copy)]
+enum Bound {
+    /// `sel / 1000` of the dimension's [min, max] span.
+    Frac(u16),
+    /// Exactly block `sel % num_blocks`'s min (`false`) or max (`true`) —
+    /// only meaningful on compressed columns; falls back to `Frac` on plain.
+    BlockEdge(u16, bool),
+}
+
+fn bound_strategy() -> impl Strategy<Value = Bound> {
+    prop_oneof![
+        (0u16..1001).prop_map(Bound::Frac),
+        (0u16..64, proptest::arbitrary::any::<bool>()).prop_map(|(b, mx)| Bound::BlockEdge(b, mx)),
+    ]
+}
+
+fn resolve(table: &Table, dim: usize, b: Bound) -> u64 {
+    let (mn, mx) = table.dim_bounds(dim);
+    match b {
+        Bound::BlockEdge(sel, want_max) => match table.column(dim).as_compressed() {
+            Some(c) if !c.blocks().is_empty() => {
+                let blk = &c.blocks()[sel as usize % c.blocks().len()];
+                if want_max {
+                    blk.max()
+                } else {
+                    blk.min()
+                }
+            }
+            _ => resolve(table, dim, Bound::Frac(sel % 1001)),
+        },
+        Bound::Frac(sel) => mn + ((mx - mn) as u128 * sel as u128 / 1000) as u64,
+    }
+}
+
+/// One dimension's filter spec; resolved against the built table.
+type DimFilter = Option<(Bound, Bound)>;
+
+fn filter_strategy() -> impl Strategy<Value = DimFilter> {
+    prop_oneof![
+        Just(None),
+        (bound_strategy(), bound_strategy()).prop_map(Some),
+    ]
+}
+
+/// Resolve filter specs into a checked-dims list and the equivalent query.
+fn make_checks(table: &Table, filters: &[DimFilter; 3]) -> (Vec<(usize, u64, u64)>, RangeQuery) {
+    let mut checks = Vec::new();
+    let mut query = RangeQuery::all(3);
+    for (d, f) in filters.iter().enumerate() {
+        if let Some((a, b)) = f {
+            let (x, y) = (resolve(table, d, *a), resolve(table, d, *b));
+            let (lo, hi) = (x.min(y), x.max(y));
+            checks.push((d, lo, hi));
+            query = query.with_range(d, lo, hi);
+        }
+    }
+    (checks, query)
+}
+
+/// Run both kernels with visitor `V`; results and normalized stats must be
+/// bit-identical. Returns the packed side's stats for counter assertions.
+#[allow(clippy::too_many_arguments)]
+fn diff_checked<V: Visitor + Default, R: PartialEq + std::fmt::Debug>(
+    table: &Table,
+    checks: &[(usize, u64, u64)],
+    start: usize,
+    end: usize,
+    agg: Option<usize>,
+    cumulative: Option<&CumulativeColumn>,
+    extract: fn(&V) -> R,
+    label: &str,
+) -> ScanStats {
+    let mut dv = V::default();
+    let mut ds = ScanStats::default();
+    scan_checked_dims(table, checks, start, end, agg, &mut dv, &mut ds);
+    let mut pv = V::default();
+    let mut ps = ScanStats::default();
+    scan_checked_dims_packed(table, checks, start, end, agg, cumulative, &mut pv, &mut ps);
+    assert_eq!(extract(&pv), extract(&dv), "{label}: result");
+    assert_eq!(ps.sans_block_counters(), ds, "{label}: stats");
+    ps
+}
+
+/// The four visitor kinds over one (table, checks, range) instance.
+fn diff_all_visitors(
+    table: &Table,
+    checks: &[(usize, u64, u64)],
+    start: usize,
+    end: usize,
+    cumulative: Option<&CumulativeColumn>,
+) {
+    diff_checked::<CountVisitor, _>(table, checks, start, end, None, None, |v| v.count, "count");
+    diff_checked::<SumVisitor, _>(
+        table,
+        checks,
+        start,
+        end,
+        Some(1),
+        cumulative,
+        |v| (v.sum, v.count),
+        "sum",
+    );
+    diff_checked::<MinMaxVisitor, _>(
+        table,
+        checks,
+        start,
+        end,
+        Some(1),
+        None,
+        |v| (v.min, v.max, v.count),
+        "minmax",
+    );
+    // Exact row order, not set equality: serial kernels must agree visit
+    // for visit.
+    diff_checked::<CollectVisitor, _>(
+        table,
+        checks,
+        start,
+        end,
+        None,
+        None,
+        |v| v.rows.clone(),
+        "collect",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// Core differential: arbitrary tables × filters × sub-ranges ×
+    /// compression masks, all four visitors.
+    #[test]
+    fn packed_equals_decode_first(
+        runs in proptest::collection::vec((0u64..6, 1usize..220), 1..8),
+        seed in 0u64..1_000_000,
+        filters in (filter_strategy(), filter_strategy(), filter_strategy()),
+        compress_mask in 0u8..8,
+        range_sel in (0u16..1000, 0u16..1000),
+    ) {
+        let mut table = build_table(&runs, seed);
+        // Compress a per-case subset of columns; checks on the plain rest
+        // exercise the packed kernel's per-row residual path (mask 0 = all
+        // plain, where the packed kernels must delegate outright).
+        let dims: Vec<usize> = (0..3).filter(|d| compress_mask & (1 << d) != 0).collect();
+        table.compress_dims(&dims);
+        let len = table.len();
+        let (a, b) = (
+            len * range_sel.0 as usize / 1000,
+            len * range_sel.1 as usize / 1000,
+        );
+        let (start, end) = (a.min(b), a.max(b));
+        let filters = [filters.0, filters.1, filters.2];
+        let (checks, query) = make_checks(&table, &filters);
+        let cumulative = table.cumulative_sum(1);
+
+        diff_all_visitors(&table, &checks, start, end, Some(&cumulative));
+
+        // The filtered/full wrappers route identically.
+        let mut dv = SumVisitor::default();
+        let mut ds = ScanStats::default();
+        scan_filtered(&table, &query, start, end, Some(1), &mut dv, &mut ds);
+        let mut pv = SumVisitor::default();
+        let mut ps = ScanStats::default();
+        scan_filtered_packed(
+            &table, &query, start, end, Some(1), Some(&cumulative), &mut pv, &mut ps,
+        );
+        prop_assert_eq!((pv.sum, pv.count), (dv.sum, dv.count));
+        prop_assert_eq!(ps.sans_block_counters(), ds);
+
+        let mut dv = CountVisitor::default();
+        let mut ds = ScanStats::default();
+        scan_full(&table, &query, None, &mut dv, &mut ds);
+        let mut pv = CountVisitor::default();
+        let mut ps = ScanStats::default();
+        scan_full_packed(&table, &query, None, None, &mut pv, &mut ps);
+        prop_assert_eq!(pv.count, dv.count);
+        prop_assert_eq!(ps.sans_block_counters(), ds);
+    }
+
+    /// Compression must not change what a kernel computes: the packed scan
+    /// over the compressed table equals the decode-first scan over the
+    /// *plain* copy, stats included.
+    #[test]
+    fn packed_on_compressed_equals_plain_reference(
+        runs in proptest::collection::vec((0u64..6, 1usize..220), 1..8),
+        seed in 0u64..1_000_000,
+        filters in (filter_strategy(), filter_strategy(), filter_strategy()),
+    ) {
+        let plain = build_table(&runs, seed);
+        let mut compressed = plain.clone();
+        compressed.compress();
+        let filters = [filters.0, filters.1, filters.2];
+        // Resolve bounds against the compressed table so BlockEdge snaps.
+        let (checks, _) = make_checks(&compressed, &filters);
+        let len = plain.len();
+
+        let mut rv = CollectVisitor::default();
+        let mut rs = ScanStats::default();
+        scan_checked_dims(&plain, &checks, 0, len, None, &mut rv, &mut rs);
+        let mut pv = CollectVisitor::default();
+        let mut ps = ScanStats::default();
+        scan_checked_dims_packed(&compressed, &checks, 0, len, None, None, &mut pv, &mut ps);
+        prop_assert_eq!(&pv.rows, &rv.rows);
+        prop_assert_eq!(ps.sans_block_counters(), rs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic anchors: block-counter semantics the properties can't pin.
+// ---------------------------------------------------------------------------
+
+fn compressed_table(cols: Vec<Vec<u64>>) -> Table {
+    let mut t = Table::from_columns(cols);
+    t.compress();
+    t
+}
+
+#[test]
+fn constant_blocks_skip_and_accept_without_probing() {
+    // 300 rows of the constant 7: three width-0 blocks (128 + 128 + 44).
+    let t = compressed_table(vec![vec![7; 300]]);
+    let skip = diff_checked::<CountVisitor, _>(
+        &t,
+        &[(0, 8, 9)],
+        0,
+        300,
+        None,
+        None,
+        |v| v.count,
+        "skip-all",
+    );
+    assert_eq!(
+        (
+            skip.blocks_skipped,
+            skip.blocks_accepted,
+            skip.blocks_probed
+        ),
+        (3, 0, 0),
+        "always-false predicate must dismiss every block from metadata"
+    );
+    let accept = diff_checked::<CountVisitor, _>(
+        &t,
+        &[(0, 7, 7)],
+        0,
+        300,
+        None,
+        None,
+        |v| v.count,
+        "accept-all",
+    );
+    assert_eq!(
+        (
+            accept.blocks_skipped,
+            accept.blocks_accepted,
+            accept.blocks_probed
+        ),
+        (0, 3, 0),
+        "width-0 blocks are accepted or skipped, never probed"
+    );
+}
+
+#[test]
+fn sorted_data_skips_out_of_range_blocks() {
+    // Sorted column: block b holds values [128b, 128b+127] exactly.
+    let t = compressed_table(vec![(0..1024).collect()]);
+    // Bounds exactly on block 3's min and block 5's max: blocks 3..=5
+    // accepted wholesale, everything else skipped, nothing probed.
+    let s = diff_checked::<CountVisitor, _>(
+        &t,
+        &[(0, 3 * 128, 5 * 128 + 127)],
+        0,
+        1024,
+        None,
+        None,
+        |v| v.count,
+        "block-aligned bounds",
+    );
+    assert_eq!(
+        (s.blocks_skipped, s.blocks_accepted, s.blocks_probed),
+        (5, 3, 0)
+    );
+    // Shift both bounds one value inward: the edge blocks must be probed.
+    let s = diff_checked::<CountVisitor, _>(
+        &t,
+        &[(0, 3 * 128 + 1, 5 * 128 + 126)],
+        0,
+        1024,
+        None,
+        None,
+        |v| v.count,
+        "interior bounds",
+    );
+    assert_eq!(
+        (s.blocks_skipped, s.blocks_accepted, s.blocks_probed),
+        (5, 1, 2)
+    );
+}
+
+#[test]
+fn width_64_blocks_differential() {
+    let vals: Vec<u64> = (0..256)
+        .map(|i| if i % 2 == 0 { i } else { u64::MAX - i })
+        .collect();
+    let t = compressed_table(vec![vals]);
+    for (lo, hi) in [
+        (0, u64::MAX),
+        (0, 255),
+        (u64::MAX - 255, u64::MAX),
+        (128, u64::MAX - 128),
+        (300, 400), // matches nothing but can't be skipped by min/max
+    ] {
+        diff_checked::<CollectVisitor, _>(
+            &t,
+            &[(0, lo, hi)],
+            0,
+            256,
+            None,
+            None,
+            |v| v.rows.clone(),
+            "width-64",
+        );
+    }
+}
+
+#[test]
+fn partial_last_block_never_emits_padding() {
+    // 200 rows: one full block + one 72-row block whose packed words carry
+    // zero-padding lanes. An accept-everything predicate must yield exactly
+    // 200 rows, and a probe must never surface offsets ≥ 72.
+    let t = compressed_table(vec![(500..700).collect()]);
+    let s = diff_checked::<CountVisitor, _>(
+        &t,
+        &[(0, 0, u64::MAX)],
+        0,
+        200,
+        None,
+        None,
+        |v| v.count,
+        "accept partial block",
+    );
+    assert_eq!((s.blocks_accepted, s.blocks_probed), (2, 0));
+    // Delta 0 (the padding lanes' value) inside the predicate: probe path.
+    diff_checked::<CollectVisitor, _>(
+        &t,
+        &[(0, 628, 699)],
+        0,
+        200,
+        None,
+        None,
+        |v| v.rows.clone(),
+        "probe partial block",
+    );
+}
+
+#[test]
+fn accepted_blocks_answer_sums_from_cumulative() {
+    // Sorted key: a mid-range predicate accepts interior blocks wholesale.
+    let key: Vec<u64> = (0..1024).collect();
+    let agg: Vec<u64> = (0..1024).map(|i| i * 3 + 1).collect();
+    let t = compressed_table(vec![key, agg]);
+    let cumulative = t.cumulative_sum(1);
+    let checks = [(0usize, 130u64, 900u64)];
+    let mut dv = SumVisitor::default();
+    let mut ds = ScanStats::default();
+    scan_checked_dims(&t, &checks, 0, 1024, Some(1), &mut dv, &mut ds);
+    let mut pv = SumVisitor::default();
+    let mut ps = ScanStats::default();
+    scan_checked_dims_packed(
+        &t,
+        &checks,
+        0,
+        1024,
+        Some(1),
+        Some(&cumulative),
+        &mut pv,
+        &mut ps,
+    );
+    assert_eq!((pv.sum, pv.count), (dv.sum, dv.count));
+    assert_eq!(ps.sans_block_counters(), ds);
+    assert!(
+        ps.blocks_accepted >= 4,
+        "interior blocks must be accepted wholesale, got {ps:?}"
+    );
+}
+
+#[test]
+fn empty_tables_and_empty_ranges() {
+    let t = compressed_table(vec![vec![], vec![]]);
+    diff_all_visitors(&t, &[(0, 0, 10)], 0, 0, None);
+    let t = compressed_table(vec![(0..300).collect(), (300..600).collect()]);
+    diff_all_visitors(&t, &[(0, 0, 10)], 150, 150, None);
+    // Sub-range entirely inside one block.
+    diff_all_visitors(&t, &[(0, 100, 200)], 130, 140, None);
+}
+
+#[test]
+fn unaligned_subranges_match() {
+    // Scan ranges that start/end mid-block exercise the offset clamps.
+    let t = compressed_table(vec![
+        (0..1000).map(|i| i % 97).collect(),
+        (0..1000).map(|i| i * 31).collect(),
+    ]);
+    for (s, e) in [(1, 999), (127, 129), (128, 256), (130, 890), (0, 1)] {
+        diff_all_visitors(&t, &[(0, 10, 60)], s, e, None);
+    }
+}
+
+#[test]
+fn block_len_is_what_these_tests_assume() {
+    // The counter arithmetic above hard-codes 128-row blocks.
+    assert_eq!(BLOCK_LEN, 128);
+}
