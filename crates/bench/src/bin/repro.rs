@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale F] [--queries N] [--seed N] [--threads N] \
-//!       [--json PATH] [--full] [--verbose]
+//!       [--json PATH] [--metrics PATH] [--full] [--verbose]
 //! repro list
 //! ```
 //!
@@ -11,7 +11,10 @@
 //! pool with N workers (1 = the serial path); `--full` switches sweeps to
 //! the paper-sized grids; `--json PATH` writes a machine-readable perf
 //! record (per-experiment wall-clock, phase timings, and key metrics —
-//! the artifact CI uploads on every push); `--verbose`
+//! the artifact CI uploads on every push); `--metrics PATH` dumps the
+//! process-global `flood-obs` registry as Prometheus text exposition after
+//! the run (every workload bridges its scan counters in; serve/drift/obs
+//! fold in their servers' full telemetry); `--verbose`
 //! streams per-phase progress to stderr. Absolute numbers differ from the
 //! paper's testbed; the reproduction target is the *shape* of each result.
 //! A per-phase wall-clock summary (data gen, calibration, layout
@@ -95,6 +98,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "§7.1+: compressed-domain scans — packed predicates vs decode-first",
         exp::scanspeed::run,
     ),
+    (
+        "obs",
+        "flood-obs: instrumentation overhead on the query path",
+        exp::obs::run,
+    ),
 ];
 
 fn print_experiment_list() {
@@ -108,7 +116,7 @@ fn print_experiment_list() {
 fn usage() {
     eprintln!(
         "usage: repro <experiment> [--scale F] [--queries N] [--seed N] [--threads N] \
-         [--json PATH] [--full] [--verbose]"
+         [--json PATH] [--metrics PATH] [--full] [--verbose]"
     );
     eprintln!("       repro list");
     print_experiment_list();
@@ -125,11 +133,15 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Resu
 /// Parsed command line: experiment config, the worker count (applied once
 /// to the harness-global executor knob
 /// [`flood_bench::harness::set_exec_threads`] rather than carried in
-/// [`ExpConfig`]), and the optional `--json` output path.
-fn parse_config(args: &[String]) -> Result<(ExpConfig, usize, Option<String>), String> {
+/// [`ExpConfig`]), and the optional `--json` / `--metrics` output paths.
+#[allow(clippy::type_complexity)]
+fn parse_config(
+    args: &[String],
+) -> Result<(ExpConfig, usize, Option<String>, Option<String>), String> {
     let mut cfg = ExpConfig::default();
     let mut threads = 1usize;
     let mut json: Option<String> = None;
+    let mut metrics: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -156,12 +168,16 @@ fn parse_config(args: &[String]) -> Result<(ExpConfig, usize, Option<String>), S
                 let path = it.next().ok_or("--json needs a file path")?;
                 json = Some(path.clone());
             }
+            "--metrics" => {
+                let path = it.next().ok_or("--metrics needs a file path")?;
+                metrics = Some(path.clone());
+            }
             "--full" => cfg.full = true,
             "--verbose" | "-v" => phases::set_verbose(true),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok((cfg, threads, json))
+    Ok((cfg, threads, json, metrics))
 }
 
 /// Serialize and write the perf report; a write failure is an error exit,
@@ -171,6 +187,15 @@ fn write_report(path: &str, report: &PerfReport) -> Result<(), String> {
         .map_err(|e| format!("cannot serialize perf report: {e}"))?;
     std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
     println!("perf report written to {path}");
+    Ok(())
+}
+
+/// Write the process-global metrics registry as Prometheus text
+/// exposition; same error contract as [`write_report`].
+fn write_metrics(path: &str) -> Result<(), String> {
+    let text = flood_obs::metrics::global().prometheus_text();
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("metrics exposition written to {path}");
     Ok(())
 }
 
@@ -184,7 +209,7 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::SUCCESS;
     }
-    let (cfg, threads, json) = match parse_config(&args[1..]) {
+    let (cfg, threads, json, metrics) = match parse_config(&args[1..]) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -235,6 +260,12 @@ fn main() -> ExitCode {
             experiments: records,
         };
         if let Err(e) = write_report(&path, &perf) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = metrics {
+        if let Err(e) = write_metrics(&path) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

@@ -332,6 +332,14 @@ pub fn run(cfg: &ExpConfig) {
             ds.cache_hits_across_relearns as f64,
             "count",
         );
+        // Embed the adaptive lifecycles' full telemetry in the --json
+        // record and fold it into the process-global registry for
+        // `repro --metrics`.
+        let reg = flood_obs::Registry::new();
+        dc.export(&reg, "adapt_cold");
+        ds.export(&reg, "adapt_shared");
+        report::embed_metrics_snapshot(&format!("{prefix}.metrics"), &reg.snapshot());
+        flood_obs::metrics::global().absorb(&reg);
 
         // Controlled replays: identical check/re-learn work in both modes.
         let r = replay(cfg, &table, &drift);

@@ -18,6 +18,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod lookup;
+pub mod obs;
 pub mod optcost;
 pub mod scanspeed;
 pub mod serve;

@@ -1,0 +1,219 @@
+//! Observability overhead: what does `flood-obs` instrumentation cost on
+//! the query path?
+//!
+//! Two [`FloodServer`]s are built from the same table, workload, and seed
+//! — byte-identical layouts — differing only in `ServeConfig::metrics`.
+//! The same closed-loop traffic is then driven against both in
+//! **interleaved trials** (off/on, on/off, …) so slow machine-state drift
+//! (frequency scaling, page cache, a noisy neighbour on a 1-vCPU runner)
+//! lands on both sides equally. Each trial reports an exact
+//! sort-and-index p50 — deliberately *not* the `flood-obs` histogram, so
+//! the instrument under test is not also the measuring device — and the
+//! headline number is the **median** per-trial ratio, robust to a single
+//! preempted trial.
+//!
+//! The budget the design doc commits to (ARCHITECTURE.md, Observability):
+//! metrics on = two clock reads plus a handful of relaxed atomic RMWs per
+//! query, ≤5% p50 penalty on release builds. CI gates on the reported
+//! `obs.overhead.p50_pct` metric.
+
+use super::ExpConfig;
+use crate::harness::{calibrated_cost_model, exec_threads};
+use crate::phases::time_phase;
+use crate::report;
+use flood_core::{AdaptiveConfig, FloodConfig, LayoutOptimizer};
+use flood_data::DatasetKind;
+use flood_serve::{FloodServer, ServeConfig};
+use flood_store::{CountVisitor, RangeQuery};
+use std::time::Instant;
+
+/// What one obs run measured (returned for the smoke test's asserts).
+pub struct ObsSummary {
+    /// Median per-trial exact p50, metrics on, nanoseconds.
+    pub p50_on_ns: u64,
+    /// Median per-trial exact p50, metrics off, nanoseconds.
+    pub p50_off_ns: u64,
+    /// Median per-trial (on/off − 1) × 100 — the CI-gated number.
+    pub overhead_pct: f64,
+    /// Interleaved trials run.
+    pub trials: usize,
+    /// Queries the instrumented server's own counter saw (cross-checked
+    /// against the samples we drove).
+    pub queries_counted: u64,
+}
+
+/// Drive `samples` closed-loop requests (cycling `queries`) and return the
+/// per-request latencies.
+fn drive(server: &FloodServer, queries: &[RangeQuery], samples: usize) -> Vec<u64> {
+    let mut ns = Vec::with_capacity(samples);
+    'outer: loop {
+        for q in queries {
+            let mut v = CountVisitor::default();
+            let t = Instant::now();
+            server.execute(q, None, &mut v);
+            ns.push(t.elapsed().as_nanos() as u64);
+            if ns.len() >= samples {
+                break 'outer;
+            }
+        }
+    }
+    ns
+}
+
+/// Exact (sorted, nearest-rank) p50 — the control-side estimator, kept
+/// independent of the histogram under test.
+fn exact_p50(mut ns: Vec<u64>) -> u64 {
+    ns.sort_unstable();
+    ns[(ns.len() - 1) / 2]
+}
+
+fn median_f64(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    xs[(xs.len() - 1) / 2]
+}
+
+fn median_u64(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[(xs.len() - 1) / 2]
+}
+
+/// Run the overhead measurement; the returned summary carries every number
+/// the report emits.
+pub fn run_obs(cfg: &ExpConfig) -> ObsSummary {
+    let (ds, w) = cfg.dataset_and_workload(DatasetKind::Sales);
+    let n = ds.table.len();
+    let threads = match exec_threads() {
+        1 => 0,
+        t => t,
+    };
+    let serve_cfg = |metrics: bool| ServeConfig {
+        adaptive: AdaptiveConfig {
+            // A huge window/cadence: adaptation must never fire inside a
+            // measured trial, so both servers do identical work per query
+            // (execute + observe) and differ only in telemetry.
+            window: 120,
+            check_every: usize::MAX / 2,
+            degradation_factor: 1.25,
+            share_cache: true,
+        },
+        batch: 32,
+        threads,
+        metrics,
+    };
+    let build = |metrics: bool| {
+        FloodServer::build(
+            &ds.table,
+            &w.train,
+            LayoutOptimizer::with_config(calibrated_cost_model().clone(), cfg.optimizer(n)),
+            FloodConfig::default(),
+            serve_cfg(metrics),
+        )
+    };
+    let off = time_phase("layout-opt", || build(false));
+    let on = time_phase("layout-opt", || build(true));
+
+    // Odd trial count so the median is a real trial; 9 tolerates four
+    // preempted/noisy trials on a 1-vCPU runner.
+    let trials = 9usize;
+    let per_trial = (cfg.queries * 20).clamp(200, 2_000);
+    let t0 = Instant::now();
+    // Warm both paths (page cache, branch predictors, lazy allocations)
+    // before anything is recorded.
+    drive(&off, &w.test, per_trial.min(200));
+    drive(&on, &w.test, per_trial.min(200));
+
+    let mut p50_off = Vec::with_capacity(trials);
+    let mut p50_on = Vec::with_capacity(trials);
+    let mut ratios = Vec::with_capacity(trials);
+    for t in 0..trials {
+        // Alternate which server goes first so any monotone machine drift
+        // cancels across trials instead of biasing one side.
+        let (a, b) = if t % 2 == 0 { (&off, &on) } else { (&on, &off) };
+        let ns_a = exact_p50(drive(a, &w.test, per_trial));
+        let ns_b = exact_p50(drive(b, &w.test, per_trial));
+        let (o, i) = if t % 2 == 0 {
+            (ns_a, ns_b)
+        } else {
+            (ns_b, ns_a)
+        };
+        p50_off.push(o);
+        p50_on.push(i);
+        ratios.push(i as f64 / o.max(1) as f64);
+    }
+    crate::phases::record_phase("query-exec", t0.elapsed());
+
+    let overhead_pct = (median_f64(ratios) - 1.0) * 100.0;
+    let snap = on
+        .metrics_snapshot()
+        .expect("instrumented server has metrics");
+    let queries_counted = snap.counter("serve", "queries").expect("queries counter");
+    assert!(
+        off.metrics_snapshot().is_none(),
+        "the control server must carry zero telemetry"
+    );
+    // Expose the instrumented server's counters through `repro --metrics`.
+    if let Some(m) = on.metrics() {
+        flood_obs::metrics::global().absorb(m.registry());
+    }
+    ObsSummary {
+        p50_on_ns: median_u64(p50_on),
+        p50_off_ns: median_u64(p50_off),
+        overhead_pct,
+        trials,
+        queries_counted,
+    }
+}
+
+/// Run the experiment at the configured scale.
+pub fn run(cfg: &ExpConfig) {
+    println!("\n=== observability overhead (flood-obs on the query path) ===");
+    let s = run_obs(cfg);
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "trials", "p50 off(ns)", "p50 on(ns)", "penalty"
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>9.2}%",
+        s.trials, s.p50_off_ns, s.p50_on_ns, s.overhead_pct,
+    );
+    println!(
+        "median of {} interleaved trials; instrumented server counted {} queries. \
+         budget: ≤5% p50 on release builds (CI gates obs.overhead.p50_pct).",
+        s.trials, s.queries_counted,
+    );
+    report::metric("obs.overhead.p50_pct", s.overhead_pct, "%");
+    report::metric("obs.on.p50_ns", s.p50_on_ns as f64, "ns");
+    report::metric("obs.off.p50_ns", s.p50_off_ns as f64, "ns");
+    report::metric("obs.trials", s.trials as f64, "count");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The overhead harness end to end at tiny scale: both servers serve,
+    /// the instrumented one counts every driven request, and the headline
+    /// ratio is a finite number. The ≤5% budget itself is only meaningful
+    /// on release builds — CI gates it from the `repro obs --json` record —
+    /// so here the bound is a loose debug-mode sanity ceiling.
+    #[test]
+    fn overhead_harness_measures_and_counts() {
+        let cfg = ExpConfig {
+            scale: 0.05,
+            queries: 8,
+            ..Default::default()
+        };
+        let s = run_obs(&cfg);
+        assert_eq!(s.trials, 9);
+        assert!(s.p50_on_ns > 0 && s.p50_off_ns > 0);
+        assert!(s.overhead_pct.is_finite());
+        assert!(
+            s.overhead_pct < 100.0,
+            "metrics on the hot path must stay a few atomics, not a lock: {:.1}%",
+            s.overhead_pct
+        );
+        // warm-up (200) + 9 trials × per-trial samples all hit the counter.
+        let per_trial = (cfg.queries * 20).clamp(200, 2_000) as u64;
+        assert_eq!(s.queries_counted, 200 + 9 * per_trial);
+    }
+}

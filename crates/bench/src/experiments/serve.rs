@@ -58,15 +58,18 @@ struct Percentiles {
 }
 
 impl Percentiles {
-    fn from_ns(mut ns: Vec<u64>) -> Self {
+    /// Derive percentiles through the shared `flood-obs` histogram — the
+    /// same estimator the server reports at runtime, so bench tables and
+    /// `metrics_snapshot()` can never disagree on methodology. (Accuracy
+    /// vs an exact sort is pinned in `harness::tests`.)
+    fn from_ns(ns: Vec<u64>) -> Self {
         assert!(!ns.is_empty(), "percentiles need at least one sample");
-        ns.sort_unstable();
-        let at = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+        let s = crate::harness::percentiles_from_ns(&ns);
         Percentiles {
-            p50: at(0.50),
-            p99: at(0.99),
-            p999: at(0.999),
-            samples: ns.len(),
+            p50: s.p50,
+            p99: s.p99,
+            p999: s.p999,
+            samples: s.count as usize,
         }
     }
 }
@@ -96,6 +99,8 @@ pub struct ServeSummary {
     pub swaps: u64,
     pub submitted: u64,
     pub completed: u64,
+    /// The server's full telemetry at end of run (embedded in `--json`).
+    pub metrics: Option<flood_obs::MetricsSnapshot>,
 }
 
 /// Closed-loop measurement: serve `queries` cycled until `min_samples`
@@ -215,6 +220,7 @@ pub fn run_serve(cfg: &ExpConfig) -> ServeSummary {
                 },
                 batch: 32,
                 threads,
+                metrics: true,
             },
         )
     });
@@ -286,6 +292,12 @@ pub fn run_serve(cfg: &ExpConfig) -> ServeSummary {
     let openloop_qps = open_served as f64 / open_wall.as_secs_f64();
 
     let diag = server.diagnostics();
+    // Snapshot the server's telemetry and fold it into the process-global
+    // registry so `repro --metrics` exposes the serve counters too.
+    let metrics = server.metrics_snapshot();
+    if let Some(m) = server.metrics() {
+        flood_obs::metrics::global().absorb(m.registry());
+    }
     ServeSummary {
         steady,
         steady_qps,
@@ -299,6 +311,7 @@ pub fn run_serve(cfg: &ExpConfig) -> ServeSummary {
         swaps: diag.swaps,
         submitted: diag.submitted,
         completed: diag.completed,
+        metrics,
     }
 }
 
@@ -378,6 +391,9 @@ pub fn run(cfg: &ExpConfig) {
     report::metric("serve.p99_ratio_idle", s.p99_ratio_idle, "x");
     report::metric("serve.openloop.qps", s.openloop_qps, "q/s");
     report::metric("serve.swaps", s.swaps as f64, "count");
+    if let Some(snap) = &s.metrics {
+        report::embed_metrics_snapshot("serve.metrics", snap);
+    }
 }
 
 #[cfg(test)]
@@ -409,5 +425,9 @@ mod tests {
         assert!(s.p99_ratio > 0.0 && s.p99_ratio_idle > 0.0);
         assert!(s.swaps >= 1, "the forced swap must publish");
         assert_eq!(s.submitted, s.completed, "zero dropped requests");
+        // The embedded telemetry agrees with the server's own diagnostics.
+        let snap = s.metrics.as_ref().expect("serve runs with metrics on");
+        assert_eq!(snap.counter("serve", "queries"), Some(s.submitted));
+        assert_eq!(snap.counter("adapt", "swaps"), Some(s.swaps));
     }
 }

@@ -9,7 +9,8 @@ use flood_core::cost::calibration::{calibrate_cached, CalibrationConfig};
 use flood_core::{CostModel, FloodBuilder, FloodIndex, LayoutOptimizer, OptimizerConfig};
 use flood_data::workloads::{DimFilter, QueryBuilder, QueryTemplate};
 use flood_exec::QueryExecutor;
-use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, ScanStats, Table};
+use flood_obs::{metrics::global, Histogram, HistogramSummary};
+use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, ScanStats, ScanStatsMetrics, Table};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -120,6 +121,20 @@ impl RunResult {
     }
 }
 
+/// Latency percentiles derived from the shared `flood-obs` histogram —
+/// the one percentile implementation every experiment reports through
+/// (replacing per-experiment sort-and-index percentile math). Quantiles
+/// are within [`Histogram::RELATIVE_ERROR`] of the exact sorted-sample
+/// answer; the cross-check test below pins the agreement on a fixed
+/// sample.
+pub fn percentiles_from_ns(ns: &[u64]) -> HistogramSummary {
+    let h = Histogram::new();
+    for &v in ns {
+        h.record(v);
+    }
+    h.summary()
+}
+
 /// Per-dimension selectivity ordering for baseline tuning: most selective
 /// (smallest average fraction of rows matched) first, unfiltered dims last.
 pub fn dims_by_selectivity(table: &Table, queries: &[RangeQuery]) -> Vec<usize> {
@@ -188,6 +203,17 @@ pub fn run_workload(
     }
     let elapsed = start.elapsed();
     record_phase("query-exec", elapsed);
+    // Bridge the workload's aggregate counters into the process-global
+    // registry, so `repro --metrics` has scan-level content for *every*
+    // experiment, not just the server-backed ones. Once per workload, not
+    // per query — the hot loop above is untouched.
+    ScanStatsMetrics::register(global(), "scan").record(&stats);
+    global()
+        .counter("bench", "queries")
+        .add(queries.len() as u64);
+    global()
+        .histogram("bench", "workload_ns")
+        .record(elapsed.as_nanos() as u64);
     (elapsed / queries.len().max(1) as u32, stats)
 }
 
@@ -409,5 +435,75 @@ mod tests {
         assert_eq!(fmt_bytes(512), "512B");
         assert_eq!(fmt_bytes(2048), "2.0kB");
         assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.50");
+    }
+
+    /// The histogram-derived percentiles agree with the exact
+    /// sort-and-index computation they replaced, on a fixed latency-shaped
+    /// sample, within the histogram's documented error bound.
+    #[test]
+    fn histogram_percentiles_agree_with_exact_sort() {
+        // Deterministic sample: a tight mode around 25µs, a slower mode
+        // around 300µs, and a handful of multi-ms outliers.
+        let mut ns: Vec<u64> = Vec::new();
+        let mut x = 0x5EEDu64;
+        for _ in 0..2_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ns.push(25_000 + x % 8_000);
+        }
+        for _ in 0..120 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ns.push(300_000 + x % 60_000);
+        }
+        for i in 0..8u64 {
+            ns.push(2_000_000 + i * 700_000);
+        }
+        let got = percentiles_from_ns(&ns);
+        let mut sorted = ns.clone();
+        sorted.sort_unstable();
+        let exact = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        assert_eq!(got.count as usize, ns.len());
+        for (q, v) in [
+            (0.50, got.p50),
+            (0.90, got.p90),
+            (0.99, got.p99),
+            (0.999, got.p999),
+        ] {
+            let want = exact(q);
+            let err = (v as f64 - want as f64).abs() / want as f64;
+            assert!(
+                err <= Histogram::RELATIVE_ERROR,
+                "p{q}: histogram {v} vs exact {want} (err {err})"
+            );
+        }
+        assert_eq!(got.min, sorted[0]);
+        assert_eq!(got.max, *sorted.last().unwrap());
+    }
+
+    /// Every workload run leaves its aggregate counters in the
+    /// process-global registry (what `repro --metrics` exposes).
+    #[test]
+    fn run_workload_bridges_into_global_registry() {
+        let n = 2_000u64;
+        let t = Table::from_columns(vec![(0..n).collect(), (0..n).map(|i| i % 40).collect()]);
+        let idx = FullScan::build(&t);
+        let qs = vec![
+            RangeQuery::all(2).with_range(0, 0, 99),
+            RangeQuery::all(2).with_range(1, 5, 10),
+        ];
+        let before = global().snapshot();
+        let before_q = before.counter("bench", "queries").unwrap_or(0);
+        let before_scanned = before.counter("scan", "points_scanned").unwrap_or(0);
+        let (_, stats) = run_workload(&idx, &qs, None);
+        let after = global().snapshot();
+        assert_eq!(after.counter("bench", "queries"), Some(before_q + 2));
+        assert_eq!(
+            after.counter("scan", "points_scanned"),
+            Some(before_scanned + stats.points_scanned)
+        );
+        assert!(after.histogram("bench", "workload_ns").unwrap().count >= 1);
     }
 }

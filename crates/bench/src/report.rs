@@ -89,6 +89,26 @@ pub fn take_metrics() -> Vec<Metric> {
     std::mem::take(&mut *METRICS.lock().expect("metric sink lock"))
 }
 
+/// Flatten a `flood-obs` metrics snapshot into the sink under `prefix`,
+/// so a server's full counter set rides along in the `--json` record
+/// (`<prefix>.<subsystem>.<name>`; histograms expand to `_count`/`_p50`/
+/// `_p99`). This is how `repro serve` / `repro drift` embed their runtime
+/// telemetry in the CI perf-trajectory artifact.
+pub fn embed_metrics_snapshot(prefix: &str, snap: &flood_obs::MetricsSnapshot) {
+    for (subsystem, name, value) in &snap.values {
+        let base = format!("{prefix}.{subsystem}.{name}");
+        match value {
+            flood_obs::MetricValue::Counter(v) => metric(&base, *v as f64, "count"),
+            flood_obs::MetricValue::Gauge(v) => metric(&base, *v as f64, "count"),
+            flood_obs::MetricValue::Histogram(h) => {
+                metric(&format!("{base}_count"), h.count as f64, "count");
+                metric(&format!("{base}_p50"), h.p50 as f64, "ns");
+                metric(&format!("{base}_p99"), h.p99 as f64, "ns");
+            }
+        }
+    }
+}
+
 /// Snapshot the phase registry plus the metric sink into one experiment's
 /// record (draining the sink).
 pub fn experiment_record(name: &str, wall_s: f64) -> ExperimentRecord {

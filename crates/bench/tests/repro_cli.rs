@@ -52,6 +52,7 @@ fn list_shows_every_experiment_and_succeeds() {
         "drift",
         "serve",
         "scanspeed",
+        "obs",
         "all",
     ] {
         assert!(err.contains(name), "`repro list` must mention {name}");
@@ -129,6 +130,59 @@ fn json_flag_requires_a_path() {
     let out = repro(&["fig5", "--json"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("--json needs a file path"));
+}
+
+#[test]
+fn metrics_flag_writes_prometheus_exposition() {
+    let dir = std::env::temp_dir().join(format!("repro-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.prom");
+    let path_s = path.to_str().expect("utf-8 path");
+    // `obs` folds its instrumented server's registry into the global one,
+    // so the exposition carries serve + scan series end to end.
+    let out = repro(&[
+        "obs",
+        "--scale",
+        "0.02",
+        "--queries",
+        "4",
+        "--metrics",
+        path_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&path).expect("exposition written");
+    for needle in [
+        "# TYPE flood_scan_points_scanned_total counter",
+        "flood_scan_points_scanned_total ",
+        "flood_serve_queries_total ",
+        "# TYPE flood_serve_query_ns summary",
+        "flood_serve_query_ns{quantile=\"0.5\"}",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_flag_requires_a_path() {
+    let out = repro(&["fig5", "--metrics"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--metrics needs a file path"));
+}
+
+#[test]
+fn metrics_write_failure_is_an_error_exit() {
+    let out = repro(&[
+        "fig5",
+        "--scale",
+        "0.02",
+        "--queries",
+        "4",
+        "--metrics",
+        "/nonexistent-dir/metrics.prom",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot write"), "{}", stderr(&out));
 }
 
 #[test]

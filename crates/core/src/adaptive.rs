@@ -111,6 +111,25 @@ impl AdaptiveDiagnostics {
     pub fn relearn_wall_total(&self) -> Duration {
         self.relearn_wall.iter().sum()
     }
+
+    /// Publish these lifetime counters into a `flood-obs` registry under
+    /// `subsystem` as gauges — the diagnostics are cumulative snapshots,
+    /// so repeated exports overwrite rather than double-count.
+    pub fn export(&self, registry: &flood_obs::Registry, subsystem: &str) {
+        let g = |name: &str, v: usize| registry.gauge(subsystem, name).set(v as i64);
+        g("relearns", self.relearns);
+        g("checks", self.checks);
+        g(
+            "cache_hits_across_relearns",
+            self.cache_hits_across_relearns,
+        );
+        g("sample_flattens", self.sample_flattens);
+        g("window_flattens", self.window_flattens);
+        g("window_reuses", self.window_reuses);
+        registry
+            .gauge(subsystem, "relearn_wall_ns")
+            .set(self.relearn_wall_total().as_nanos() as i64);
+    }
 }
 
 /// The read side of the adaptive loop: a sliding window of observed
@@ -275,11 +294,20 @@ impl Relearner {
             return None;
         }
         self.checks += 1;
-        if self.cfg.share_cache {
+        let mut span = flood_obs::span("degradation_check");
+        let adopted = if self.cfg.share_cache {
             self.check_shared(window, data, current)
         } else {
             self.check_cold(window, data, current)
+        };
+        if span.is_sampled() {
+            span.note(&format!(
+                "window={} adopted={}",
+                window.len(),
+                adopted.is_some()
+            ));
         }
+        adopted
     }
 
     /// Shared path: one data sample for the lifetime, evaluators pooled by
@@ -303,6 +331,7 @@ impl Relearner {
         // cross-epoch counter reports exactly what the check pre-paid.
         eval.advance_epoch();
         let cross0 = eval.cross_epoch_hits();
+        let _span = flood_obs::span("relearn");
         let t0 = Instant::now();
         let learned = self.optimizer.optimize_in(eval);
         let wall = t0.elapsed();
@@ -327,6 +356,7 @@ impl Relearner {
         }
         self.cold_sample_flattens += 1;
         self.cold_window_flattens += 1;
+        let _span = flood_obs::span("relearn");
         let t0 = Instant::now();
         let learned = self.optimizer.optimize(data, window);
         let wall = t0.elapsed();
@@ -356,6 +386,7 @@ impl Relearner {
     /// adopted) — deterministic layout swaps for the serving experiments
     /// and the soak harness.
     pub fn relearn_on(&mut self, data: &Table, workload: &[RangeQuery]) -> OptimizedLayout {
+        let _span = flood_obs::span("relearn");
         let t0 = Instant::now();
         let learned = if self.cfg.share_cache {
             let (queries, mut rng) = self.optimizer.sample_queries(workload);
@@ -796,5 +827,30 @@ mod tests {
             "400 records at cadence 10 claim ~40 checks once the window \
              half-fills, never more: {dues}"
         );
+    }
+
+    #[test]
+    fn diagnostics_export_publishes_gauges() {
+        let diag = AdaptiveDiagnostics {
+            relearns: 3,
+            checks: 12,
+            relearn_wall: vec![Duration::from_nanos(500), Duration::from_nanos(700)],
+            cache_hits_across_relearns: 42,
+            sample_flattens: 1,
+            window_flattens: 5,
+            window_reuses: 7,
+        };
+        let reg = flood_obs::Registry::new();
+        diag.export(&reg, "adapt");
+        // Export twice: cumulative snapshots must overwrite, not add.
+        diag.export(&reg, "adapt");
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("adapt", "relearns"), Some(3));
+        assert_eq!(snap.gauge("adapt", "checks"), Some(12));
+        assert_eq!(snap.gauge("adapt", "cache_hits_across_relearns"), Some(42));
+        assert_eq!(snap.gauge("adapt", "sample_flattens"), Some(1));
+        assert_eq!(snap.gauge("adapt", "window_flattens"), Some(5));
+        assert_eq!(snap.gauge("adapt", "window_reuses"), Some(7));
+        assert_eq!(snap.gauge("adapt", "relearn_wall_ns"), Some(1_200));
     }
 }

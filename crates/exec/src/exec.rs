@@ -14,7 +14,7 @@
 //! sweeps both modes; BASELINES.md records the numbers and the 1-vCPU
 //! caveat of the reference machine.
 
-use crate::pool::ThreadPool;
+use crate::pool::{PoolMetrics, ThreadPool};
 use flood_store::{MergeVisitor, MultiDimIndex, PartitionedScan, RangeQuery, ScanStats, Visitor};
 
 /// How many tasks to plan per worker. Over-partitioning lets the dynamic
@@ -133,6 +133,35 @@ impl QueryExecutor {
             let s = index.execute(&queries[i], agg_dim, &mut v);
             (v, s)
         })
+    }
+
+    /// [`QueryExecutor::execute_batch`] with optional pool telemetry: when
+    /// `obs` is set, the run's task count, worker busy time and injector
+    /// depth are recorded into the registered [`PoolMetrics`].
+    ///
+    /// A separate method rather than a field because `QueryExecutor` is
+    /// deliberately `Copy` — handles travel with the caller (the serving
+    /// layer), not the executor.
+    pub fn execute_batch_observed<V, I>(
+        &self,
+        index: &I,
+        queries: &[RangeQuery],
+        agg_dim: Option<usize>,
+        obs: Option<&PoolMetrics>,
+    ) -> Vec<(V, ScanStats)>
+    where
+        V: Visitor + Default + Send,
+        I: MultiDimIndex + Sync + ?Sized,
+    {
+        self.pool.run_observed(
+            queries.len(),
+            |i| {
+                let mut v = V::default();
+                let s = index.execute(&queries[i], agg_dim, &mut v);
+                (v, s)
+            },
+            obs,
+        )
     }
 }
 

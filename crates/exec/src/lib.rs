@@ -58,4 +58,4 @@ pub mod exec;
 pub mod pool;
 
 pub use exec::QueryExecutor;
-pub use pool::{ThreadPool, THREADS_ENV};
+pub use pool::{PoolMetrics, ThreadPool, THREADS_ENV};

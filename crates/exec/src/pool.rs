@@ -20,11 +20,45 @@
 //! loop to amortize thread startup against, and scoped lifetimes let scan
 //! plans borrow straight from the index with no reference counting.
 
+use flood_obs::{Counter, Gauge, Registry};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Environment variable overriding the default worker count
 /// ([`ThreadPool::from_env`]).
 pub const THREADS_ENV: &str = "FLOOD_THREADS";
+
+/// Registered handles for the pool's telemetry — counters and gauges the
+/// pool updates while [`ThreadPool::run_observed`] executes. Register once
+/// against a `flood-obs` registry, pass by reference into observed runs.
+#[derive(Debug, Clone)]
+pub struct PoolMetrics {
+    /// Tasks executed.
+    tasks: Arc<Counter>,
+    /// `run` invocations (batches).
+    runs: Arc<Counter>,
+    /// Wall-clock nanoseconds workers spent inside task closures, summed
+    /// across workers (busy time, not elapsed time).
+    busy_ns: Arc<Counter>,
+    /// Tasks still unclaimed by any worker right now.
+    queue_depth: Arc<Gauge>,
+    /// Workers participating in the current (or last) run.
+    workers: Arc<Gauge>,
+}
+
+impl PoolMetrics {
+    /// Register (or look up) the pool metric set under `subsystem`.
+    pub fn register(registry: &Registry, subsystem: &str) -> Self {
+        PoolMetrics {
+            tasks: registry.counter(subsystem, "tasks"),
+            runs: registry.counter(subsystem, "runs"),
+            busy_ns: registry.counter(subsystem, "busy_ns"),
+            queue_depth: registry.gauge(subsystem, "queue_depth"),
+            workers: registry.gauge(subsystem, "workers"),
+        }
+    }
+}
 
 /// A scoped thread pool of a fixed worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,9 +122,41 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_observed(tasks, work, None)
+    }
+
+    /// [`ThreadPool::run`] with optional telemetry: when `obs` is set, the
+    /// run counts its tasks, accumulates worker busy time, and tracks the
+    /// injector's remaining depth in the registered [`PoolMetrics`]. With
+    /// `obs == None` this is exactly `run` — no clock reads, no atomics
+    /// beyond the injector.
+    pub fn run_observed<T, F>(&self, tasks: usize, work: F, obs: Option<&PoolMetrics>) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         let workers = self.threads.min(tasks);
+        if let Some(m) = obs {
+            m.runs.inc();
+            m.tasks.add(tasks as u64);
+            m.workers.set(workers.max(1) as i64);
+            m.queue_depth.set(tasks as i64);
+        }
         if workers <= 1 {
-            return (0..tasks).map(work).collect();
+            let out = (0..tasks)
+                .map(|i| {
+                    let Some(m) = obs else { return work(i) };
+                    let start = Instant::now();
+                    let t = work(i);
+                    m.busy_ns.add(start.elapsed().as_nanos() as u64);
+                    m.queue_depth.set((tasks - i - 1) as i64);
+                    t
+                })
+                .collect();
+            if let Some(m) = obs {
+                m.queue_depth.set(0);
+            }
+            return out;
         }
         let next = AtomicUsize::new(0);
         let mut collected: Vec<(usize, T)> = Vec::with_capacity(tasks);
@@ -100,12 +166,23 @@ impl ThreadPool {
                     let (next, work) = (&next, &work);
                     scope.spawn(move || {
                         let mut out = Vec::new();
+                        let mut busy_ns = 0u64;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= tasks {
                                 break;
                             }
-                            out.push((i, work(i)));
+                            if let Some(m) = obs {
+                                m.queue_depth.set((tasks - i - 1) as i64);
+                                let start = Instant::now();
+                                out.push((i, work(i)));
+                                busy_ns += start.elapsed().as_nanos() as u64;
+                            } else {
+                                out.push((i, work(i)));
+                            }
+                        }
+                        if let Some(m) = obs {
+                            m.busy_ns.add(busy_ns);
                         }
                         out
                     })
@@ -115,6 +192,9 @@ impl ThreadPool {
                 collected.extend(h.join().expect("pool worker panicked"));
             }
         });
+        if let Some(m) = obs {
+            m.queue_depth.set(0);
+        }
         collected.sort_unstable_by_key(|&(i, _)| i);
         collected.into_iter().map(|(_, t)| t).collect()
     }
@@ -181,5 +261,39 @@ mod tests {
     #[test]
     fn from_env_has_at_least_one_worker() {
         assert!(ThreadPool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn observed_run_counts_every_task() {
+        for threads in [1, 4] {
+            let reg = Registry::new();
+            let m = PoolMetrics::register(&reg, "pool");
+            let out = ThreadPool::new(threads).run_observed(
+                25,
+                |i| {
+                    // Make busy time measurable even at nanosecond clocks.
+                    (0..2_000).fold(i as u64, |a, x| a.wrapping_add(x))
+                },
+                Some(&m),
+            );
+            assert_eq!(out.len(), 25);
+            let snap = reg.snapshot();
+            assert_eq!(snap.counter("pool", "tasks"), Some(25), "{threads} thr");
+            assert_eq!(snap.counter("pool", "runs"), Some(1));
+            assert!(snap.counter("pool", "busy_ns").unwrap() > 0);
+            assert_eq!(snap.gauge("pool", "queue_depth"), Some(0), "drained");
+            let workers = snap.gauge("pool", "workers").unwrap();
+            assert!(workers >= 1 && workers <= threads as i64);
+        }
+    }
+
+    #[test]
+    fn observed_and_unobserved_runs_agree() {
+        let reg = Registry::new();
+        let m = PoolMetrics::register(&reg, "pool");
+        let pool = ThreadPool::new(3);
+        let plain = pool.run(40, |i| i * 3);
+        let observed = pool.run_observed(40, |i| i * 3, Some(&m));
+        assert_eq!(plain, observed);
     }
 }

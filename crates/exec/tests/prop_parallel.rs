@@ -11,8 +11,8 @@ use flood_baselines::{ClusteredIndex, FullScan};
 use flood_core::{FloodBuilder, Layout};
 use flood_exec::QueryExecutor;
 use flood_store::{
-    CollectVisitor, CountVisitor, MinMaxVisitor, MultiDimIndex, PartitionedScan, RangeQuery,
-    ScanMode, ScanStats, SumVisitor, Table,
+    assert_stats_equivalent, CollectVisitor, CountVisitor, MinMaxVisitor, MultiDimIndex,
+    PartitionedScan, RangeQuery, ScanMode, ScanStats, SumVisitor, Table,
 };
 use proptest::prelude::*;
 
@@ -202,7 +202,7 @@ proptest! {
         let (pv, ps) = serial::<SumVisitor>(&flood, &q, Some(2));
         let (dv, ds) = serial::<SumVisitor>(&decode, &q, Some(2));
         prop_assert_eq!((pv.sum, pv.count), (dv.sum, dv.count));
-        prop_assert_eq!(ps.sans_block_counters(), ds);
+        assert_stats_equivalent(&ps, &ds, "flood packed vs decode-first");
 
         let mut full = FullScan::build(&compressed);
         check_index(&full, &q, threads);
@@ -210,7 +210,7 @@ proptest! {
         full.set_scan_mode(ScanMode::DecodeFirst);
         let (dv, ds) = serial::<CollectVisitor>(&full, &q, None);
         prop_assert_eq!(&pv.rows, &dv.rows);
-        prop_assert_eq!(ps.sans_block_counters(), ds);
+        assert_stats_equivalent(&ps, &ds, "full scan packed vs decode-first");
 
         if !rows.is_empty() {
             let mut clustered = ClusteredIndex::build(&compressed, 0);
@@ -219,7 +219,7 @@ proptest! {
             clustered.set_scan_mode(ScanMode::DecodeFirst);
             let (dv, ds) = serial::<CountVisitor>(&clustered, &q, None);
             prop_assert_eq!(pv.count, dv.count);
-            prop_assert_eq!(ps.sans_block_counters(), ds);
+            assert_stats_equivalent(&ps, &ds, "clustered packed vs decode-first");
         }
     }
 
@@ -264,5 +264,61 @@ proptest! {
             exp.sort_unstable();
             prop_assert_eq!(got, exp);
         }
+    }
+
+    /// Metric conservation across the parallel merge: bridging every
+    /// per-query stats record into a `flood-obs` registry accumulates
+    /// exactly the serial totals (no task double-counted, none dropped,
+    /// for any thread count), the pool's own accounting sees each task
+    /// exactly once, and a histogram fed one observation per query reports
+    /// `count` = queries and `sum` = the serial counter it mirrors.
+    #[test]
+    fn observed_batch_conserves_serial_totals(
+        rows in proptest::collection::vec((0u64..64, 0u64..64, 0u64..64), 1..300),
+        filters in proptest::collection::vec(
+            (filter_strategy(), filter_strategy(), filter_strategy()), 1..10),
+        threads in 1usize..9,
+    ) {
+        let table = make_table(&rows);
+        let queries: Vec<RangeQuery> = filters
+            .into_iter()
+            .map(|(a, b, c)| make_query([a, b, c]))
+            .collect();
+        let flood = FloodBuilder::new()
+            .layout(Layout::new(vec![0, 1, 2], vec![4, 4]))
+            .build(&table);
+        let exec = QueryExecutor::with_threads(threads);
+
+        let registry = flood_obs::Registry::new();
+        let pool = flood_exec::PoolMetrics::register(&registry, "pool");
+        let scan = flood_store::ScanStatsMetrics::register(&registry, "scan");
+        let per_query = registry.histogram("scan", "points_per_query");
+        let batch = exec.execute_batch_observed::<CountVisitor, _>(
+            &flood, &queries, None, Some(&pool));
+        let mut serial_total = ScanStats::default();
+        for (q, (v, s)) in queries.iter().zip(&batch) {
+            scan.record(s);
+            per_query.record(s.points_scanned);
+            let (want, want_stats) = serial::<CountVisitor>(&flood, q, None);
+            prop_assert_eq!(v.count, want.count);
+            serial_total.merge(&want_stats);
+        }
+
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.counter("pool", "tasks"), Some(queries.len() as u64));
+        prop_assert_eq!(snap.counter("pool", "runs"), Some(1));
+        for (name, want) in [
+            ("points_scanned", serial_total.points_scanned),
+            ("points_matched", serial_total.points_matched),
+            ("cells_visited", serial_total.cells_visited),
+            ("cells_projected", serial_total.cells_projected),
+            ("refinements", serial_total.refinements),
+            ("ranges_scanned", serial_total.ranges_scanned),
+        ] {
+            prop_assert_eq!(snap.counter("scan", name), Some(want), "{}", name);
+        }
+        let h = snap.histogram("scan", "points_per_query").expect("histogram present");
+        prop_assert_eq!(h.count, queries.len() as u64);
+        prop_assert_eq!(h.sum, serial_total.points_scanned);
     }
 }

@@ -1,0 +1,135 @@
+//! Property suite for the flood-obs histogram: percentile accuracy against
+//! the exact sorted-sample answer, and exact conservation of count/sum
+//! under arbitrary partition-and-merge schedules — the invariant the
+//! serving layer relies on when per-thread histograms fold into one.
+//!
+//! `FLOOD_PROPTEST_CASES` scales the case count (CI raises it on push).
+
+use flood_obs::{Histogram, Registry};
+use proptest::prelude::*;
+
+/// Case-count override from `FLOOD_PROPTEST_CASES` (unset/invalid → default).
+fn cases(default: u32) -> u32 {
+    std::env::var("FLOOD_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// SplitMix64 — deterministic sample fill from a proptest-chosen seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A latency-shaped sample: values clustered around a scale with a heavy
+/// tail, the distribution shape the histogram exists to summarize.
+fn sample(seed: u64, len: usize, scale_shift: u32) -> Vec<u64> {
+    let mut s = seed;
+    (0..len)
+        .map(|_| {
+            let r = splitmix(&mut s);
+            let base = (r % (1 << scale_shift)) + (1 << scale_shift);
+            // ~3% of values land an extra 1–4 octaves out.
+            if r % 33 == 0 {
+                base << (1 + (r >> 32) % 4)
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// Every quantile the summary reports stays within the documented
+    /// relative-error bound of the exact sorted-sample percentile.
+    #[test]
+    fn quantiles_within_documented_error(
+        seed in 0u64..1_000_000,
+        len in 1usize..4_000,
+        scale_shift in 4u32..40,
+    ) {
+        let vals = sample(seed, len, scale_shift);
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+            let got = h.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / (exact.max(1)) as f64;
+            prop_assert!(
+                err <= Histogram::RELATIVE_ERROR,
+                "q={} got={} exact={} err={}", q, got, exact, err
+            );
+        }
+        prop_assert_eq!(h.summary().min, sorted[0]);
+        prop_assert_eq!(h.summary().max, sorted[sorted.len() - 1]);
+    }
+
+    /// Partitioning a sample arbitrarily, recording each partition into its
+    /// own histogram, and merging is indistinguishable (count, sum,
+    /// extremes, every quantile) from recording serially into one.
+    #[test]
+    fn partition_merge_equals_serial(
+        seed in 0u64..1_000_000,
+        len in 1usize..2_000,
+        parts in 1usize..8,
+        scale_shift in 4u32..40,
+    ) {
+        let vals = sample(seed, len, scale_shift);
+        let serial = Histogram::new();
+        for &v in &vals {
+            serial.record(v);
+        }
+        let merged = Histogram::new();
+        for chunk in vals.chunks(vals.len().div_ceil(parts)) {
+            let part = Histogram::new();
+            for &v in chunk {
+                part.record(v);
+            }
+            merged.merge_from(&part);
+        }
+        prop_assert_eq!(merged.summary(), serial.summary());
+        for q in [0.1, 0.5, 0.95] {
+            prop_assert_eq!(merged.quantile(q), serial.quantile(q));
+        }
+    }
+
+    /// Absorbing per-partition registries into a fresh one conserves every
+    /// counter total and histogram count, regardless of how values were
+    /// split.
+    #[test]
+    fn registry_absorb_conserves_totals(
+        seed in 0u64..1_000_000,
+        len in 1usize..1_000,
+        parts in 1usize..6,
+    ) {
+        let vals = sample(seed, len, 10);
+        let global = Registry::new();
+        for chunk in vals.chunks(vals.len().div_ceil(parts)) {
+            let local = Registry::new();
+            let c = local.counter("scan", "rows");
+            let h = local.histogram("serve", "query_ns");
+            for &v in chunk {
+                c.inc();
+                h.record(v);
+            }
+            global.absorb(&local);
+        }
+        let snap = global.snapshot();
+        prop_assert_eq!(snap.counter("scan", "rows"), Some(vals.len() as u64));
+        prop_assert_eq!(
+            snap.histogram("serve", "query_ns").map(|h| (h.count, h.sum)),
+            Some((vals.len() as u64, vals.iter().sum::<u64>()))
+        );
+    }
+}

@@ -112,6 +112,13 @@ impl PublishedIndex {
             .count()
     }
 
+    /// In-flight readers currently pinning the *live* epoch — snapshot
+    /// clones handed out and not yet dropped (the publication point's own
+    /// reference excluded).
+    pub fn pinned_readers(&self) -> usize {
+        Arc::strong_count(&self.current.read().expect("published index poisoned")) - 1
+    }
+
     /// Swapped-out epochs still pinned by at least one in-flight reader.
     pub fn live_retired(&self) -> usize {
         self.retired
@@ -172,6 +179,23 @@ mod tests {
         drop(held);
         assert_eq!(p.live_retired(), 0, "last reader gone, epoch 0 freed");
         assert_eq!(p.retired_epochs(), 1);
+    }
+
+    #[test]
+    fn pinned_readers_follow_snapshot_lifetimes() {
+        let t = table();
+        let p = PublishedIndex::new(build(&t, vec![0, 1, 2]));
+        assert_eq!(p.pinned_readers(), 0);
+        let a = p.snapshot();
+        let b = p.snapshot();
+        assert_eq!(p.pinned_readers(), 2);
+        drop(a);
+        assert_eq!(p.pinned_readers(), 1);
+        // A swap orphans the old epoch's readers: they pin a retired
+        // epoch, not the live one.
+        p.publish(build(&t, vec![1, 0, 2]));
+        assert_eq!(p.pinned_readers(), 0);
+        drop(b);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod epoch;
 pub mod server;
 
 pub use epoch::{EpochIndex, IndexSnapshot, PublishedIndex};
-pub use server::{AdaptOutcome, FloodServer, ServeConfig, ServeDiagnostics, ServedBatch};
+pub use server::{
+    AdaptOutcome, FloodServer, ServeConfig, ServeDiagnostics, ServedBatch, ServerMetrics,
+};
 
 use flood_core::{AdaptiveFlood, FloodIndex, ObservationLog, Relearner};
 

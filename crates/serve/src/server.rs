@@ -21,10 +21,12 @@ use flood_core::{
     AdaptiveConfig, AdaptiveDiagnostics, FloodConfig, FloodIndex, LayoutOptimizer, ObservationLog,
     Relearner,
 };
-use flood_exec::{QueryExecutor, ThreadPool};
-use flood_store::{RangeQuery, ScanStats, Table, Visitor};
+use flood_exec::{PoolMetrics, QueryExecutor, ThreadPool};
+use flood_obs::{Counter, Histogram, MetricsSnapshot, Registry};
+use flood_store::{RangeQuery, ScanStats, ScanStatsMetrics, Table, Visitor};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Configuration for [`FloodServer`].
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +40,12 @@ pub struct ServeConfig {
     /// Worker threads for batched execution. 0 sizes from the environment
     /// (`FLOOD_THREADS`, else available parallelism).
     pub threads: usize,
+    /// Keep the metrics registry live (the default). The instrumented
+    /// query path costs a clock read and a handful of relaxed atomics per
+    /// query — `repro obs` holds it to a ≤5% p50 budget. `false` serves
+    /// with no telemetry at all, the baseline that budget is measured
+    /// against.
+    pub metrics: bool,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +54,7 @@ impl Default for ServeConfig {
             adaptive: AdaptiveConfig::default(),
             batch: 64,
             threads: 0,
+            metrics: true,
         }
     }
 }
@@ -97,6 +106,61 @@ pub struct ServeDiagnostics {
     pub adaptive: AdaptiveDiagnostics,
 }
 
+/// The server's registered metric handles, one `flood-obs` [`Registry`]
+/// per server, grouped by subsystem:
+///
+/// * `serve` — `queries`/`completed`/`batches` counters, `query_ns`
+///   (closed-loop latency), `batch_ns` and `batch_size` histograms;
+/// * `scan` — every [`ScanStats`] counter, accumulated per served query;
+/// * `pool` — executor telemetry (tasks, runs, busy time, injector depth);
+/// * `adapt` — `swaps`/`kept`/`busy` outcome counters, `swap_wall_ns`,
+///   plus the relearner's lifetime gauges refreshed at snapshot time;
+/// * `epoch` — publication gauges (current epoch, retirements, pinned
+///   readers) refreshed at snapshot time.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    registry: Registry,
+    queries: Arc<Counter>,
+    completed: Arc<Counter>,
+    batches: Arc<Counter>,
+    query_ns: Arc<Histogram>,
+    batch_ns: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    scan: ScanStatsMetrics,
+    pool: PoolMetrics,
+    swaps: Arc<Counter>,
+    kept: Arc<Counter>,
+    busy: Arc<Counter>,
+    swap_wall_ns: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        ServerMetrics {
+            queries: registry.counter("serve", "queries"),
+            completed: registry.counter("serve", "completed"),
+            batches: registry.counter("serve", "batches"),
+            query_ns: registry.histogram("serve", "query_ns"),
+            batch_ns: registry.histogram("serve", "batch_ns"),
+            batch_size: registry.histogram("serve", "batch_size"),
+            scan: ScanStatsMetrics::register(&registry, "scan"),
+            pool: PoolMetrics::register(&registry, "pool"),
+            swaps: registry.counter("adapt", "swaps"),
+            kept: registry.counter("adapt", "kept"),
+            busy: registry.counter("adapt", "busy"),
+            swap_wall_ns: registry.histogram("adapt", "swap_wall_ns"),
+            registry,
+        }
+    }
+
+    /// The registry itself — e.g. to [`Registry::absorb`] this server's
+    /// metrics into the process-global registry at end of run.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
 /// A shared-read front end over one table's [`FloodIndex`], re-learning
 /// its layout in the background while readers stream through.
 ///
@@ -120,6 +184,9 @@ pub struct FloodServer {
     submitted: AtomicU64,
     completed: AtomicU64,
     adapt_skipped: AtomicU64,
+    /// `None` when [`ServeConfig::metrics`] was off: the query path then
+    /// takes no clock reads and touches no metric atomics at all.
+    metrics: Option<ServerMetrics>,
 }
 
 impl FloodServer {
@@ -150,6 +217,7 @@ impl FloodServer {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             adapt_skipped: AtomicU64::new(0),
+            metrics: cfg.metrics.then(ServerMetrics::new),
         }
     }
 
@@ -162,11 +230,35 @@ impl FloodServer {
         visitor: &mut dyn Visitor,
     ) -> (ScanStats, u64) {
         use flood_store::MultiDimIndex;
+        let mut span = flood_obs::span("query");
         self.submitted.fetch_add(1, Ordering::Relaxed);
-        let snap = self.published.snapshot();
-        let stats = snap.index().execute(query, agg_dim, visitor);
-        self.note(query);
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        let snap = {
+            let _pin = flood_obs::span("pin");
+            self.published.snapshot()
+        };
+        let stats = {
+            let _scan = flood_obs::span("scan");
+            snap.index().execute(query, agg_dim, visitor)
+        };
+        {
+            let _observe = flood_obs::span("observe");
+            self.note(query);
+        }
         self.completed.fetch_add(1, Ordering::Relaxed);
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.queries.inc();
+            m.completed.inc();
+            m.query_ns.record(t0.elapsed().as_nanos() as u64);
+            m.scan.record(&stats);
+        }
+        if span.is_sampled() {
+            span.note(&format!(
+                "epoch={} matched={}",
+                snap.epoch(),
+                stats.points_matched
+            ));
+        }
         (stats, snap.epoch())
     }
 
@@ -176,17 +268,44 @@ impl FloodServer {
     where
         V: Visitor + Default + Send,
     {
+        let mut span = flood_obs::span("batch");
         self.submitted
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
-        let snap = self.published.snapshot();
-        let results = self
-            .exec
-            .execute_batch::<V, _>(snap.index(), queries, agg_dim);
-        for q in queries {
-            self.note(q);
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        let snap = {
+            let _pin = flood_obs::span("pin");
+            self.published.snapshot()
+        };
+        let results = {
+            let _scan = flood_obs::span("scan");
+            self.exec.execute_batch_observed::<V, _>(
+                snap.index(),
+                queries,
+                agg_dim,
+                self.metrics.as_ref().map(|m| &m.pool),
+            )
+        };
+        {
+            let _observe = flood_obs::span("observe");
+            for q in queries {
+                self.note(q);
+            }
         }
         self.completed
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.batches.inc();
+            m.batch_ns.record(t0.elapsed().as_nanos() as u64);
+            m.batch_size.record(queries.len() as u64);
+            m.queries.add(queries.len() as u64);
+            m.completed.add(queries.len() as u64);
+            for (_, s) in &results {
+                m.scan.record(s);
+            }
+        }
+        if span.is_sampled() {
+            span.note(&format!("epoch={} size={}", snap.epoch(), queries.len()));
+        }
         ServedBatch {
             epoch: snap.epoch(),
             results,
@@ -228,14 +347,23 @@ impl FloodServer {
         }
         let Ok(mut relearner) = self.relearner.try_lock() else {
             self.adapt_skipped.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.busy.inc();
+            }
             return AdaptOutcome::Busy;
         };
         self.check_due.store(false, Ordering::Release);
+        let _span = flood_obs::span("adapt");
         let snap = self.published.snapshot();
         let window = self.obs.snapshot();
         match relearner.check(&window, snap.index().data(), snap.index().layout()) {
             Some(learned) => AdaptOutcome::Swapped(self.rebuild_and_publish(&snap, learned.layout)),
-            None => AdaptOutcome::Kept,
+            None => {
+                if let Some(m) = &self.metrics {
+                    m.kept.inc();
+                }
+                AdaptOutcome::Kept
+            }
         }
     }
 
@@ -252,8 +380,15 @@ impl FloodServer {
     /// Build a new index over the snapshot's data (Flood is clustered —
     /// the data multiset is the table) and swap it in.
     fn rebuild_and_publish(&self, snap: &IndexSnapshot, layout: flood_core::Layout) -> u64 {
+        let _span = flood_obs::span("epoch_swap");
+        let start = self.metrics.as_ref().map(|_| Instant::now());
         let index = FloodIndex::build(snap.index().data(), layout, self.flood_cfg.clone());
-        self.published.publish(index)
+        let epoch = self.published.publish(index);
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.swaps.inc();
+            m.swap_wall_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        epoch
     }
 
     /// A snapshot of the current epoch (for harnesses that pin an epoch
@@ -275,6 +410,53 @@ impl FloodServer {
     /// Worker threads batched execution uses.
     pub fn threads(&self) -> usize {
         self.exec.threads()
+    }
+
+    /// Refresh the point-in-time gauges (epoch accounting, relearner
+    /// lifetime counters) the hot path doesn't maintain. The relearner is
+    /// polled with `try_lock`: a re-learn in flight keeps its previous
+    /// gauge values rather than blocking the scrape.
+    fn refresh_gauges(&self, m: &ServerMetrics) {
+        let reg = &m.registry;
+        let g = |name: &str, v: i64| reg.gauge("epoch", name).set(v);
+        g("current", self.published.epoch() as i64);
+        g("swaps", self.published.swaps() as i64);
+        g("retired", self.published.retired_epochs() as i64);
+        g("live_retired", self.published.live_retired() as i64);
+        g("pinned_readers", self.published.pinned_readers() as i64);
+        if let Ok(relearner) = self.relearner.try_lock() {
+            relearner.diagnostics().export(reg, "adapt");
+        }
+    }
+
+    /// A point-in-time copy of every server metric — scan, pool, adapt and
+    /// epoch subsystems included. `None` when [`ServeConfig::metrics`] was
+    /// off.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let m = self.metrics.as_ref()?;
+        self.refresh_gauges(m);
+        Some(m.registry.snapshot())
+    }
+
+    /// Prometheus text exposition of the current metrics. `None` when
+    /// metrics are off.
+    pub fn metrics_prometheus(&self) -> Option<String> {
+        Some(self.metrics_snapshot()?.prometheus_text())
+    }
+
+    /// JSON exposition of the current metrics. `None` when metrics are
+    /// off.
+    pub fn metrics_json(&self) -> Option<String> {
+        Some(self.metrics_snapshot()?.to_json())
+    }
+
+    /// The live metric handles (e.g. to absorb this server's registry into
+    /// the process-global one). Gauges are refreshed first, as in
+    /// [`FloodServer::metrics_snapshot`]. `None` when metrics are off.
+    pub fn metrics(&self) -> Option<&ServerMetrics> {
+        let m = self.metrics.as_ref()?;
+        self.refresh_gauges(m);
+        Some(m)
     }
 
     /// Serving-layer counters plus the build side's diagnostics.
@@ -349,6 +531,7 @@ mod tests {
                 adaptive,
                 batch: 16,
                 threads: 1,
+                ..Default::default()
             },
         );
         (t, s)
@@ -438,5 +621,74 @@ mod tests {
         assert_eq!(s.force_relearn(&workload_on(0, 24)), 2);
         assert_eq!(s.epoch(), 2);
         assert_eq!(s.diagnostics().adaptive.relearns, 2);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_every_subsystem() {
+        let (_, s) = server(AdaptiveConfig::default());
+        // Mixed traffic: closed-loop requests and an open-loop stream.
+        for q in &workload_on(1, 5) {
+            let mut v = CountVisitor::default();
+            s.execute(q, None, &mut v);
+        }
+        s.serve_stream::<CountVisitor>(&workload_on(0, 20), None);
+        s.force_relearn(&workload_on(1, 24));
+        let snap = s.metrics_snapshot().expect("metrics on by default");
+        assert_eq!(
+            snap.subsystems(),
+            vec!["adapt", "epoch", "pool", "scan", "serve"]
+        );
+        // serve: every admitted query is counted, per path.
+        assert_eq!(snap.counter("serve", "queries"), Some(25));
+        assert_eq!(snap.counter("serve", "completed"), Some(25));
+        assert_eq!(snap.counter("serve", "batches"), Some(2), "20 at batch 16");
+        let qh = snap.histogram("serve", "query_ns").unwrap();
+        assert_eq!(qh.count, 5, "closed-loop latencies only");
+        assert!(qh.p50 > 0);
+        let bs = snap.histogram("serve", "batch_size").unwrap();
+        assert_eq!(bs.sum, 20, "batch sizes sum to open-loop queries");
+        // scan: the bridge saw every query's stats.
+        assert!(snap.counter("scan", "points_scanned").unwrap() > 0);
+        // pool: the observed batch path ran its tasks.
+        assert_eq!(snap.counter("pool", "tasks"), Some(20));
+        assert_eq!(snap.counter("pool", "runs"), Some(2));
+        // adapt + epoch: the forced swap is visible everywhere.
+        assert_eq!(snap.counter("adapt", "swaps"), Some(1));
+        assert_eq!(snap.histogram("adapt", "swap_wall_ns").unwrap().count, 1);
+        assert_eq!(snap.gauge("adapt", "relearns"), Some(1));
+        assert_eq!(snap.gauge("epoch", "current"), Some(1));
+        assert_eq!(snap.gauge("epoch", "swaps"), Some(1));
+        assert_eq!(snap.gauge("epoch", "pinned_readers"), Some(0));
+        // Both expositions render the same counters.
+        let prom = s.metrics_prometheus().unwrap();
+        assert!(prom.contains("flood_serve_queries_total 25"), "{prom}");
+        assert!(prom.contains("flood_epoch_current 1"), "{prom}");
+        let json = s.metrics_json().unwrap();
+        assert!(json.contains("\"queries\":25"), "{json}");
+    }
+
+    #[test]
+    fn metrics_off_serves_without_telemetry() {
+        let t = table();
+        let s = FloodServer::build(
+            &t,
+            &workload_on(0, 30),
+            optimizer(),
+            FloodConfig::default(),
+            ServeConfig {
+                metrics: false,
+                batch: 16,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let mut v = CountVisitor::default();
+        s.execute(&workload_on(1, 1)[0], None, &mut v);
+        assert!(s.metrics_snapshot().is_none());
+        assert!(s.metrics_prometheus().is_none());
+        assert!(s.metrics_json().is_none());
+        assert!(s.metrics().is_none());
+        // The plain diagnostics still work with metrics off.
+        assert_eq!(s.diagnostics().submitted, 1);
     }
 }

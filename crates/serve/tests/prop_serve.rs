@@ -274,4 +274,92 @@ proptest! {
         prop_assert_eq!(d.completed, submitted as u64);
         prop_assert_eq!(d.swaps, swaps_published);
     }
+
+    /// Generator 4: metric conservation through the serving layer. With
+    /// metrics on (the default), the registry's counters are exactly the
+    /// sums of what every caller saw — no query double-counted, none
+    /// dropped — across arbitrary mixes of single and batched admission
+    /// and thread counts, and the latency/batch histograms count one
+    /// observation per request/batch.
+    #[test]
+    fn server_metrics_conserve_served_traffic(
+        rows in proptest::collection::vec((0u64..64, 0u64..64, 0u64..64), 1..200),
+        queries in proptest::collection::vec(query_strategy(), 1..10),
+        threads in 1usize..5,
+        batch in 1usize..8,
+        singles in 1usize..12,
+    ) {
+        let table = make_table(&rows);
+        let server = FloodServer::build(
+            &table,
+            &queries,
+            flood_core::LayoutOptimizer::with_config(
+                flood_core::CostModel::analytic_default(),
+                flood_core::OptimizerConfig {
+                    data_sample: 128,
+                    query_sample: 4,
+                    gd_steps: 2,
+                    max_total_cells: 1 << 8,
+                    ..Default::default()
+                },
+            ),
+            flood_core::FloodConfig::default(),
+            ServeConfig {
+                batch,
+                threads,
+                ..Default::default()
+            },
+        );
+
+        // Mixed traffic, accumulating exactly the per-result stats the
+        // callers were handed.
+        let mut scan_total = ScanStats::default();
+        for i in 0..singles {
+            let mut v = SumVisitor::default();
+            let (s, _epoch) = server.execute(&queries[i % queries.len()], Some(2), &mut v);
+            scan_total.merge(&s);
+        }
+        let mut batches = 0u64;
+        let mut batched = 0u64;
+        for chunk in queries.chunks(batch) {
+            let served = server.serve_batch::<SumVisitor>(chunk, Some(2));
+            for (_, s) in &served.results {
+                scan_total.merge(s);
+            }
+            batches += 1;
+            batched += chunk.len() as u64;
+        }
+        let total = singles as u64 + batched;
+
+        let snap = server.metrics_snapshot().expect("metrics on by default");
+        prop_assert_eq!(snap.counter("serve", "queries"), Some(total));
+        prop_assert_eq!(snap.counter("serve", "completed"), Some(total));
+        prop_assert_eq!(snap.counter("serve", "batches"), Some(batches));
+        let qh = snap.histogram("serve", "query_ns").expect("query_ns recorded");
+        prop_assert_eq!(qh.count, singles as u64, "one latency sample per single request");
+        let bh = snap.histogram("serve", "batch_size").expect("batch_size recorded");
+        prop_assert_eq!((bh.count, bh.sum), (batches, batched), "histogram sum is exact");
+        // Scan counters ≡ the merge of every per-result ScanStats.
+        for (name, want) in [
+            ("points_scanned", scan_total.points_scanned),
+            ("points_matched", scan_total.points_matched),
+            ("points_in_exact_ranges", scan_total.points_in_exact_ranges),
+            ("cells_visited", scan_total.cells_visited),
+            ("cells_projected", scan_total.cells_projected),
+            ("refinements", scan_total.refinements),
+            ("ranges_scanned", scan_total.ranges_scanned),
+        ] {
+            prop_assert_eq!(snap.counter("scan", name), Some(want), "scan.{}", name);
+        }
+        // Every batched query went through the pool exactly once; singles
+        // never touch it.
+        prop_assert_eq!(snap.counter("pool", "tasks"), Some(batched));
+        prop_assert_eq!(
+            snap.gauge("epoch", "current"),
+            Some(server.snapshot().epoch() as i64)
+        );
+        let d = server.diagnostics();
+        prop_assert_eq!(d.submitted, total);
+        prop_assert_eq!(d.completed, total);
+    }
 }

@@ -84,6 +84,7 @@ fn scheduled_swaps_match_known_diagnostics() {
             },
             batch: 16,
             threads: 2,
+            metrics: true,
         },
     );
 
@@ -154,6 +155,7 @@ fn open_loop_soak_with_background_adaptation() {
             },
             batch: 16,
             threads: 1, // readers are the threads here; batches stay inline
+            metrics: true,
         },
     );
     // Pin the initial epoch for the whole run: retirement accounting must

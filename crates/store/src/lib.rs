@@ -51,6 +51,6 @@ pub use scan::{
     scan_checked_dims, scan_checked_dims_packed, scan_exact, scan_filtered, scan_filtered_packed,
     scan_full, scan_full_packed, ScanMode,
 };
-pub use stats::ScanStats;
+pub use stats::{assert_stats_equivalent, ScanStats, ScanStatsMetrics};
 pub use table::Table;
 pub use visitor::{CollectVisitor, CountVisitor, MergeVisitor, MinMaxVisitor, SumVisitor, Visitor};

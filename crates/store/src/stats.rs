@@ -5,7 +5,9 @@
 //! index records these counters while executing so the performance breakdown
 //! can be regenerated.
 
+use flood_obs::{Counter, Registry};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Counters collected while executing a single query (or accumulated over a
 /// workload).
@@ -89,6 +91,81 @@ impl ScanStats {
     }
 }
 
+/// Registered counter handles mirroring every [`ScanStats`] field — the
+/// bridge from the per-query stats structs into a `flood-obs` registry.
+/// Register once (cheap and idempotent), then [`ScanStatsMetrics::record`]
+/// each finished query's stats; the registry exposes the running totals.
+#[derive(Debug, Clone)]
+pub struct ScanStatsMetrics {
+    points_scanned: Arc<Counter>,
+    points_in_exact_ranges: Arc<Counter>,
+    points_matched: Arc<Counter>,
+    cells_visited: Arc<Counter>,
+    cells_projected: Arc<Counter>,
+    refinements: Arc<Counter>,
+    ranges_scanned: Arc<Counter>,
+    blocks_skipped: Arc<Counter>,
+    blocks_accepted: Arc<Counter>,
+    blocks_probed: Arc<Counter>,
+    scan_ns: Arc<Counter>,
+}
+
+impl ScanStatsMetrics {
+    /// Register (or look up) the scan counter set under `subsystem` in
+    /// `registry`. Two bridges built against the same registry and
+    /// subsystem share the same underlying counters.
+    pub fn register(registry: &Registry, subsystem: &str) -> Self {
+        let c = |name: &str| registry.counter(subsystem, name);
+        ScanStatsMetrics {
+            points_scanned: c("points_scanned"),
+            points_in_exact_ranges: c("points_in_exact_ranges"),
+            points_matched: c("points_matched"),
+            cells_visited: c("cells_visited"),
+            cells_projected: c("cells_projected"),
+            refinements: c("refinements"),
+            ranges_scanned: c("ranges_scanned"),
+            blocks_skipped: c("blocks_skipped"),
+            blocks_accepted: c("blocks_accepted"),
+            blocks_probed: c("blocks_probed"),
+            scan_ns: c("scan_ns"),
+        }
+    }
+
+    /// Accumulate one query's (or one merged batch's) stats into the
+    /// registry. Relaxed atomic adds only.
+    pub fn record(&self, stats: &ScanStats) {
+        self.points_scanned.add(stats.points_scanned);
+        self.points_in_exact_ranges
+            .add(stats.points_in_exact_ranges);
+        self.points_matched.add(stats.points_matched);
+        self.cells_visited.add(stats.cells_visited);
+        self.cells_projected.add(stats.cells_projected);
+        self.refinements.add(stats.refinements);
+        self.ranges_scanned.add(stats.ranges_scanned);
+        self.blocks_skipped.add(stats.blocks_skipped);
+        self.blocks_accepted.add(stats.blocks_accepted);
+        self.blocks_probed.add(stats.blocks_probed);
+        self.scan_ns.add(stats.scan_ns);
+    }
+}
+
+/// Assert that two scan-stat sets are equivalent across scan modes: every
+/// shared counter must agree, block counters aside (they exist only on the
+/// packed side) and `scan_ns` aside (wall clock is never comparable).
+///
+/// This is *the* stats-equivalence check the differential and property
+/// suites share; `label` names the comparison in the panic message.
+///
+/// # Panics
+/// When the two stat sets disagree on any compared counter.
+#[track_caller]
+pub fn assert_stats_equivalent(got: &ScanStats, want: &ScanStats, label: &str) {
+    let (mut a, mut b) = (got.sans_block_counters(), want.sans_block_counters());
+    a.scan_ns = 0;
+    b.scan_ns = 0;
+    assert_eq!(a, b, "scan stats diverge across scan modes: {label}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +216,90 @@ mod tests {
         assert_eq!(a.points_matched, 5);
         assert_eq!(a.cells_visited, 2);
         assert_eq!(a.refinements, 3);
+    }
+
+    #[test]
+    fn metrics_bridge_accumulates_every_field() {
+        let reg = Registry::new();
+        let bridge = ScanStatsMetrics::register(&reg, "scan");
+        let s = ScanStats {
+            points_scanned: 1,
+            points_in_exact_ranges: 2,
+            points_matched: 3,
+            cells_visited: 4,
+            cells_projected: 5,
+            refinements: 6,
+            ranges_scanned: 7,
+            blocks_skipped: 8,
+            blocks_accepted: 9,
+            blocks_probed: 10,
+            scan_ns: 11,
+        };
+        bridge.record(&s);
+        bridge.record(&s);
+        let snap = reg.snapshot();
+        for (name, want) in [
+            ("points_scanned", 2),
+            ("points_in_exact_ranges", 4),
+            ("points_matched", 6),
+            ("cells_visited", 8),
+            ("cells_projected", 10),
+            ("refinements", 12),
+            ("ranges_scanned", 14),
+            ("blocks_skipped", 16),
+            ("blocks_accepted", 18),
+            ("blocks_probed", 20),
+            ("scan_ns", 22),
+        ] {
+            assert_eq!(snap.counter("scan", name), Some(want), "{name}");
+        }
+    }
+
+    #[test]
+    fn metrics_bridge_shares_counters_by_subsystem() {
+        let reg = Registry::new();
+        let a = ScanStatsMetrics::register(&reg, "scan");
+        let b = ScanStatsMetrics::register(&reg, "scan");
+        let one = ScanStats {
+            points_matched: 1,
+            ..Default::default()
+        };
+        a.record(&one);
+        b.record(&one);
+        assert_eq!(reg.snapshot().counter("scan", "points_matched"), Some(2));
+    }
+
+    #[test]
+    fn equivalence_ignores_block_counters_and_timing() {
+        let packed = ScanStats {
+            points_scanned: 10,
+            points_matched: 4,
+            blocks_skipped: 3,
+            blocks_accepted: 1,
+            blocks_probed: 2,
+            scan_ns: 999,
+            ..Default::default()
+        };
+        let plain = ScanStats {
+            points_scanned: 10,
+            points_matched: 4,
+            scan_ns: 123,
+            ..Default::default()
+        };
+        assert_stats_equivalent(&packed, &plain, "packed vs plain");
+    }
+
+    #[test]
+    #[should_panic(expected = "scan stats diverge")]
+    fn equivalence_catches_shared_counter_drift() {
+        let a = ScanStats {
+            points_scanned: 10,
+            ..Default::default()
+        };
+        let b = ScanStats {
+            points_scanned: 11,
+            ..Default::default()
+        };
+        assert_stats_equivalent(&a, &b, "drift");
     }
 }

@@ -4,9 +4,10 @@
 //! For arbitrary tables (mixed plain/compressed columns), check lists, row
 //! sub-ranges and visitors, `scan_checked_dims_packed` must produce exactly
 //! the results *and* the [`ScanStats`] of `scan_checked_dims` — block
-//! counters aside, which exist only on the packed side and are compared
-//! via [`ScanStats::sans_block_counters`]. Likewise `scan_filtered_packed`
-//! vs `scan_filtered` and `scan_full_packed` vs `scan_full`.
+//! counters and wall-clock aside, which only the packed side records; the
+//! shared [`assert_stats_equivalent`] helper normalizes both sides.
+//! Likewise `scan_filtered_packed` vs `scan_filtered` and
+//! `scan_full_packed` vs `scan_full`.
 //!
 //! Generators deliberately cover the adversarial block shapes: width-0
 //! (constant) blocks from run-length columns, width-64 blocks from
@@ -18,9 +19,9 @@
 //! `FLOOD_PROPTEST_CASES` scales the case count (CI raises it on push).
 
 use flood_store::{
-    scan_checked_dims, scan_checked_dims_packed, scan_filtered, scan_filtered_packed, scan_full,
-    scan_full_packed, CollectVisitor, CountVisitor, CumulativeColumn, MinMaxVisitor, RangeQuery,
-    ScanStats, SumVisitor, Table, Visitor, BLOCK_LEN,
+    assert_stats_equivalent, scan_checked_dims, scan_checked_dims_packed, scan_filtered,
+    scan_filtered_packed, scan_full, scan_full_packed, CollectVisitor, CountVisitor,
+    CumulativeColumn, MinMaxVisitor, RangeQuery, ScanStats, SumVisitor, Table, Visitor, BLOCK_LEN,
 };
 use proptest::prelude::*;
 
@@ -142,7 +143,7 @@ fn diff_checked<V: Visitor + Default, R: PartialEq + std::fmt::Debug>(
     let mut ps = ScanStats::default();
     scan_checked_dims_packed(table, checks, start, end, agg, cumulative, &mut pv, &mut ps);
     assert_eq!(extract(&pv), extract(&dv), "{label}: result");
-    assert_eq!(ps.sans_block_counters(), ds, "{label}: stats");
+    assert_stats_equivalent(&ps, &ds, label);
     ps
 }
 
@@ -230,7 +231,7 @@ proptest! {
             &table, &query, start, end, Some(1), Some(&cumulative), &mut pv, &mut ps,
         );
         prop_assert_eq!((pv.sum, pv.count), (dv.sum, dv.count));
-        prop_assert_eq!(ps.sans_block_counters(), ds);
+        assert_stats_equivalent(&ps, &ds, "scan_filtered wrappers");
 
         let mut dv = CountVisitor::default();
         let mut ds = ScanStats::default();
@@ -239,7 +240,7 @@ proptest! {
         let mut ps = ScanStats::default();
         scan_full_packed(&table, &query, None, None, &mut pv, &mut ps);
         prop_assert_eq!(pv.count, dv.count);
-        prop_assert_eq!(ps.sans_block_counters(), ds);
+        assert_stats_equivalent(&ps, &ds, "scan_full wrappers");
     }
 
     /// Compression must not change what a kernel computes: the packed scan
@@ -266,7 +267,7 @@ proptest! {
         let mut ps = ScanStats::default();
         scan_checked_dims_packed(&compressed, &checks, 0, len, None, None, &mut pv, &mut ps);
         prop_assert_eq!(&pv.rows, &rv.rows);
-        prop_assert_eq!(ps.sans_block_counters(), rs);
+        assert_stats_equivalent(&ps, &rs, "compressed vs plain reference");
     }
 }
 
@@ -441,7 +442,7 @@ fn accepted_blocks_answer_sums_from_cumulative() {
         &mut ps,
     );
     assert_eq!((pv.sum, pv.count), (dv.sum, dv.count));
-    assert_eq!(ps.sans_block_counters(), ds);
+    assert_stats_equivalent(&ps, &ds, "wholesale-accept anchor");
     assert!(
         ps.blocks_accepted >= 4,
         "interior blocks must be accepted wholesale, got {ps:?}"

@@ -6,5 +6,6 @@ pub use flood_core as core;
 pub use flood_data as data;
 pub use flood_exec as exec;
 pub use flood_learned as learned;
+pub use flood_obs as obs;
 pub use flood_serve as serve;
 pub use flood_store as store;
