@@ -103,6 +103,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "flood-obs: instrumentation overhead on the query path",
         exp::obs::run,
     ),
+    (
+        "tiered",
+        "tiered storage: larger-than-RAM tables under a memory budget",
+        exp::tiered::run,
+    ),
 ];
 
 fn print_experiment_list() {

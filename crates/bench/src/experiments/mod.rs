@@ -27,6 +27,7 @@ pub mod tab2;
 pub mod tab3;
 pub mod tab4;
 pub mod threads;
+pub mod tiered;
 
 use flood_core::OptimizerConfig;
 use flood_data::{Dataset, DatasetKind, Workload, WorkloadKind};

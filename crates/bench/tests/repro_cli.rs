@@ -53,6 +53,7 @@ fn list_shows_every_experiment_and_succeeds() {
         "serve",
         "scanspeed",
         "obs",
+        "tiered",
         "all",
     ] {
         assert!(err.contains(name), "`repro list` must mention {name}");

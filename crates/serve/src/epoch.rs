@@ -1,40 +1,59 @@
-//! Epoch-swapped index publication: the one shared-mutable cell in the
-//! serving layer.
+//! Epoch-swapped publication: the one shared-mutable cell in the serving
+//! layer.
 //!
-//! The live index lives behind `RwLock<Arc<EpochIndex>>`. Readers take the
+//! The live value lives behind `RwLock<Arc<Epoch<T>>>`. Readers take the
 //! read lock just long enough to clone the `Arc` (nanoseconds — never for
 //! the duration of a query), then execute against their private snapshot
-//! with no further coordination. A publisher builds the replacement index
+//! with no further coordination. A publisher builds the replacement
 //! entirely off the lock, then swaps the `Arc` under the write lock — the
 //! only writer-side critical section is a pointer exchange.
 //!
 //! Retirement is `Arc` drop semantics: the swapped-out epoch stays alive
 //! exactly as long as the last in-flight reader holds its snapshot, and
 //! the publisher keeps only a [`Weak`] per retired epoch, so
-//! [`PublishedIndex::retired_epochs`] can report when old layouts were
+//! [`Published::retired_epochs`] can report when old generations were
 //! actually freed without ever extending their lifetime.
+//!
+//! [`Published<T>`] is generic: the classic serving path publishes
+//! [`FloodIndex`] layouts ([`PublishedIndex`]), and the tiered path
+//! publishes sealed [`TieredScan`](flood_store::TieredScan) generations —
+//! whose epochs *share segment files by `Arc`*, so a pinned snapshot of a
+//! retired epoch keeps exactly the segments it references loadable (the
+//! cold-tier analogue of "a retired layout stays queryable until its last
+//! reader lets go").
 
 use flood_core::FloodIndex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
 
-/// One published layout generation: an immutable [`FloodIndex`] tagged
-/// with its epoch number.
+/// One published generation: an immutable value tagged with its epoch
+/// number.
 #[derive(Debug)]
-pub struct EpochIndex {
+pub struct Epoch<T> {
     epoch: u64,
-    index: FloodIndex,
+    value: T,
 }
 
-impl EpochIndex {
-    /// The epoch this index was published as (0 = the initial build).
+impl<T> Epoch<T> {
+    /// The epoch this value was published as (0 = the initial build).
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
-    /// The index itself.
+    /// The published value itself.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+/// One published layout generation of the classic (fully-resident) path.
+pub type EpochIndex = Epoch<FloodIndex>;
+
+impl Epoch<FloodIndex> {
+    /// The index itself (alias of [`Epoch::value`], kept for the original
+    /// index-serving API).
     pub fn index(&self) -> &FloodIndex {
-        &self.index
+        self.value()
     }
 }
 
@@ -43,22 +62,25 @@ impl EpochIndex {
 /// frees the retired layout.
 pub type IndexSnapshot = Arc<EpochIndex>;
 
-/// The publication point: the current epoch's index, swappable atomically
+/// The publication point: the current epoch's value, swappable atomically
 /// while readers stream through.
 #[derive(Debug)]
-pub struct PublishedIndex {
-    current: RwLock<Arc<EpochIndex>>,
+pub struct Published<T> {
+    current: RwLock<Arc<Epoch<T>>>,
     /// `(epoch, weak)` per swapped-out generation, oldest first. Weak so
-    /// diagnostics never keep a retired layout alive.
-    retired: Mutex<Vec<(u64, Weak<EpochIndex>)>>,
+    /// diagnostics never keep a retired generation alive.
+    retired: Mutex<Vec<(u64, Weak<Epoch<T>>)>>,
     swaps: AtomicU64,
 }
 
-impl PublishedIndex {
-    /// Publish `index` as epoch 0.
-    pub fn new(index: FloodIndex) -> Self {
-        PublishedIndex {
-            current: RwLock::new(Arc::new(EpochIndex { epoch: 0, index })),
+/// The classic publication point over [`FloodIndex`] layouts.
+pub type PublishedIndex = Published<FloodIndex>;
+
+impl<T> Published<T> {
+    /// Publish `value` as epoch 0.
+    pub fn new(value: T) -> Self {
+        Published {
+            current: RwLock::new(Arc::new(Epoch { epoch: 0, value })),
             retired: Mutex::new(Vec::new()),
             swaps: AtomicU64::new(0),
         }
@@ -66,26 +88,26 @@ impl PublishedIndex {
 
     /// Grab a snapshot of the current epoch. The read lock is held only
     /// for the `Arc` clone; queries run lock-free against the snapshot.
-    pub fn snapshot(&self) -> IndexSnapshot {
+    pub fn snapshot(&self) -> Arc<Epoch<T>> {
         self.current
             .read()
-            .expect("published index poisoned")
+            .expect("published value poisoned")
             .clone()
     }
 
     /// The current epoch number (monotone, +1 per publish).
     pub fn epoch(&self) -> u64 {
-        self.current.read().expect("published index poisoned").epoch
+        self.current.read().expect("published value poisoned").epoch
     }
 
-    /// Swap `index` in as the next epoch, retiring the current one.
-    /// Returns the new epoch number. The caller builds `index` off the
+    /// Swap `value` in as the next epoch, retiring the current one.
+    /// Returns the new epoch number. The caller builds `value` off the
     /// serving path; the write lock covers only the pointer exchange.
-    pub fn publish(&self, index: FloodIndex) -> u64 {
+    pub fn publish(&self, value: T) -> u64 {
         let old = {
-            let mut cur = self.current.write().expect("published index poisoned");
+            let mut cur = self.current.write().expect("published value poisoned");
             let epoch = cur.epoch + 1;
-            std::mem::replace(&mut *cur, Arc::new(EpochIndex { epoch, index }))
+            std::mem::replace(&mut *cur, Arc::new(Epoch { epoch, value }))
         };
         let epoch = old.epoch + 1;
         self.retired
@@ -116,7 +138,7 @@ impl PublishedIndex {
     /// clones handed out and not yet dropped (the publication point's own
     /// reference excluded).
     pub fn pinned_readers(&self) -> usize {
-        Arc::strong_count(&self.current.read().expect("published index poisoned")) - 1
+        Arc::strong_count(&self.current.read().expect("published value poisoned")) - 1
     }
 
     /// Swapped-out epochs still pinned by at least one in-flight reader.
@@ -205,6 +227,19 @@ mod tests {
         let snap = p.snapshot();
         p.publish(build(&t, vec![1, 0, 2]));
         assert_eq!(snap.epoch(), 0, "a snapshot never migrates epochs");
+        assert_eq!(p.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn published_is_generic_over_any_value() {
+        // The tiered server publishes scan generations, not indexes; pin
+        // the generic surface with a plain value.
+        let p: Published<Vec<u64>> = Published::new(vec![1, 2, 3]);
+        let snap = p.snapshot();
+        assert_eq!(snap.value(), &vec![1, 2, 3]);
+        p.publish(vec![4]);
+        assert_eq!(snap.value(), &vec![1, 2, 3], "snapshot keeps its epoch");
+        assert_eq!(p.snapshot().value(), &vec![4]);
         assert_eq!(p.snapshot().epoch(), 1);
     }
 }

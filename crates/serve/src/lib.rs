@@ -27,14 +27,21 @@
 //! drift traffic with background adaptation end to end. `repro serve`
 //! measures steady-state vs during-swap latency percentiles
 //! (BASELINES.md).
+//!
+//! The same publication machinery is generic ([`Published<T>`]): the
+//! [`TieredServer`] publishes sealed cold-tier scan generations through
+//! it, with a fallible retry-then-degrade read path and sealed-reads
+//! insert visibility (`tests/tiered_soak.rs`).
 
 pub mod epoch;
 pub mod server;
+pub mod tiered;
 
-pub use epoch::{EpochIndex, IndexSnapshot, PublishedIndex};
+pub use epoch::{Epoch, EpochIndex, IndexSnapshot, Published, PublishedIndex};
 pub use server::{
     AdaptOutcome, FloodServer, ServeConfig, ServeDiagnostics, ServedBatch, ServerMetrics,
 };
+pub use tiered::{TieredServeDiagnostics, TieredServer, TieredSnapshot};
 
 use flood_core::{AdaptiveFlood, FloodIndex, ObservationLog, Relearner};
 
@@ -50,4 +57,7 @@ const _: () = {
     _assert_send_sync::<ObservationLog>();
     _assert_send_sync::<Relearner>();
     _assert_send_sync::<AdaptiveFlood>();
+    _assert_send_sync::<Epoch<flood_store::TieredScan>>();
+    _assert_send_sync::<Published<flood_store::TieredScan>>();
+    _assert_send_sync::<TieredServer>();
 };

@@ -135,6 +135,49 @@ impl Block {
         self.width
     }
 
+    /// The packed delta words (empty when `width == 0`). Exposed for the
+    /// tiered-storage segment codec, which serializes blocks verbatim.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reassemble a block from its serialized parts (the inverse of reading
+    /// [`Block::min`]/[`Block::max`]/[`Block::width`]/[`Block::len`]/
+    /// [`Block::words`]). The caller — the segment codec — must pass parts
+    /// produced by [`Block::compress`]; geometry is re-checked so a corrupt
+    /// segment can never build a block whose accessors would panic later.
+    pub(crate) fn from_raw_parts(
+        min: u64,
+        max: u64,
+        width: u8,
+        len: u16,
+        words: Box<[u64]>,
+    ) -> Result<Self, String> {
+        if len == 0 || len as usize > BLOCK_LEN {
+            return Err(format!("block length {len} out of range"));
+        }
+        if min > max || width != bits_needed(max - min) {
+            return Err(format!(
+                "inconsistent block header: min {min} max {max} width {width}"
+            ));
+        }
+        let want_words = (width as usize * len as usize).div_ceil(64);
+        if words.len() != want_words {
+            return Err(format!(
+                "packed payload holds {} words, header implies {want_words}",
+                words.len()
+            ));
+        }
+        Ok(Block {
+            min,
+            max,
+            width,
+            len,
+            words,
+        })
+    }
+
     /// Classify the inclusive predicate `[lo, hi]` against this block's
     /// `[min, max]` without touching the packed words.
     ///

@@ -26,6 +26,12 @@
 //!
 //! The crate also defines the shared query model ([`RangeQuery`]) and the
 //! [`Visitor`] abstraction that all indexes use to process matching records.
+//!
+//! For tables larger than RAM, the [`tier`] module seals columns into
+//! checksummed cold segments behind a pluggable [`StorageBackend`], keeps
+//! only per-block metadata and cumulative sidecars resident, and scans
+//! through a budgeted [`SegmentCache`] — bit-identical to the resident
+//! kernels in results and shared [`ScanStats`] counters.
 
 pub mod block;
 pub mod column;
@@ -38,6 +44,7 @@ pub mod query;
 pub mod scan;
 pub mod stats;
 pub mod table;
+pub mod tier;
 pub mod visitor;
 
 pub use block::{Block, BlockMask, BlockMatch, BLOCK_LEN};
@@ -53,4 +60,8 @@ pub use scan::{
 };
 pub use stats::{assert_stats_equivalent, ScanStats, ScanStatsMetrics};
 pub use table::Table;
+pub use tier::{
+    FailingBackend, FileBackend, MemBackend, SegmentCache, SegmentKey, StorageBackend,
+    StorageError, TierConfig, TieredDelta, TieredScan, TieredTable,
+};
 pub use visitor::{CollectVisitor, CountVisitor, MergeVisitor, MinMaxVisitor, SumVisitor, Visitor};

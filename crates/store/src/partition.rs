@@ -65,6 +65,29 @@ impl RangeChunk {
 /// range is flagged [`RangeChunk::continuation`]. The output is
 /// deterministic and covers every input row exactly once, in input order.
 pub fn partition_ranges(ranges: &[(usize, usize)], max_tasks: usize) -> Vec<Vec<RangeChunk>> {
+    partition_ranges_aligned(ranges, max_tasks, BLOCK_LEN)
+}
+
+/// [`partition_ranges`] with an explicit cut alignment.
+///
+/// Tiered scans pass their segment length (a multiple of [`BLOCK_LEN`]) so
+/// a cut never splits a storage segment: every segment is then faulted and
+/// pinned by exactly one task, parallel fault counts sum to the serial
+/// scan's, and two workers never race to load the same cold segment for
+/// one query. Alignments must be a positive multiple of [`BLOCK_LEN`] so
+/// block-counter parity (see module docs) is preserved.
+///
+/// # Panics
+/// When `align` is zero or not a multiple of [`BLOCK_LEN`].
+pub fn partition_ranges_aligned(
+    ranges: &[(usize, usize)],
+    max_tasks: usize,
+    align: usize,
+) -> Vec<Vec<RangeChunk>> {
+    assert!(
+        align > 0 && align % BLOCK_LEN == 0,
+        "cut alignment {align} must be a positive multiple of BLOCK_LEN"
+    );
     let max_tasks = max_tasks.max(1);
     let total: usize = ranges
         .iter()
@@ -89,14 +112,15 @@ pub fn partition_ranges(ranges: &[(usize, usize)], max_tasks: usize) -> Vec<Vec<
             let cut = if end - s <= cap {
                 end
             } else {
-                // Prefer the last block boundary within capacity; when the
+                // Prefer the last aligned boundary within capacity; when the
                 // capacity is smaller than the distance to the next
-                // boundary, overshoot to it rather than splitting a block.
-                let down = (s + cap) / BLOCK_LEN * BLOCK_LEN;
+                // boundary, overshoot to it rather than splitting a block
+                // (or, for tiered scans, a storage segment).
+                let down = (s + cap) / align * align;
                 if down > s {
                     down
                 } else {
-                    ((s + cap).div_ceil(BLOCK_LEN) * BLOCK_LEN).min(end)
+                    ((s + cap).div_ceil(align) * align).min(end)
                 }
             };
             cur.push(RangeChunk {
@@ -226,6 +250,29 @@ mod tests {
         let chunks: usize = tasks.iter().map(Vec::len).sum();
         let continuations: usize = tasks.iter().flatten().filter(|c| c.continuation).count();
         assert_eq!(chunks - continuations, ranges.len());
+    }
+
+    #[test]
+    fn segment_aligned_cuts_respect_coarser_boundaries() {
+        let seg = 8 * BLOCK_LEN;
+        let tasks = partition_ranges_aligned(&[(0, 10 * seg + 37)], 6, seg);
+        assert!(tasks.len() <= 6);
+        let mut covered = 0;
+        for t in &tasks {
+            for c in t {
+                covered += c.len();
+                if c.continuation {
+                    assert_eq!(c.start % seg, 0, "cut not segment-aligned");
+                }
+            }
+        }
+        assert_eq!(covered, 10 * seg + 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of BLOCK_LEN")]
+    fn unaligned_alignment_panics() {
+        let _ = partition_ranges_aligned(&[(0, 100)], 2, BLOCK_LEN + 1);
     }
 
     #[test]

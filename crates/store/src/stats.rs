@@ -37,6 +37,16 @@ pub struct ScanStats {
     /// Blocks whose packed words were compared against delta-domain bounds.
     /// Always 0 on the decode-first path.
     pub blocks_probed: u64,
+    /// Cold column segments this scan loaded from the storage backend
+    /// (tiered scans only; always 0 for fully-resident scans).
+    pub segments_faulted: u64,
+    /// Column segments this scan needed that were already resident in the
+    /// tier cache (tiered scans only).
+    pub segments_hit: u64,
+    /// Column segments overlapping the scan range that were answered from
+    /// always-resident metadata alone — never acquired, so a cold segment
+    /// among them cost zero disk reads (tiered scans only).
+    pub segments_skipped: u64,
     /// Wall-clock nanoseconds spent in scan kernels; populated only while
     /// [`crate::scan::set_scan_timing`] is enabled (Table 2's ST).
     pub scan_ns: u64,
@@ -75,6 +85,9 @@ impl ScanStats {
         self.blocks_skipped += other.blocks_skipped;
         self.blocks_accepted += other.blocks_accepted;
         self.blocks_probed += other.blocks_probed;
+        self.segments_faulted += other.segments_faulted;
+        self.segments_hit += other.segments_hit;
+        self.segments_skipped += other.segments_skipped;
         self.scan_ns += other.scan_ns;
     }
 
@@ -86,6 +99,20 @@ impl ScanStats {
             blocks_skipped: 0,
             blocks_accepted: 0,
             blocks_probed: 0,
+            ..*self
+        }
+    }
+
+    /// This query's counters with the tiered-storage segment counters
+    /// zeroed — the tiered ≡ resident differential suite compares a tiered
+    /// scan against a fully-resident one, where every shared counter
+    /// (block counters included) must agree but segment counters exist on
+    /// the tiered side only. Mirrors [`ScanStats::sans_block_counters`].
+    pub fn sans_tier_counters(&self) -> ScanStats {
+        ScanStats {
+            segments_faulted: 0,
+            segments_hit: 0,
+            segments_skipped: 0,
             ..*self
         }
     }
@@ -107,6 +134,9 @@ pub struct ScanStatsMetrics {
     blocks_skipped: Arc<Counter>,
     blocks_accepted: Arc<Counter>,
     blocks_probed: Arc<Counter>,
+    segments_faulted: Arc<Counter>,
+    segments_hit: Arc<Counter>,
+    segments_skipped: Arc<Counter>,
     scan_ns: Arc<Counter>,
 }
 
@@ -127,6 +157,9 @@ impl ScanStatsMetrics {
             blocks_skipped: c("blocks_skipped"),
             blocks_accepted: c("blocks_accepted"),
             blocks_probed: c("blocks_probed"),
+            segments_faulted: c("segments_faulted"),
+            segments_hit: c("segments_hit"),
+            segments_skipped: c("segments_skipped"),
             scan_ns: c("scan_ns"),
         }
     }
@@ -145,13 +178,17 @@ impl ScanStatsMetrics {
         self.blocks_skipped.add(stats.blocks_skipped);
         self.blocks_accepted.add(stats.blocks_accepted);
         self.blocks_probed.add(stats.blocks_probed);
+        self.segments_faulted.add(stats.segments_faulted);
+        self.segments_hit.add(stats.segments_hit);
+        self.segments_skipped.add(stats.segments_skipped);
         self.scan_ns.add(stats.scan_ns);
     }
 }
 
 /// Assert that two scan-stat sets are equivalent across scan modes: every
 /// shared counter must agree, block counters aside (they exist only on the
-/// packed side) and `scan_ns` aside (wall clock is never comparable).
+/// packed side), segment counters aside (they exist only on the tiered
+/// side) and `scan_ns` aside (wall clock is never comparable).
 ///
 /// This is *the* stats-equivalence check the differential and property
 /// suites share; `label` names the comparison in the panic message.
@@ -160,7 +197,10 @@ impl ScanStatsMetrics {
 /// When the two stat sets disagree on any compared counter.
 #[track_caller]
 pub fn assert_stats_equivalent(got: &ScanStats, want: &ScanStats, label: &str) {
-    let (mut a, mut b) = (got.sans_block_counters(), want.sans_block_counters());
+    let (mut a, mut b) = (
+        got.sans_block_counters().sans_tier_counters(),
+        want.sans_block_counters().sans_tier_counters(),
+    );
     a.scan_ns = 0;
     b.scan_ns = 0;
     assert_eq!(a, b, "scan stats diverge across scan modes: {label}");
@@ -233,7 +273,10 @@ mod tests {
             blocks_skipped: 8,
             blocks_accepted: 9,
             blocks_probed: 10,
-            scan_ns: 11,
+            segments_faulted: 11,
+            segments_hit: 12,
+            segments_skipped: 13,
+            scan_ns: 14,
         };
         bridge.record(&s);
         bridge.record(&s);
@@ -249,7 +292,10 @@ mod tests {
             ("blocks_skipped", 16),
             ("blocks_accepted", 18),
             ("blocks_probed", 20),
-            ("scan_ns", 22),
+            ("segments_faulted", 22),
+            ("segments_hit", 24),
+            ("segments_skipped", 26),
+            ("scan_ns", 28),
         ] {
             assert_eq!(snap.counter("scan", name), Some(want), "{name}");
         }
@@ -287,6 +333,39 @@ mod tests {
             ..Default::default()
         };
         assert_stats_equivalent(&packed, &plain, "packed vs plain");
+    }
+
+    #[test]
+    fn equivalence_ignores_tier_counters() {
+        let tiered = ScanStats {
+            points_scanned: 10,
+            points_matched: 4,
+            segments_faulted: 2,
+            segments_hit: 1,
+            segments_skipped: 5,
+            ..Default::default()
+        };
+        let resident = ScanStats {
+            points_scanned: 10,
+            points_matched: 4,
+            ..Default::default()
+        };
+        assert_stats_equivalent(&tiered, &resident, "tiered vs resident");
+        assert_eq!(tiered.sans_tier_counters(), resident);
+    }
+
+    #[test]
+    fn sans_tier_counters_keeps_block_counters() {
+        let s = ScanStats {
+            blocks_skipped: 3,
+            blocks_probed: 1,
+            segments_faulted: 7,
+            ..Default::default()
+        };
+        let t = s.sans_tier_counters();
+        assert_eq!(t.blocks_skipped, 3);
+        assert_eq!(t.blocks_probed, 1);
+        assert_eq!(t.segments_faulted, 0);
     }
 
     #[test]

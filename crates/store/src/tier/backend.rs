@@ -1,0 +1,428 @@
+//! Storage backends for the cold tier: where sealed segments live when
+//! they are not resident.
+//!
+//! A [`StorageBackend`] is a flat, keyed blob store — deliberately no
+//! richer than `put`/`get`/`delete`, so a file directory, an in-memory map
+//! (deterministic tests) and a fault-injecting wrapper are all drop-in.
+//! Every operation returns a typed [`StorageError`]; the scan fault path
+//! (see [`crate::tier::scan`]) turns any of them into a clean query error
+//! with no partial results.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identifies one sealed segment: a run of blocks of one column of one
+/// sealed table generation. Ids are allocated monotonically per table and
+/// never reused, so a compacted-away segment's key can never be confused
+/// with its replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentKey {
+    /// Process-unique id of the owning [`crate::tier::TieredTable`] lineage.
+    pub table: u64,
+    /// Column the segment belongs to.
+    pub dim: u32,
+    /// Monotone per-table segment id.
+    pub id: u64,
+}
+
+impl fmt::Display for SegmentKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{:x}.d{}.s{}", self.table, self.dim, self.id)
+    }
+}
+
+/// Typed failure surfaced by the cold tier. Scans return it verbatim — no
+/// panic, no partial results — and the serving layer retries or degrades
+/// per the policy documented on [`crate::tier::TieredScan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The backend could not read or write the segment (I/O failure).
+    Io {
+        /// Segment the operation targeted.
+        key: SegmentKey,
+        /// Backend-specific description.
+        detail: String,
+    },
+    /// The segment's bytes came back but failed validation — a short read,
+    /// a checksum mismatch, or an inconsistent header.
+    Corrupt {
+        /// Segment whose payload failed validation.
+        key: SegmentKey,
+        /// What the codec rejected.
+        detail: String,
+    },
+    /// The backend has no blob under this key.
+    Missing {
+        /// The absent segment.
+        key: SegmentKey,
+    },
+    /// A failure not tied to one segment (e.g. the backing directory could
+    /// not be created).
+    Backend {
+        /// Backend-specific description.
+        detail: String,
+    },
+}
+
+impl StorageError {
+    /// The segment the error is about, when it is about one.
+    pub fn key(&self) -> Option<SegmentKey> {
+        match self {
+            StorageError::Io { key, .. }
+            | StorageError::Corrupt { key, .. }
+            | StorageError::Missing { key } => Some(*key),
+            StorageError::Backend { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { key, detail } => write!(f, "segment {key}: I/O error: {detail}"),
+            StorageError::Corrupt { key, detail } => {
+                write!(f, "segment {key}: corrupt payload: {detail}")
+            }
+            StorageError::Missing { key } => write!(f, "segment {key}: not found"),
+            StorageError::Backend { detail } => write!(f, "storage backend error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// A keyed blob store holding sealed cold segments.
+///
+/// Implementations must be shareable across reader threads: scans on
+/// different snapshots fault segments concurrently.
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Store `bytes` under `key`, replacing any previous blob.
+    fn put(&self, key: SegmentKey, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Fetch the blob under `key`.
+    fn get(&self, key: SegmentKey) -> Result<Vec<u8>, StorageError>;
+
+    /// Remove the blob under `key`. Removing an absent key is not an error
+    /// (deletion is best-effort cleanup on segment retirement).
+    fn delete(&self, key: SegmentKey) -> Result<(), StorageError>;
+}
+
+/// In-memory backend: a mutex-guarded map. The deterministic choice for
+/// tests and the differential property suite — identical latency for every
+/// segment, no OS page cache underneath.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    blobs: Mutex<HashMap<SegmentKey, Arc<[u8]>>>,
+}
+
+impl MemBackend {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blobs currently stored.
+    pub fn blob_count(&self) -> usize {
+        self.blobs.lock().expect("mem backend poisoned").len()
+    }
+
+    /// Total stored bytes across all blobs.
+    pub fn stored_bytes(&self) -> usize {
+        self.blobs
+            .lock()
+            .expect("mem backend poisoned")
+            .values()
+            .map(|b| b.len())
+            .sum()
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn put(&self, key: SegmentKey, bytes: &[u8]) -> Result<(), StorageError> {
+        self.blobs
+            .lock()
+            .expect("mem backend poisoned")
+            .insert(key, bytes.into());
+        Ok(())
+    }
+
+    fn get(&self, key: SegmentKey) -> Result<Vec<u8>, StorageError> {
+        self.blobs
+            .lock()
+            .expect("mem backend poisoned")
+            .get(&key)
+            .map(|b| b.to_vec())
+            .ok_or(StorageError::Missing { key })
+    }
+
+    fn delete(&self, key: SegmentKey) -> Result<(), StorageError> {
+        self.blobs
+            .lock()
+            .expect("mem backend poisoned")
+            .remove(&key);
+        Ok(())
+    }
+}
+
+/// Counter making concurrently created temp directories unique within the
+/// process (the pid disambiguates across processes).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// File-backed cold tier: one file per segment in a flat directory.
+///
+/// Plain `read`/`write` rather than mmap: segment loads are explicit,
+/// bounded, and accounted (the fault counters in
+/// [`ScanStats`](crate::ScanStats) mean "this many disk reads"), which an
+/// mmap'd page fault would hide.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+    /// Created by [`FileBackend::new_temp`]: remove the directory on drop.
+    owns_dir: bool,
+}
+
+impl FileBackend {
+    /// Open (creating if needed) `dir` as a segment store.
+    pub fn new(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| StorageError::Backend {
+            detail: format!("create {}: {e}", dir.display()),
+        })?;
+        Ok(FileBackend {
+            dir,
+            owns_dir: false,
+        })
+    }
+
+    /// A process-unique temporary segment store under the system temp
+    /// directory, removed (best-effort) when the backend drops.
+    pub fn new_temp() -> Result<Self, StorageError> {
+        let dir = std::env::temp_dir().join(format!(
+            "flood-tier-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut b = FileBackend::new(&dir)?;
+        b.owns_dir = true;
+        Ok(b)
+    }
+
+    /// The directory segments are stored in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, key: SegmentKey) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}-{}-{}.seg", key.table, key.dim, key.id))
+    }
+}
+
+impl Drop for FileBackend {
+    fn drop(&mut self) {
+        if self.owns_dir {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn put(&self, key: SegmentKey, bytes: &[u8]) -> Result<(), StorageError> {
+        std::fs::write(self.path(key), bytes).map_err(|e| StorageError::Io {
+            key,
+            detail: e.to_string(),
+        })
+    }
+
+    fn get(&self, key: SegmentKey) -> Result<Vec<u8>, StorageError> {
+        match std::fs::read(self.path(key)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::Missing { key })
+            }
+            Err(e) => Err(StorageError::Io {
+                key,
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    fn delete(&self, key: SegmentKey) -> Result<(), StorageError> {
+        match std::fs::remove_file(self.path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StorageError::Io {
+                key,
+                detail: e.to_string(),
+            }),
+        }
+    }
+}
+
+/// One planned fault for [`FailingBackend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Injection {
+    /// Fail the load outright with [`StorageError::Io`].
+    Error,
+    /// Return only the first `keep` bytes of the blob (a short read), which
+    /// the segment codec must reject as [`StorageError::Corrupt`].
+    ShortRead(usize),
+}
+
+/// Fault-injecting wrapper used by the fault-injection test suites: fails
+/// or truncates chosen segment *loads* (counted from 1) while passing
+/// writes and deletes through untouched.
+///
+/// Lives in the crate proper (not `#[cfg(test)]`) because the integration
+/// suites in `tests/` and the serve-layer policy tests need it; it carries
+/// no overhead for production callers who simply never construct one.
+#[derive(Debug)]
+pub struct FailingBackend {
+    inner: Arc<dyn StorageBackend>,
+    /// Planned injections keyed by load ordinal (1-based).
+    planned: Mutex<HashMap<u64, Injection>>,
+    loads: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FailingBackend {
+    /// Wrap `inner`, initially injecting nothing.
+    pub fn new(inner: Arc<dyn StorageBackend>) -> Self {
+        FailingBackend {
+            inner,
+            planned: Mutex::new(HashMap::new()),
+            loads: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Make the `nth` upcoming load (1 = the very next one, counted from
+    /// the backend's creation) fail with an I/O error.
+    pub fn fail_load(&self, nth: u64) {
+        self.planned
+            .lock()
+            .expect("fault plan poisoned")
+            .insert(self.loads.load(Ordering::SeqCst) + nth, Injection::Error);
+    }
+
+    /// Make the `nth` upcoming load return only the first `keep` bytes.
+    pub fn short_read_load(&self, nth: u64, keep: usize) {
+        self.planned.lock().expect("fault plan poisoned").insert(
+            self.loads.load(Ordering::SeqCst) + nth,
+            Injection::ShortRead(keep),
+        );
+    }
+
+    /// Total loads attempted through this wrapper.
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::SeqCst)
+    }
+
+    /// Faults actually injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+}
+
+impl StorageBackend for FailingBackend {
+    fn put(&self, key: SegmentKey, bytes: &[u8]) -> Result<(), StorageError> {
+        self.inner.put(key, bytes)
+    }
+
+    fn get(&self, key: SegmentKey) -> Result<Vec<u8>, StorageError> {
+        let ordinal = self.loads.fetch_add(1, Ordering::SeqCst) + 1;
+        let injection = self
+            .planned
+            .lock()
+            .expect("fault plan poisoned")
+            .remove(&ordinal);
+        match injection {
+            Some(Injection::Error) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                Err(StorageError::Io {
+                    key,
+                    detail: format!("injected failure at load {ordinal}"),
+                })
+            }
+            Some(Injection::ShortRead(keep)) => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                let mut bytes = self.inner.get(key)?;
+                bytes.truncate(keep);
+                Ok(bytes)
+            }
+            None => self.inner.get(key),
+        }
+    }
+
+    fn delete(&self, key: SegmentKey) -> Result<(), StorageError> {
+        self.inner.delete(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u64) -> SegmentKey {
+        SegmentKey {
+            table: 7,
+            dim: 1,
+            id,
+        }
+    }
+
+    #[test]
+    fn mem_backend_roundtrip_and_missing() {
+        let b = MemBackend::new();
+        b.put(key(0), &[1, 2, 3]).unwrap();
+        assert_eq!(b.get(key(0)).unwrap(), vec![1, 2, 3]);
+        assert_eq!(b.get(key(1)), Err(StorageError::Missing { key: key(1) }));
+        b.delete(key(0)).unwrap();
+        assert_eq!(b.get(key(0)), Err(StorageError::Missing { key: key(0) }));
+        // Deleting an absent key is fine.
+        b.delete(key(0)).unwrap();
+    }
+
+    #[test]
+    fn file_backend_roundtrip_and_temp_cleanup() {
+        let b = FileBackend::new_temp().unwrap();
+        let dir = b.dir().to_path_buf();
+        b.put(key(3), &[9; 100]).unwrap();
+        assert_eq!(b.get(key(3)).unwrap(), vec![9; 100]);
+        assert!(matches!(b.get(key(4)), Err(StorageError::Missing { .. })));
+        b.delete(key(3)).unwrap();
+        b.delete(key(3)).unwrap();
+        drop(b);
+        assert!(!dir.exists(), "temp dir must be removed on drop");
+    }
+
+    #[test]
+    fn failing_backend_injects_at_chosen_loads() {
+        let inner = Arc::new(MemBackend::new());
+        inner.put(key(0), &[1, 2, 3, 4]).unwrap();
+        let b = FailingBackend::new(inner);
+        b.fail_load(2);
+        b.short_read_load(3, 1);
+        assert_eq!(b.get(key(0)).unwrap(), vec![1, 2, 3, 4]);
+        assert!(matches!(b.get(key(0)), Err(StorageError::Io { .. })));
+        assert_eq!(b.get(key(0)).unwrap(), vec![1]);
+        assert_eq!(b.get(key(0)).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(b.loads(), 4);
+        assert_eq!(b.injected(), 2);
+    }
+
+    #[test]
+    fn error_display_names_the_segment() {
+        let e = StorageError::Corrupt {
+            key: key(5),
+            detail: "checksum mismatch".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("t7.d1.s5"), "{msg}");
+        assert!(msg.contains("checksum"), "{msg}");
+        assert_eq!(e.key(), Some(key(5)));
+    }
+}

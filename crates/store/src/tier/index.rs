@@ -1,0 +1,415 @@
+//! [`TieredScan`]: the full-scan "index" over a [`TieredTable`] — the
+//! tiered counterpart of the `Full Scan` baseline, and the execution entry
+//! point for sealed larger-than-RAM data.
+//!
+//! # Failure policy
+//!
+//! A tiered scan can fail where a resident scan cannot: a segment load may
+//! hit an I/O error or corruption. The policy, relied on by `flood-serve`:
+//!
+//! * [`TieredScan::try_execute`] surfaces the typed [`StorageError`]. The
+//!   kernels guarantee the visitor saw *nothing* from the failed attempt
+//!   (no partial results), so retrying with the same visitor is sound.
+//! * The infallible [`MultiDimIndex::execute`] retries up to
+//!   [`SCAN_RETRIES`] times — transient faults heal — and panics on a
+//!   persistent failure. Servers that want to degrade instead of die call
+//!   `try_execute` and apply their own retry budget
+//!   (`flood-serve`'s tiered server does exactly that).
+//!
+//! Partitioned plans cut at [`TieredTable::segment_rows`] boundaries, so
+//! every segment a query needs is faulted and pinned by exactly one task:
+//! parallel fault counts sum to the serial scan's and workers never race
+//! to load the same cold segment for one query.
+
+use super::backend::StorageBackend;
+use super::backend::StorageError;
+use super::cache::TierConfig;
+use super::scan::scan_filtered_tiered;
+use super::table::TieredTable;
+use crate::index_trait::{MultiDimIndex, PartitionedScan, ScanPlan};
+use crate::partition::{partition_ranges_aligned, RangeChunk};
+use crate::query::RangeQuery;
+use crate::stats::ScanStats;
+use crate::table::Table;
+use crate::visitor::Visitor;
+use std::sync::Arc;
+
+/// How many times the infallible execution paths retry a failed segment
+/// load before giving up (panicking).
+pub const SCAN_RETRIES: usize = 2;
+
+/// Full-scan execution over tiered storage.
+#[derive(Debug, Clone)]
+pub struct TieredScan {
+    data: TieredTable,
+}
+
+impl TieredScan {
+    /// Wrap an already-sealed table.
+    pub fn new(data: TieredTable) -> Self {
+        TieredScan { data }
+    }
+
+    /// Seal `table` cold and wrap it.
+    pub fn seal(
+        table: &Table,
+        backend: Arc<dyn StorageBackend>,
+        cfg: TierConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(TieredScan {
+            data: TieredTable::seal(table, backend, cfg)?,
+        })
+    }
+
+    /// The underlying tiered table.
+    pub fn data(&self) -> &TieredTable {
+        &self.data
+    }
+
+    /// Execute `query`, surfacing segment-load failures instead of
+    /// retrying. On `Err` the visitor is untouched; on `Ok` the stats and
+    /// results match the resident `Full Scan` baseline exactly (modulo the
+    /// tier counters).
+    pub fn try_execute(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        visitor: &mut dyn Visitor,
+    ) -> Result<ScanStats, StorageError> {
+        let mut stats = ScanStats::default();
+        let mut counter = MatchCount {
+            inner: visitor,
+            matched: 0,
+        };
+        scan_filtered_tiered(
+            &self.data,
+            query,
+            0,
+            self.data.len(),
+            agg_dim,
+            &mut counter,
+            &mut stats,
+        )?;
+        stats.points_matched = counter.matched;
+        stats.ranges_scanned = 1;
+        Ok(stats)
+    }
+}
+
+impl MultiDimIndex for TieredScan {
+    fn execute(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        visitor: &mut dyn Visitor,
+    ) -> ScanStats {
+        let mut last: Option<StorageError> = None;
+        for _ in 0..=SCAN_RETRIES {
+            match self.try_execute(query, agg_dim, visitor) {
+                Ok(stats) => return stats,
+                Err(e) => last = Some(e),
+            }
+        }
+        panic!(
+            "tiered scan failed after {} retries: {}",
+            SCAN_RETRIES,
+            last.expect("loop ran")
+        );
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        // The resident footprint of cold data: block metadata, cumulative
+        // sidecars, segment geometry.
+        self.data.metadata_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "Tiered Scan"
+    }
+}
+
+impl PartitionedScan for TieredScan {
+    fn plan_scan(
+        &self,
+        query: &RangeQuery,
+        agg_dim: Option<usize>,
+        max_tasks: usize,
+    ) -> Box<dyn ScanPlan + '_> {
+        Box::new(TieredScanPlan {
+            data: &self.data,
+            query: query.clone(),
+            agg_dim,
+            tasks: partition_ranges_aligned(
+                &[(0, self.data.len())],
+                max_tasks,
+                self.data.segment_rows(),
+            ),
+            plan_stats: ScanStats {
+                ranges_scanned: 1,
+                ..Default::default()
+            },
+        })
+    }
+}
+
+/// [`ScanPlan`] over segment-aligned chunks of a tiered table.
+struct TieredScanPlan<'a> {
+    data: &'a TieredTable,
+    query: RangeQuery,
+    agg_dim: Option<usize>,
+    tasks: Vec<Vec<RangeChunk>>,
+    plan_stats: ScanStats,
+}
+
+impl ScanPlan for TieredScanPlan<'_> {
+    fn tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn run_task(&self, i: usize, visitor: &mut dyn Visitor, stats: &mut ScanStats) {
+        let mut counter = MatchCount {
+            inner: visitor,
+            matched: 0,
+        };
+        for c in &self.tasks[i] {
+            // Same retry policy as `execute`: a failed chunk emitted
+            // nothing, so retrying just that chunk is sound even though
+            // earlier chunks already fed the visitor.
+            let mut last: Option<StorageError> = None;
+            let mut done = false;
+            for _ in 0..=SCAN_RETRIES {
+                match scan_filtered_tiered(
+                    self.data,
+                    &self.query,
+                    c.start,
+                    c.end,
+                    self.agg_dim,
+                    &mut counter,
+                    stats,
+                ) {
+                    Ok(()) => {
+                        done = true;
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            if !done {
+                panic!(
+                    "tiered scan task failed after {} retries: {}",
+                    SCAN_RETRIES,
+                    last.expect("loop ran")
+                );
+            }
+        }
+        stats.points_matched += counter.matched;
+    }
+
+    fn plan_stats(&self) -> ScanStats {
+        self.plan_stats
+    }
+}
+
+/// Counts matched points on behalf of [`ScanStats`] while forwarding to
+/// the caller's visitor (the tier-local twin of the baselines' adapter).
+struct MatchCount<'a> {
+    inner: &'a mut dyn Visitor,
+    matched: u64,
+}
+
+impl Visitor for MatchCount<'_> {
+    #[inline]
+    fn visit(&mut self, row: usize, value: u64) {
+        self.matched += 1;
+        self.inner.visit(row, value);
+    }
+
+    #[inline]
+    fn visit_exact_sum(&mut self, count: usize, sum: u64) {
+        self.matched += count as u64;
+        self.inner.visit_exact_sum(count, sum);
+    }
+
+    fn needs_value(&self) -> bool {
+        self.inner.needs_value()
+    }
+
+    fn supports_exact(&self) -> bool {
+        self.inner.supports_exact()
+    }
+}
+
+// The serve layer hands `Arc<TieredScan>` snapshots to reader threads and
+// runs eviction concurrently; pin the thread-safety the tier types must
+// keep.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<TieredScan>();
+    _assert_send_sync::<TieredTable>();
+    _assert_send_sync::<super::cache::SegmentCache>();
+    _assert_send_sync::<StorageError>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::super::backend::{FailingBackend, MemBackend};
+    use super::*;
+    use crate::visitor::{CountVisitor, SumVisitor};
+
+    fn table(n: u64) -> Table {
+        Table::from_columns(vec![
+            (0..n).collect(),
+            (0..n).map(|i| (i * 37) % 501).collect(),
+        ])
+    }
+
+    fn tiered(n: u64, budget: usize) -> TieredScan {
+        TieredScan::seal(
+            &table(n),
+            Arc::new(MemBackend::new()),
+            TierConfig {
+                budget_bytes: budget,
+                segment_blocks: 2,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn execute_matches_resident_full_scan() {
+        let t = table(1_500);
+        let idx = tiered(1_500, 0);
+        let q = RangeQuery::all(2).with_range(0, 200, 900);
+        let mut v = SumVisitor::default();
+        let stats = idx.execute(&q, Some(1), &mut v);
+        let want: u64 = (200..=900u64)
+            .map(|r| t.value(r as usize, 1))
+            .fold(0, |a, x| a.wrapping_add(x));
+        assert_eq!(v.sum, want);
+        assert_eq!(v.count, 701);
+        assert_eq!(stats.points_matched, 701);
+        assert_eq!(stats.ranges_scanned, 1);
+        assert_eq!(stats.points_scanned, 1_500);
+    }
+
+    #[test]
+    fn execute_retries_transient_faults() {
+        let inner = Arc::new(MemBackend::new());
+        let failing = Arc::new(FailingBackend::new(inner));
+        let idx = TieredScan::seal(
+            &table(512),
+            failing.clone(),
+            TierConfig {
+                budget_bytes: 0,
+                segment_blocks: 2,
+            },
+        )
+        .unwrap();
+        failing.fail_load(1);
+        let q = RangeQuery::all(2).with_range(0, 0, 300);
+        let mut v = CountVisitor::default();
+        let stats = idx.execute(&q, None, &mut v);
+        assert_eq!(v.count, 301, "retry must not duplicate or drop rows");
+        assert_eq!(stats.points_matched, 301);
+        assert_eq!(failing.injected(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tiered scan failed after 2 retries")]
+    fn execute_panics_on_persistent_failure() {
+        let inner = Arc::new(MemBackend::new());
+        let failing = Arc::new(FailingBackend::new(inner));
+        let idx = TieredScan::seal(
+            &table(512),
+            failing.clone(),
+            TierConfig {
+                budget_bytes: 0,
+                segment_blocks: 2,
+            },
+        )
+        .unwrap();
+        for nth in 1..=(SCAN_RETRIES as u64 + 1) {
+            failing.fail_load(nth);
+        }
+        let q = RangeQuery::all(2).with_range(0, 0, 300);
+        let mut v = CountVisitor::default();
+        let _ = idx.execute(&q, None, &mut v);
+    }
+
+    #[test]
+    fn partitioned_plan_matches_serial() {
+        let idx = tiered(5_000, 1 << 20);
+        let q = RangeQuery::all(2)
+            .with_range(0, 100, 4_200)
+            .with_range(1, 0, 250);
+        let mut serial = CountVisitor::default();
+        let serial_stats = idx.execute(&q, None, &mut serial);
+        for max_tasks in [1, 3, 8] {
+            let plan = idx.plan_scan(&q, None, max_tasks);
+            let mut count = 0u64;
+            let mut stats = plan.plan_stats();
+            for i in 0..plan.tasks() {
+                let mut v = CountVisitor::default();
+                let mut s = ScanStats::default();
+                plan.run_task(i, &mut v, &mut s);
+                count += v.count;
+                stats.merge(&s);
+            }
+            assert_eq!(count, serial.count, "{max_tasks} tasks");
+            // Tier counters may split differently across warm caches, but
+            // every shared counter must merge to the serial value.
+            assert_eq!(
+                stats.sans_tier_counters(),
+                serial_stats.sans_tier_counters(),
+                "{max_tasks} tasks"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_fault_counts_sum_to_serial() {
+        // Budget 0: nothing survives between acquires, so fault counts are
+        // pure "who needed what". Segment-aligned cuts put every needed
+        // segment in exactly one task, so the merged fault count equals the
+        // serial scan's — no duplicate loads, no cross-task races.
+        let idx = tiered(5_000, 0);
+        let q = RangeQuery::all(2)
+            .with_range(0, 100, 4_200)
+            .with_range(1, 0, 250);
+        let mut sv = CountVisitor::default();
+        let serial_stats = idx.execute(&q, None, &mut sv);
+        for max_tasks in [2, 5] {
+            let plan = idx.plan_scan(&q, None, max_tasks);
+            let mut merged = plan.plan_stats();
+            let mut count = 0u64;
+            for i in 0..plan.tasks() {
+                let mut v = CountVisitor::default();
+                let mut s = ScanStats::default();
+                plan.run_task(i, &mut v, &mut s);
+                count += v.count;
+                merged.merge(&s);
+            }
+            assert_eq!(count, sv.count, "{max_tasks} tasks");
+            assert_eq!(
+                merged.segments_faulted, serial_stats.segments_faulted,
+                "{max_tasks} tasks: a segment was loaded by more than one task"
+            );
+            assert_eq!(merged.segments_hit, 0, "{max_tasks} tasks");
+        }
+    }
+
+    #[test]
+    fn empty_table_executes_cleanly() {
+        let idx = TieredScan::seal(
+            &Table::from_columns(vec![vec![], vec![]]),
+            Arc::new(MemBackend::new()),
+            TierConfig::default(),
+        )
+        .unwrap();
+        let mut v = CountVisitor::default();
+        let stats = idx.execute(&RangeQuery::all(2), None, &mut v);
+        assert_eq!(v.count, 0);
+        assert_eq!(stats.points_matched, 0);
+        assert_eq!(idx.plan_scan(&RangeQuery::all(2), None, 4).tasks(), 0);
+    }
+}

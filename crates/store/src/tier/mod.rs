@@ -1,0 +1,42 @@
+//! Tiered storage: larger-than-RAM tables behind a [`StorageBackend`].
+//!
+//! The resident column store ([`crate::table`]) is the hot tier. This
+//! module adds the cold tier: sealed tables whose bit-packed blocks live
+//! in checksummed segment blobs on a pluggable backend (in-memory for
+//! tests, files for real datasets), loaded and evicted at segment
+//! granularity under a configurable memory budget.
+//!
+//! Layering:
+//!
+//! * [`backend`] — [`SegmentKey`], [`StorageError`], the [`StorageBackend`]
+//!   trait, and its implementations ([`MemBackend`], [`FileBackend`],
+//!   fault-injecting [`FailingBackend`]).
+//! * [`segment`] — the checksummed on-disk codec for a run of blocks.
+//! * [`cache`] — [`SegmentCache`]: budgeted LRU residency with pin-safe
+//!   eviction, plus [`TierConfig`] (`FLOOD_MEM_BUDGET`).
+//! * [`table`] — [`TieredTable`]: resident block metadata + cumulative
+//!   sidecars over cold segments; sealing and compaction.
+//! * [`scan`] — segment-faulting twins of the packed scan kernels,
+//!   bit-identical to the resident kernels in results and shared counters.
+//! * [`index`] — [`TieredScan`], the full-scan index over tiered data,
+//!   with the retry-or-panic policy for the infallible trait surface.
+//! * [`delta`] — [`TieredDelta`], fresh inserts compacting into new cold
+//!   segments.
+
+pub mod backend;
+pub mod cache;
+pub mod delta;
+pub mod index;
+pub mod scan;
+pub mod segment;
+pub mod table;
+
+pub use backend::{
+    FailingBackend, FileBackend, MemBackend, SegmentKey, StorageBackend, StorageError,
+};
+pub use cache::{LoadedSegment, SegmentCache, TierConfig};
+pub use delta::{TieredDelta, DEFAULT_TIER_DELTA_THRESHOLD};
+pub use index::{TieredScan, SCAN_RETRIES};
+pub use scan::{scan_checked_dims_tiered, scan_filtered_tiered, scan_full_tiered};
+pub use segment::{decode_segment, encode_segment};
+pub use table::{BlockMeta, SegSpan, TieredColumn, TieredTable};

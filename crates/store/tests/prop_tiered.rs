@@ -1,0 +1,366 @@
+//! Differential property suite: tiered scans ≡ fully-resident scans.
+//!
+//! For arbitrary tables, predicates, sub-ranges, memory budgets (including
+//! zero — everything cold, every scan faults) and adversarial eviction
+//! schedules injected between queries, `scan_checked_dims_tiered` must
+//! produce exactly the results, row order, *and* every pre-existing
+//! [`ScanStats`] counter of `scan_checked_dims_packed` over the same data
+//! fully resident — block counters included, since tiered planning must
+//! make the identical skip/accept/probe decision from resident metadata.
+//! Only the tier counters (`segments_*`) are new; the
+//! [`ScanStats::sans_tier_counters`] helper normalizes them away, the
+//! same way `sans_block_counters` bridges packed and decode-first scans.
+//!
+//! Residency is *performance* state, never *result* state: evicting
+//! everything, shrinking the budget mid-workload, or re-running a query
+//! against a cold cache must be invisible in results.
+//!
+//! `FLOOD_PROPTEST_CASES` scales the case count (CI raises it on push);
+//! `FLOOD_MEM_BUDGET`, when set, is added to the budget pool so CI can
+//! force a mostly-cold run of this whole suite.
+
+use flood_store::tier::scan::scan_checked_dims_tiered;
+use flood_store::{
+    scan_checked_dims_packed, CountVisitor, MemBackend, MinMaxVisitor, ScanStats, SumVisitor,
+    Table, TierConfig, TieredTable, Visitor,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Case-count override from `FLOOD_PROPTEST_CASES` (unset/invalid → default).
+fn cases(default: u32) -> u32 {
+    std::env::var("FLOOD_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// SplitMix64 — deterministic column fill from a proptest-chosen seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Column 2's run-length spec, as in `prop_packed_scan`: long runs produce
+/// width-0 blocks, the metadata-only fast path a tiered scan must also
+/// take (skip/accept with zero segment I/O).
+type Runs = Vec<(u64, usize)>;
+
+fn build_table(runs: &Runs, seed: u64) -> Table {
+    let len: usize = runs.iter().map(|&(_, n)| n).sum();
+    let mut s = seed;
+    let d0: Vec<u64> = (0..len)
+        .map(|_| (1 << 20) | (splitmix(&mut s) % 256))
+        .collect();
+    let d1: Vec<u64> = (0..len).map(|_| splitmix(&mut s)).collect();
+    let d2: Vec<u64> = runs
+        .iter()
+        .flat_map(|&(v, n)| std::iter::repeat_n(v, n))
+        .collect();
+    Table::from_columns(vec![d0, d1, d2])
+}
+
+/// The budget pool: everything-cold, tiny (heavy eviction churn), medium,
+/// effectively-unbounded — plus the CI override when present.
+fn budgets() -> Vec<usize> {
+    let mut b = vec![0, 2_048, 64 << 10, 1 << 30];
+    if let Some(env) = std::env::var("FLOOD_MEM_BUDGET")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+    {
+        b.push(env);
+    }
+    b
+}
+
+/// An adversarial residency perturbation injected between queries.
+#[derive(Debug, Clone, Copy)]
+enum Evict {
+    /// Leave the cache as the previous query left it.
+    None,
+    /// Drop every resident segment.
+    All,
+    /// Shrink the budget to `frac/1000` of its value (evicting down to it
+    /// immediately), then restore the original budget.
+    Squeeze(u16),
+}
+
+fn evict_strategy() -> impl Strategy<Value = Evict> {
+    prop_oneof![
+        Just(Evict::None),
+        Just(Evict::All),
+        (0u16..1000).prop_map(Evict::Squeeze),
+    ]
+}
+
+fn apply_evict(t: &TieredTable, op: Evict) {
+    match op {
+        Evict::None => {}
+        Evict::All => t.cache().evict_all(),
+        Evict::Squeeze(frac) => {
+            let budget = t.cache().budget_bytes();
+            t.cache().set_budget(budget / 1000 * frac as usize);
+            t.cache().set_budget(budget);
+        }
+    }
+}
+
+/// How one query bound is chosen once the table exists (as in
+/// `prop_packed_scan`: fractions of the span plus exact block edges).
+#[derive(Debug, Clone, Copy)]
+enum Bound {
+    Frac(u16),
+    BlockEdge(u16, bool),
+}
+
+fn bound_strategy() -> impl Strategy<Value = Bound> {
+    prop_oneof![
+        (0u16..1001).prop_map(Bound::Frac),
+        (0u16..64, proptest::arbitrary::any::<bool>()).prop_map(|(b, mx)| Bound::BlockEdge(b, mx)),
+    ]
+}
+
+fn resolve(tiered: &TieredTable, dim: usize, b: Bound) -> u64 {
+    let meta = tiered.tiered_column(dim).meta();
+    let (mn, mx) = meta.iter().fold((u64::MAX, 0u64), |(lo, hi), m| {
+        (lo.min(m.min), hi.max(m.max))
+    });
+    let (mn, mx) = if meta.is_empty() { (0, 0) } else { (mn, mx) };
+    match b {
+        Bound::BlockEdge(sel, want_max) if !meta.is_empty() => {
+            let m = &meta[sel as usize % meta.len()];
+            if want_max {
+                m.max
+            } else {
+                m.min
+            }
+        }
+        Bound::BlockEdge(sel, _) => resolve(tiered, dim, Bound::Frac(sel % 1001)),
+        Bound::Frac(sel) => mn + ((mx - mn) as u128 * sel as u128 / 1000) as u64,
+    }
+}
+
+type DimFilter = Option<(Bound, Bound)>;
+
+fn filter_strategy() -> impl Strategy<Value = DimFilter> {
+    prop_oneof![
+        Just(None),
+        (bound_strategy(), bound_strategy()).prop_map(Some),
+    ]
+}
+
+fn make_checks(tiered: &TieredTable, filters: &[DimFilter; 3]) -> Vec<(usize, u64, u64)> {
+    let mut checks = Vec::new();
+    for (d, f) in filters.iter().enumerate() {
+        if let Some((a, b)) = f {
+            let (x, y) = (resolve(tiered, d, *a), resolve(tiered, d, *b));
+            checks.push((d, x.min(y), x.max(y)));
+        }
+    }
+    checks
+}
+
+/// Records every (row, value) pair in visit order — catches any difference
+/// in match set, emission order, or aggregation values.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct RowValueVisitor {
+    seen: Vec<(usize, u64)>,
+}
+
+impl Visitor for RowValueVisitor {
+    fn visit(&mut self, row: usize, value: u64) {
+        self.seen.push((row, value));
+    }
+}
+
+/// Run both sides; results must be identical and the tiered stats, tier
+/// counters aside, must equal the resident packed stats exactly. Returns
+/// the tiered stats for tier-counter assertions.
+#[allow(clippy::too_many_arguments)]
+fn diff_tiered<V: Visitor + Default, R: PartialEq + std::fmt::Debug>(
+    resident: &Table,
+    tiered: &TieredTable,
+    checks: &[(usize, u64, u64)],
+    start: usize,
+    end: usize,
+    agg: Option<usize>,
+    extract: fn(&V) -> R,
+    label: &str,
+) -> ScanStats {
+    let mut rv = V::default();
+    let mut rs = ScanStats::default();
+    scan_checked_dims_packed(resident, checks, start, end, agg, None, &mut rv, &mut rs);
+    let mut tv = V::default();
+    let mut ts = ScanStats::default();
+    scan_checked_dims_tiered(tiered, checks, start, end, agg, &mut tv, &mut ts)
+        .expect("in-memory backend never fails");
+    assert_eq!(extract(&tv), extract(&rv), "{label}: result");
+    let mut got = ts.sans_tier_counters();
+    got.scan_ns = 0;
+    let mut want = rs;
+    want.scan_ns = 0;
+    assert_eq!(got, want, "{label}: shared counters must match exactly");
+    ts
+}
+
+/// All visitor kinds over one (table, checks, range) instance.
+fn diff_all_visitors(
+    resident: &Table,
+    tiered: &TieredTable,
+    checks: &[(usize, u64, u64)],
+    start: usize,
+    end: usize,
+) -> ScanStats {
+    diff_tiered::<CountVisitor, _>(
+        resident,
+        tiered,
+        checks,
+        start,
+        end,
+        None,
+        |v| v.count,
+        "count",
+    );
+    diff_tiered::<SumVisitor, _>(
+        resident,
+        tiered,
+        checks,
+        start,
+        end,
+        Some(1),
+        |v| (v.sum, v.count),
+        "sum",
+    );
+    diff_tiered::<MinMaxVisitor, _>(
+        resident,
+        tiered,
+        checks,
+        start,
+        end,
+        Some(1),
+        |v| (v.min, v.max, v.count),
+        "minmax",
+    );
+    // Exact (row, value) sequence — order and values, not just sets.
+    diff_tiered::<RowValueVisitor, _>(
+        resident,
+        tiered,
+        checks,
+        start,
+        end,
+        Some(2),
+        |v| v.seen.clone(),
+        "rowvalue",
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+
+    /// Core differential: arbitrary tables × budgets × eviction schedules
+    /// × predicates × sub-ranges, all visitors.
+    #[test]
+    fn tiered_equals_resident(
+        runs in proptest::collection::vec((0u64..6, 1usize..220), 1..8),
+        seed in 0u64..1_000_000,
+        filters in (filter_strategy(), filter_strategy(), filter_strategy()),
+        budget_sel in 0usize..8,
+        segment_blocks in 1usize..5,
+        range_sels in proptest::collection::vec((0u16..1000, 0u16..1000), 1..4),
+        evictions in proptest::collection::vec(evict_strategy(), 1..4),
+    ) {
+        let mut resident = build_table(&runs, seed);
+        let pool = budgets();
+        let budget = pool[budget_sel % pool.len()];
+        let tiered = TieredTable::seal(
+            &resident,
+            Arc::new(MemBackend::new()),
+            TierConfig { budget_bytes: budget, segment_blocks },
+        ).unwrap();
+        resident.compress();
+        let filters = [filters.0, filters.1, filters.2];
+        let checks = make_checks(&tiered, &filters);
+        let len = resident.len();
+
+        // A little workload: same predicate over varying sub-ranges, with
+        // adversarial residency perturbations between queries. Results and
+        // shared counters must be identical every time — the cache state a
+        // query starts from is invisible.
+        for (i, &(a, b)) in range_sels.iter().enumerate() {
+            let (x, y) = (len * a as usize / 1000, len * b as usize / 1000);
+            let (start, end) = (x.min(y), x.max(y));
+            let ts = diff_all_visitors(&resident, &tiered, &checks, start, end);
+            if budget == 0 {
+                // Everything-cold: a scan can never find a segment resident.
+                prop_assert_eq!(ts.segments_hit, 0, "budget=0 must never hit");
+            }
+            apply_evict(&tiered, evictions[i % evictions.len()]);
+        }
+    }
+
+    /// Sealing is lossless: decoding every cold segment reproduces the
+    /// source table bit-for-bit, names included.
+    #[test]
+    fn seal_resident_roundtrip(
+        runs in proptest::collection::vec((0u64..6, 1usize..220), 1..8),
+        seed in 0u64..1_000_000,
+        segment_blocks in 1usize..7,
+    ) {
+        let source = build_table(&runs, seed);
+        let tiered = TieredTable::seal(
+            &source,
+            Arc::new(MemBackend::new()),
+            TierConfig { budget_bytes: 0, segment_blocks },
+        ).unwrap();
+        let back = tiered.resident().unwrap();
+        prop_assert_eq!(back.len(), source.len());
+        for d in 0..source.dims() {
+            for r in 0..source.len() {
+                prop_assert_eq!(back.value(r, d), source.value(r, d), "row {} dim {}", r, d);
+            }
+        }
+        prop_assert_eq!(back.names(), source.names());
+    }
+
+    /// Compaction ≡ resident concat: appending arbitrary fresh rows (which
+    /// re-seals unaligned tails into new segments) yields exactly the table
+    /// a resident concatenation would.
+    #[test]
+    fn append_equals_resident_concat(
+        runs in proptest::collection::vec((0u64..6, 1usize..180), 1..6),
+        seed in 0u64..1_000_000,
+        extra in 0usize..300,
+        segment_blocks in 1usize..5,
+        filters in (filter_strategy(), filter_strategy(), filter_strategy()),
+    ) {
+        let source = build_table(&runs, seed);
+        let mut tiered = TieredTable::seal(
+            &source,
+            Arc::new(MemBackend::new()),
+            TierConfig { budget_bytes: 4_096, segment_blocks },
+        ).unwrap();
+        let mut s = seed ^ 0xdead_beef;
+        let fresh: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..extra).map(|_| splitmix(&mut s) % 4_096).collect())
+            .collect();
+        tiered.append_columns(fresh.clone()).unwrap();
+
+        // Resident reference: concat source + fresh, compressed.
+        let mut concat: Vec<Vec<u64>> = (0..3)
+            .map(|d| (0..source.len()).map(|r| source.value(r, d)).collect())
+            .collect();
+        for (d, col) in fresh.iter().enumerate() {
+            concat[d].extend_from_slice(col);
+        }
+        let mut reference = Table::from_columns(concat);
+        reference.compress();
+
+        let filters = [filters.0, filters.1, filters.2];
+        let checks = make_checks(&tiered, &filters);
+        diff_all_visitors(&reference, &tiered, &checks, 0, reference.len());
+    }
+}
