@@ -108,6 +108,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "tiered storage: larger-than-RAM tables under a memory budget",
         exp::tiered::run,
     ),
+    (
+        "correlate",
+        "Tsunami/COAX ext: correlation-aware layouts — soft-FD collapse on/off",
+        exp::correlate::run,
+    ),
 ];
 
 fn print_experiment_list() {

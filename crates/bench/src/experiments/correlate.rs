@@ -1,0 +1,231 @@
+//! Correlation-aware layouts (Tsunami/COAX **extension** — beyond the
+//! Flood paper): soft-FD collapse and exact-envelope tightening, on vs off.
+//!
+//! The [`highdim::correlated`] generator plants two host dimensions, each
+//! with two dependents (`dep ≈ f(host) + noise`), plus independents. Every
+//! workload template filters at least one dependent, so with correlation
+//! **off** the optimizer must spend its cell budget across redundant
+//! dimensions and projects rectangles over a diagonal support; with
+//! correlation **on** the dependents collapse out of the grid, their
+//! predicates route through the hosts, and the index tightens projections
+//! through exact per-column envelopes.
+//!
+//! Three sweeps, each reporting median per-query latency for both modes:
+//!
+//! * **strength**: noise width from collapse-grade to undetectable — the
+//!   speedup should shrink to ~1× as the dependency dissolves;
+//! * **on/off ratio** at the strongest settings — the headline numbers
+//!   (`correlate.clean.speedup` is gated ≥ 1.5× in CI; `strong` adds 1%
+//!   broken rows on top and is recorded alongside — the calibrated cost
+//!   model re-measures the machine each run, so learned layouts and
+//!   ratios wobble more than `clean`'s);
+//! * **outlier sensitivity**: broken-row rates from 0 to past the
+//!   detection budget — exploitation must degrade gracefully, never
+//!   diverge.
+//!
+//! Every query is executed in both modes and the counts are asserted
+//! equal — result identity is enforced, not assumed.
+
+use super::ExpConfig;
+use crate::harness::{calibrated_cost_model, percentiles_from_ns};
+use crate::phases::time_phase;
+use crate::report::metric;
+use flood_core::{CorrelationConfig, FloodBuilder, FloodIndex, LayoutOptimizer};
+use flood_data::datasets::highdim;
+use flood_data::workloads::QueryBuilder;
+use flood_store::{CountVisitor, MultiDimIndex, RangeQuery, Table};
+use std::time::Instant;
+
+/// One generator setting in the sweep.
+struct Setting {
+    name: &'static str,
+    noise_frac: f64,
+    outlier_rate: f64,
+}
+
+const SWEEP: &[Setting] = &[
+    // Strength sweep (1% broken rows throughout).
+    Setting {
+        name: "strong",
+        noise_frac: 0.005,
+        outlier_rate: 0.01,
+    },
+    Setting {
+        name: "medium",
+        noise_frac: 0.05,
+        outlier_rate: 0.01,
+    },
+    Setting {
+        name: "weak",
+        noise_frac: 0.30,
+        outlier_rate: 0.01,
+    },
+    // Outlier sensitivity at collapse-grade noise.
+    Setting {
+        name: "clean",
+        noise_frac: 0.005,
+        outlier_rate: 0.0,
+    },
+    Setting {
+        name: "dirty",
+        noise_frac: 0.005,
+        outlier_rate: 0.05,
+    },
+];
+
+/// Learn a layout and build the index with correlation on or off — both
+/// the optimizer's collapse/re-weight pass and the index's envelope
+/// tightening follow the same switch.
+fn learn_build(
+    table: &Table,
+    train: &[RangeQuery],
+    cfg: &ExpConfig,
+    enabled: bool,
+) -> (FloodIndex, String, Vec<usize>, Vec<usize>) {
+    let mut ocfg = cfg.optimizer(table.len());
+    // The stock experiment budget samples ~2% of the rows — enough for the
+    // paper experiments' 4–6 indexed dims, but too coarse to justify fine
+    // host grids once collapsing concentrates the cell budget on 2–3 dims.
+    // Both modes get the same roomier sample so the comparison stays fair.
+    ocfg.data_sample = (table.len() / 8).clamp(1_000, 20_000);
+    ocfg.correlation.enabled = enabled;
+    let optimizer = LayoutOptimizer::with_config(calibrated_cost_model().clone(), ocfg);
+    let learned = time_phase("layout-opt", || optimizer.optimize(table, train));
+    let ccfg = CorrelationConfig {
+        enabled,
+        ..Default::default()
+    };
+    let index = time_phase("index-build", || {
+        FloodBuilder::new()
+            .layout(learned.layout.clone())
+            .correlation(ccfg)
+            .build(table)
+    });
+    (
+        index,
+        learned.layout.to_string(),
+        learned.collapsed,
+        learned.reweighted,
+    )
+}
+
+/// Median per-query latency (best of `reps` per query), mean points
+/// scanned, and the per-query counts for the result-identity check.
+fn measure(index: &FloodIndex, test: &[RangeQuery], reps: usize) -> (u64, u64, Vec<u64>) {
+    let mut med_ns = Vec::with_capacity(test.len());
+    let mut counts = Vec::with_capacity(test.len());
+    let mut scanned = 0u64;
+    for q in test {
+        let mut best = u64::MAX;
+        let mut count = 0;
+        for rep in 0..reps.max(1) {
+            let mut v = CountVisitor::default();
+            let t0 = Instant::now();
+            let stats = index.execute(q, None, &mut v);
+            best = best.min(t0.elapsed().as_nanos() as u64);
+            count = v.count;
+            if rep == 0 {
+                scanned += stats.points_scanned;
+            }
+        }
+        med_ns.push(best);
+        counts.push(count);
+    }
+    (
+        percentiles_from_ns(&med_ns).p50,
+        scanned / test.len().max(1) as u64,
+        counts,
+    )
+}
+
+/// Run the experiment at the configured scale.
+pub fn run(cfg: &ExpConfig) {
+    let d = 8;
+    let n = (80_000.0 * if cfg.full { 2.0 } else { 1.0 } * cfg.scale) as usize;
+    let reps = if cfg.full { 7 } else { 5 };
+    println!("\n=== correlate: soft-FD collapse on/off (highdim::correlated d={d}, n={n}) ===");
+    println!(
+        "{:>8} {:>7} {:>9} {:>12} {:>12} {:>9} {:>9} {:>9}  layout (on)",
+        "setting",
+        "noise",
+        "outliers",
+        "on p50(µs)",
+        "off p50(µs)",
+        "speedup",
+        "on scan",
+        "off scan"
+    );
+
+    for s in SWEEP {
+        let table = time_phase("data-gen", || {
+            highdim::correlated(n, d, cfg.seed, s.noise_frac, s.outlier_rate)
+        });
+        let templates = highdim::correlated_templates(d, cfg.target_selectivity());
+        let weights = vec![1.0; templates.len()];
+        let mut qb = QueryBuilder::new(&table, cfg.seed);
+        let w = qb.workload(
+            "correlated",
+            &templates,
+            &weights,
+            cfg.queries,
+            Some(cfg.target_selectivity()),
+        );
+
+        let (on, on_layout, collapsed, reweighted) = learn_build(&table, &w.train, cfg, true);
+        let (off, _, _, _) = learn_build(&table, &w.train, cfg, false);
+
+        let t0 = Instant::now();
+        let (on_p50, on_scanned, on_counts) = measure(&on, &w.test, reps);
+        let (off_p50, off_scanned, off_counts) = measure(&off, &w.test, reps);
+        crate::phases::record_phase("query-exec", t0.elapsed());
+
+        // Result identity: collapsing + envelope tightening must never
+        // change what a query returns, outliers and all.
+        assert_eq!(
+            on_counts, off_counts,
+            "correlation-on diverged from off at setting {}",
+            s.name
+        );
+
+        let speedup = off_p50 as f64 / (on_p50 as f64).max(1.0);
+        let mut collapsed_note = if collapsed.is_empty() {
+            String::new()
+        } else {
+            format!("  [collapsed {collapsed:?}]")
+        };
+        if !reweighted.is_empty() {
+            collapsed_note.push_str(&format!("  [reweighted {reweighted:?}]"));
+        }
+        println!(
+            "{:>8} {:>7.3} {:>8.0}% {:>12.1} {:>12.1} {:>8.2}x {:>9} {:>9}  {on_layout}{collapsed_note}",
+            s.name,
+            s.noise_frac,
+            s.outlier_rate * 100.0,
+            on_p50 as f64 / 1e3,
+            off_p50 as f64 / 1e3,
+            speedup,
+            on_scanned,
+            off_scanned,
+        );
+        metric(
+            &format!("correlate.{}.on_us", s.name),
+            on_p50 as f64 / 1e3,
+            "us",
+        );
+        metric(
+            &format!("correlate.{}.off_us", s.name),
+            off_p50 as f64 / 1e3,
+            "us",
+        );
+        metric(&format!("correlate.{}.speedup", s.name), speedup, "x");
+        metric(
+            &format!("correlate.{}.collapsed_dims", s.name),
+            collapsed.len() as f64,
+            "dims",
+        );
+    }
+    println!(
+        "\nresults are asserted identical between modes on every query; \
+         speedups are medians on this machine (see BASELINES.md)"
+    );
+}

@@ -3,6 +3,7 @@
 //! table reports and is driven through the `repro` binary.
 
 pub mod colstore;
+pub mod correlate;
 pub mod costmodel;
 pub mod drift;
 pub mod fig10;

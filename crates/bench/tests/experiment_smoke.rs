@@ -49,7 +49,7 @@ macro_rules! smoke {
 smoke!(
     tab1, tab2, tab3, tab4, fig5, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
     fig16, fig17, colstore, costmodel, lookup, threads, optcost, drift, serve, scanspeed, obs,
-    tiered,
+    tiered, correlate,
 );
 
 /// The harness attributes wall-clock to named phases while experiments run.

@@ -54,6 +54,7 @@ fn list_shows_every_experiment_and_succeeds() {
         "scanspeed",
         "obs",
         "tiered",
+        "correlate",
         "all",
     ] {
         assert!(err.contains(name), "`repro list` must mention {name}");

@@ -39,6 +39,18 @@
 //! `share_cache: false` every check and re-learn re-flattens from scratch
 //! — the cold baseline the `repro drift` experiment measures against.
 //! [`AdaptiveFlood::diagnostics`] reports both modes' work.
+//!
+//! ## Correlation across re-learns (Tsunami/COAX extension)
+//!
+//! No extra wiring is needed to keep soft-FD exploitation current: a
+//! re-learn searches with [`crate::optimizer::OptimizerConfig::correlation`]
+//! (collapse/re-weight candidates against the sampled window), and the
+//! rebuild that adopts the winning layout re-runs exact support
+//! construction inside [`FloodIndex`]'s build — envelopes and outlier rows
+//! are **re-detected from scratch on every adopted layout**, so a
+//! dependency that dissolved (or appeared) since the last build is picked
+//! up automatically. `tests/prop_correlation.rs` pins the result identity
+//! of this loop under a drifting workload.
 
 use crate::config::FloodConfig;
 use crate::index::FloodIndex;

@@ -1,5 +1,6 @@
 //! Build-time configuration for a [`FloodIndex`](crate::index::FloodIndex).
 
+use crate::correlation::CorrelationConfig;
 use crate::flatten::Flattening;
 use crate::layout::Layout;
 use flood_learned::plm::DEFAULT_DELTA;
@@ -39,6 +40,12 @@ pub struct FloodConfig {
     /// How per-cell scans resolve filters against compressed columns
     /// (default: packed-domain, no effect on uncompressed tables).
     pub scan_mode: ScanMode,
+    /// Soft-FD exploitation (Tsunami/COAX extension): detect correlated
+    /// dimension pairs at build time and tighten projection/refinement
+    /// through exact per-host envelopes, with residual per-point checks
+    /// keeping results identical. Default on; disabled ⇒ bit-identical to
+    /// the pre-correlation index.
+    pub correlation: CorrelationConfig,
 }
 
 impl Default for FloodConfig {
@@ -51,6 +58,7 @@ impl Default for FloodConfig {
             compress: false,
             cumulative_dims: Vec::new(),
             scan_mode: ScanMode::default(),
+            correlation: CorrelationConfig::default(),
         }
     }
 }
@@ -129,6 +137,14 @@ impl FloodBuilder {
     /// [`ScanMode::Packed`]).
     pub fn scan_mode(mut self, mode: ScanMode) -> Self {
         self.cfg.scan_mode = mode;
+        self
+    }
+
+    /// Configure soft-FD detection and exploitation (default: enabled with
+    /// [`CorrelationConfig::default`]). Pass `enabled: false` to get the
+    /// pre-correlation scan path, bit for bit.
+    pub fn correlation(mut self, c: CorrelationConfig) -> Self {
+        self.cfg.correlation = c;
         self
     }
 

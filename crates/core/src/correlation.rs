@@ -1,0 +1,926 @@
+//! Soft functional dependencies between dimensions — detection and
+//! exploitation (an **extension** beyond the Flood paper, following the
+//! correlation ideas of Tsunami (arXiv 2006.13282) and COAX
+//! (arXiv 2006.16393)).
+//!
+//! Real multi-dimensional data is rarely independent: a "dependent"
+//! dimension often tracks a "host" dimension up to a bounded residual
+//! (ship date ≈ receipt date + a few days). Flood's grid treats the two as
+//! independent, so it spends columns on both and projects rectangles over
+//! a diagonal support — most projected cells are empty or boundary cells.
+//!
+//! This module implements the three stages the optimizer and the index use
+//! to exploit such **soft functional dependencies** (soft FDs):
+//!
+//! 1. **Detection** ([`CorrelationModel::detect`]): on a deterministic row
+//!    sample, sort each (host, dep) pair by the host value, split into
+//!    host-quantile buckets, and fit a trimmed `[lo, hi]` envelope of the
+//!    dependent values per bucket (a monotone piecewise-constant fit with
+//!    residual bounds, COAX-style). The fit is scored by *strength*
+//!    (1 − mean envelope width / global dep width) and *outlier rate*
+//!    (fraction of sampled rows outside their bucket's envelope).
+//! 2. **Collapse / re-weight** (the optimizer, see `optimizer::search`):
+//!    strong fits collapse the dependent dimension out of the candidate
+//!    grid — its predicates are routed through the host dimension by
+//!    [`CorrelationModel::rewrite`] — while mid-strength fits only shrink
+//!    the dependent dimension's column budget in the gradient search.
+//! 3. **Residual check** (`CorrSupport`, built inside
+//!    `FloodIndex::build`): the index rebuilds *exact* envelopes over the
+//!    **full** table (per host grid column, or per host-value bucket when
+//!    the host is the sort dimension) plus the exact sorted set of rows
+//!    outside their envelope (*outlier rows*). At query time a filter on
+//!    a collapsed dimension tightens the projection to the host columns
+//!    whose envelope intersects the filter; outlier rows whose dependent
+//!    value matches the filter are re-added **individually** with full
+//!    per-point checks (so residual cost is bounded by the outlier count,
+//!    never by cell size), and the dependent dimension's own bound is
+//!    still verified per point by the scan kernels (`scan_checked_dims*`)
+//!    — so results are bit-identical to a correlation-off index over the
+//!    same layout.
+//!
+//! Everything is behind [`CorrelationConfig::enabled`] (default **on**);
+//! disabled, detection returns an empty model and every hook degenerates
+//! to the pre-correlation code path, bit for bit.
+
+use flood_store::{RangeQuery, Table};
+use serde::{Deserialize, Serialize};
+
+use crate::grid::Grid;
+use crate::layout::Layout;
+
+/// Knobs for soft-FD detection and exploitation. Carried by both
+/// `OptimizerConfig` (collapse / re-weight during the layout search) and
+/// `FloodConfig` (projection tightening + residual checks at query time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationConfig {
+    /// Master switch. Off ⇒ no detection, no rewriting, no tightening —
+    /// bit-identical to the pre-correlation system.
+    pub enabled: bool,
+    /// Detection sample size (rows). Detection cost is
+    /// `O(dims² · sample · log sample)`; the envelopes the *index* uses
+    /// for tightening are always rebuilt exactly over the full table.
+    pub sample: usize,
+    /// Host-quantile buckets for the monotone envelope fit (fewer buckets
+    /// are used when the sample is small).
+    pub buckets: usize,
+    /// Collapse threshold: dependents whose fit strength reaches this are
+    /// removed from the candidate grid and routed through their host.
+    pub min_strength: f64,
+    /// Re-weight band: fits in `[reweight_strength, min_strength)` keep
+    /// the dependent dimension in the grid but cap its column budget to
+    /// `max_col_log2 · (1 − strength)`.
+    pub reweight_strength: f64,
+    /// Maximum tolerated fraction of rows outside their bucket envelope;
+    /// also the trim budget when fitting envelopes (half per side).
+    pub max_outlier_rate: f64,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        CorrelationConfig {
+            enabled: true,
+            sample: 4_096,
+            buckets: 48,
+            min_strength: 0.9,
+            reweight_strength: 0.5,
+            max_outlier_rate: 0.02,
+        }
+    }
+}
+
+/// A detected soft functional dependency: `dep ≈ f(host)` for a monotone
+/// piecewise-constant `f` with bounded residual.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftFd {
+    /// The dimension the dependent is routed through.
+    pub host: usize,
+    /// The dependent dimension.
+    pub dep: usize,
+    /// 1 − mean bucket-envelope width / global dependent width, in
+    /// `[0, 1]`; 1.0 is an exact (sampled) functional dependency.
+    pub strength: f64,
+    /// Fraction of sampled rows outside their bucket's envelope.
+    pub outlier_rate: f64,
+    /// Strong enough to collapse (vs. merely re-weight)?
+    pub collapse: bool,
+}
+
+/// The per-bucket envelope backing one detected FD: bucket `b` covers host
+/// values `[host_lo[b], host_hi[b]]` and its sampled dependents fall in
+/// `[dep_lo[b], dep_hi[b]]` (outliers excepted).
+#[derive(Debug, Clone, PartialEq)]
+struct FdEnvelope {
+    host_lo: Vec<u64>,
+    host_hi: Vec<u64>,
+    dep_lo: Vec<u64>,
+    dep_hi: Vec<u64>,
+}
+
+impl FdEnvelope {
+    /// Host range covering every bucket whose dependent envelope
+    /// intersects `[lo, hi]`; `None` when no bucket does.
+    fn translate(&self, lo: u64, hi: u64) -> Option<(u64, u64)> {
+        let mut out: Option<(u64, u64)> = None;
+        for b in 0..self.host_lo.len() {
+            if self.dep_lo[b] <= hi && lo <= self.dep_hi[b] {
+                out = Some(match out {
+                    None => (self.host_lo[b], self.host_hi[b]),
+                    Some((a, z)) => (a.min(self.host_lo[b]), z.max(self.host_hi[b])),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The set of soft FDs detected on one table (sample), with enough fit
+/// state to translate dependent-dimension predicates into host ranges.
+///
+/// Assignments are acyclic and functional: each dependent has at most one
+/// host, no dimension is simultaneously a host and a dependent (no
+/// chains), chosen greedily by descending strength with deterministic
+/// tie-breaks.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelationModel {
+    fds: Vec<SoftFd>,
+    envelopes: Vec<FdEnvelope>,
+}
+
+/// One candidate pair fit, before the greedy assignment.
+struct PairFit {
+    fd: SoftFd,
+    env: FdEnvelope,
+}
+
+/// Fit a trimmed monotone envelope to `pairs` (already `(host, dep)`,
+/// unsorted). Returns `None` when the sample is too small to trust.
+fn fit_pair(mut pairs: Vec<(u64, u64)>, cfg: &CorrelationConfig) -> Option<(f64, f64, FdEnvelope)> {
+    let n = pairs.len();
+    if n < 64 {
+        return None;
+    }
+    pairs.sort_unstable();
+    let k = cfg.buckets.clamp(1, n / 16);
+    let mut env = FdEnvelope {
+        host_lo: Vec::with_capacity(k),
+        host_hi: Vec::with_capacity(k),
+        dep_lo: Vec::with_capacity(k),
+        dep_hi: Vec::with_capacity(k),
+    };
+    let mut width_sum = 0.0f64;
+    let mut deps: Vec<u64> = Vec::with_capacity(n / k + 1);
+    for b in 0..k {
+        let (s, e) = (b * n / k, (b + 1) * n / k);
+        deps.clear();
+        deps.extend(pairs[s..e].iter().map(|&(_, d)| d));
+        deps.sort_unstable();
+        // Adaptive trim: even small buckets must shed their extremes (one
+        // broken row blows the envelope up to the global width and masks a
+        // strong fit), but clean buckets keep every row.
+        let t = adaptive_trim(&deps, cfg.max_outlier_rate);
+        let (lo, hi) = (deps[t], deps[deps.len() - 1 - t]);
+        env.host_lo.push(pairs[s].0);
+        env.host_hi.push(pairs[e - 1].0);
+        env.dep_lo.push(lo);
+        env.dep_hi.push(hi);
+        width_sum += (hi - lo) as f64;
+    }
+    // Outliers: rows *well* outside their bucket's envelope — beyond half
+    // an envelope width of margin. Trimmed edge rows sit just outside the
+    // envelope by construction and must not count as evidence of a broken
+    // dependency, while genuinely broken rows (drawn far from the fit)
+    // land past the margin regardless of how much the trim absorbed.
+    let mut outliers = 0usize;
+    for b in 0..k {
+        let (s, e) = (b * n / k, (b + 1) * n / k);
+        let margin = (env.dep_hi[b] - env.dep_lo[b]) / 2;
+        let lo = env.dep_lo[b].saturating_sub(margin);
+        let hi = env.dep_hi[b].saturating_add(margin);
+        outliers += pairs[s..e]
+            .iter()
+            .filter(|&&(_, d)| d < lo || d > hi)
+            .count();
+    }
+    let global_lo = env.dep_lo.iter().min().copied().unwrap_or(0);
+    let global_hi = env.dep_hi.iter().max().copied().unwrap_or(0);
+    let global_w = (global_hi - global_lo) as f64;
+    let strength = if global_w == 0.0 {
+        1.0
+    } else {
+        (1.0 - width_sum / k as f64 / global_w).clamp(0.0, 1.0)
+    };
+    Some((strength, outliers as f64 / n as f64, env))
+}
+
+impl CorrelationModel {
+    /// Detect soft FDs on a deterministic stride sample of `table`
+    /// (≤ `cfg.sample` rows). The empty model when disabled or the table
+    /// is too small.
+    pub fn detect(table: &Table, cfg: &CorrelationConfig) -> Self {
+        Self::detect_hosted(table, cfg, None)
+    }
+
+    /// [`CorrelationModel::detect`] with host candidates restricted to
+    /// `hosts` (when given). A linear dependency fits equally well in both
+    /// directions, so unrestricted detection picks its host by sampling
+    /// noise; the index restricts hosts to the layout's indexed dimensions
+    /// so every detected FD is one its grid or sort order can exploit.
+    pub fn detect_hosted(table: &Table, cfg: &CorrelationConfig, hosts: Option<&[usize]>) -> Self {
+        let n = table.len();
+        if !cfg.enabled || n < 64 || table.dims() < 2 {
+            return Self::default();
+        }
+        let take = cfg.sample.clamp(1, n);
+        let stride = n / take;
+        let rows: Vec<usize> = (0..take).map(|i| i * stride).collect();
+        Self::detect_impl(table, &rows, cfg, hosts)
+    }
+
+    /// Detect soft FDs on an explicit row sample (the optimizer reuses the
+    /// rows its `DataSample` already drew).
+    pub fn detect_rows(table: &Table, rows: &[usize], cfg: &CorrelationConfig) -> Self {
+        Self::detect_impl(table, rows, cfg, None)
+    }
+
+    fn detect_impl(
+        table: &Table,
+        rows: &[usize],
+        cfg: &CorrelationConfig,
+        hosts: Option<&[usize]>,
+    ) -> Self {
+        let d = table.dims();
+        if !cfg.enabled || rows.len() < 64 || d < 2 {
+            return Self::default();
+        }
+        let mut fits: Vec<PairFit> = Vec::new();
+        for host in 0..d {
+            if hosts.is_some_and(|hs| !hs.contains(&host)) {
+                continue;
+            }
+            for dep in 0..d {
+                if dep == host {
+                    continue;
+                }
+                let pairs: Vec<(u64, u64)> = rows
+                    .iter()
+                    .map(|&r| (table.value(r, host), table.value(r, dep)))
+                    .collect();
+                if let Some((strength, outlier_rate, env)) = fit_pair(pairs, cfg) {
+                    if strength >= cfg.reweight_strength && outlier_rate <= cfg.max_outlier_rate {
+                        fits.push(PairFit {
+                            fd: SoftFd {
+                                host,
+                                dep,
+                                strength,
+                                outlier_rate,
+                                collapse: strength >= cfg.min_strength,
+                            },
+                            env,
+                        });
+                    }
+                }
+            }
+        }
+        // Greedy assignment, strongest first; deterministic tie-break on
+        // (host, dep). Each dependent gets one host; a host may serve many
+        // dependents; no dimension is both (no chains, no cycles).
+        fits.sort_by(|a, b| {
+            b.fd.strength
+                .partial_cmp(&a.fd.strength)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.fd.host, a.fd.dep).cmp(&(b.fd.host, b.fd.dep)))
+        });
+        let mut model = Self::default();
+        let mut is_dep = vec![false; d];
+        let mut is_host = vec![false; d];
+        for f in fits {
+            if is_dep[f.fd.dep] || is_host[f.fd.dep] || is_dep[f.fd.host] {
+                continue;
+            }
+            is_dep[f.fd.dep] = true;
+            is_host[f.fd.host] = true;
+            model.fds.push(f.fd);
+            model.envelopes.push(f.env);
+        }
+        model
+    }
+
+    /// No dependencies detected (also the disabled case).
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Every detected dependency, strongest first.
+    pub fn fds(&self) -> &[SoftFd] {
+        &self.fds
+    }
+
+    /// Whether `dim` is the dependent of a collapse-grade FD.
+    pub fn is_collapsed_dep(&self, dim: usize) -> bool {
+        self.fds.iter().any(|f| f.collapse && f.dep == dim)
+    }
+
+    /// Strength of the re-weight-grade FD whose dependent is `dim`, if any.
+    pub fn reweight_strength_of(&self, dim: usize) -> Option<f64> {
+        self.fds
+            .iter()
+            .find(|f| !f.collapse && f.dep == dim)
+            .map(|f| f.strength)
+    }
+
+    /// Translate a bound on the dependent of FD `i` into a host range
+    /// (buckets whose envelope intersects). `None`: no bucket intersects.
+    pub fn translate(&self, i: usize, lo: u64, hi: u64) -> Option<(u64, u64)> {
+        self.envelopes[i].translate(lo, hi)
+    }
+
+    /// Rewrite a query for layout pricing: every filter on a collapsed
+    /// dependent also implies (via the envelopes) a bound on its host,
+    /// intersected into the query. The dependent's own filter is kept —
+    /// it still costs a per-point check. Conservative: when no bucket
+    /// intersects, or the implied host range is disjoint from an existing
+    /// host bound, the query is left unchanged.
+    pub fn rewrite(&self, q: &RangeQuery) -> RangeQuery {
+        let mut out = q.clone();
+        for (i, f) in self.fds.iter().enumerate() {
+            if !f.collapse {
+                continue;
+            }
+            if let Some((lo, hi)) = q.bound(f.dep) {
+                if let Some((tlo, thi)) = self.translate(i, lo, hi) {
+                    out.tighten(f.host, tlo, thi);
+                }
+            }
+        }
+        out
+    }
+
+    /// [`CorrelationModel::rewrite`] over a whole workload.
+    pub fn rewrite_all(&self, qs: &[RangeQuery]) -> Vec<RangeQuery> {
+        qs.iter().map(|q| self.rewrite(q)).collect()
+    }
+}
+
+/// Where a supported FD's host sits in the index layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HostSlot {
+    /// Grid dimension at this position of the layout ordering.
+    Grid(usize),
+    /// The sort dimension.
+    Sort,
+}
+
+/// One FD's exact, full-table support inside a built index: dependent
+/// envelopes per host grid column (or per host-value bucket when the host
+/// is the sort dimension) and the sorted set of rows falling outside their
+/// envelope.
+#[derive(Debug, Clone)]
+pub(crate) struct FdSupport {
+    pub fd: SoftFd,
+    pub slot: HostSlot,
+    /// Per column (Grid) or per bucket (Sort): dependent envelope; only
+    /// meaningful where `present`.
+    env_lo: Vec<u64>,
+    env_hi: Vec<u64>,
+    present: Vec<bool>,
+    /// Sort host only: bucket `b` covers host values `(cuts[b-1], cuts[b]]`
+    /// (`min_host` floors bucket 0).
+    cuts: Vec<u64>,
+    min_host: u64,
+    /// Rows (indices into the *reordered* table) outside their envelope,
+    /// as `(dep value, row, cell)` sorted by value: the residual pass
+    /// binary searches the dependent filter's bound, so query-time residual
+    /// work is proportional to the *matching* outliers, never to cell
+    /// sizes — and the precomputed cell id spares it a `cell_starts`
+    /// search per row.
+    pub outliers: Vec<(u64, u32, u32)>,
+}
+
+impl FdSupport {
+    /// Host *column* range covering every column whose envelope intersects
+    /// the dependent bound `[lo, hi]`. `None`: no non-outlier row can
+    /// match — only the outlier rows need visiting.
+    pub fn translate_cols(&self, lo: u64, hi: u64) -> Option<(usize, usize)> {
+        debug_assert!(matches!(self.slot, HostSlot::Grid(_)));
+        let mut out: Option<(usize, usize)> = None;
+        for c in 0..self.present.len() {
+            if self.present[c] && self.env_lo[c] <= hi && lo <= self.env_hi[c] {
+                out = Some(match out {
+                    None => (c, c),
+                    Some((a, _)) => (a, c),
+                });
+            }
+        }
+        out
+    }
+
+    /// Host *value* range covering every bucket whose envelope intersects
+    /// the dependent bound. `None`: no non-outlier row can match.
+    pub fn translate_sort(&self, lo: u64, hi: u64) -> Option<(u64, u64)> {
+        debug_assert!(matches!(self.slot, HostSlot::Sort));
+        let mut first: Option<usize> = None;
+        let mut last = 0usize;
+        for b in 0..self.present.len() {
+            if self.present[b] && self.env_lo[b] <= hi && lo <= self.env_hi[b] {
+                first.get_or_insert(b);
+                last = b;
+            }
+        }
+        let first = first?;
+        let vlo = if first == 0 {
+            self.min_host
+        } else {
+            self.cuts[first - 1].saturating_add(1)
+        };
+        Some((vlo, self.cuts[last]))
+    }
+
+    /// Rows whose dependent value falls in `[lo, hi]`, ascending by value.
+    pub fn outliers_in(&self, lo: u64, hi: u64) -> &[(u64, u32, u32)] {
+        let a = self.outliers.partition_point(|&(v, _, _)| v < lo);
+        let b = self.outliers.partition_point(|&(v, _, _)| v <= hi);
+        &self.outliers[a..b]
+    }
+
+    /// Whether `row` is outside its envelope (test support).
+    #[cfg(test)]
+    pub fn is_outlier_row(&self, row: u32) -> bool {
+        self.outliers.iter().any(|&(_, r, _)| r == row)
+    }
+}
+
+/// All exploitable FDs of one built index. Detection runs on a sample;
+/// the envelopes and outlier sets here are **exact** over the full
+/// (reordered) table, which is what makes query-time tightening lossless.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CorrSupport {
+    pub fds: Vec<FdSupport>,
+}
+
+impl CorrSupport {
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Detect FDs on `data` (the reordered table) and build exact support
+    /// for every collapse-grade FD whose host is indexed by `layout`.
+    pub fn build(
+        cfg: &CorrelationConfig,
+        layout: &Layout,
+        grid: &Grid,
+        data: &Table,
+        cell_starts: &[u32],
+    ) -> Self {
+        if !cfg.enabled || data.is_empty() {
+            return Self::default();
+        }
+        // Restrict hosts to indexed dimensions: a symmetric (e.g. linear)
+        // dependency then resolves in the direction the layout can exploit
+        // instead of whichever direction sampling noise favoured.
+        let model = CorrelationModel::detect_hosted(data, cfg, Some(layout.order()));
+        let mut out = Self::default();
+        for f in model.fds() {
+            // Exploit an FD when its dependent is *not* indexed (the
+            // optimizer collapsed it — or never indexed it — so envelope
+            // tightening is the only acceleration its filters get, at any
+            // strength), or when the fit is collapse-grade (tight enough
+            // to out-tighten the dependent's own grid columns). A mid
+            // strength FD over an indexed dependent is pure overhead: the
+            // grid already handles those filters.
+            if !f.collapse && layout.order().contains(&f.dep) {
+                continue;
+            }
+            let slot = if layout.has_sort_dim() && layout.sort_dim() == f.host {
+                HostSlot::Sort
+            } else {
+                match layout.grid_dims().iter().position(|&d| d == f.host) {
+                    Some(i) => HostSlot::Grid(i),
+                    None => continue, // host unindexed: nothing to tighten
+                }
+            };
+            let support = match slot {
+                HostSlot::Grid(i) => build_grid_support(*f, i, cfg, grid, data, cell_starts),
+                HostSlot::Sort => build_sort_support(*f, cfg, data, cell_starts),
+            };
+            // A dependency whose exact outlier set is large (the sample
+            // under-reported how dirty the pair is) costs more to patch
+            // per query than it saves — drop it rather than exploit it.
+            if support.outliers.len() * 8 > data.len() {
+                continue;
+            }
+            out.fds.push(support);
+        }
+        out
+    }
+}
+
+/// Smallest per-side trim whose envelope is within 25% of the width at the
+/// maximum trim (the outlier budget plus 3σ of slack): clean columns keep
+/// every row — no residual rows at all — while dirty columns shed just
+/// their broken rows instead of letting one of them stretch the envelope
+/// to the global width.
+fn adaptive_trim(sorted: &[u64], rate: f64) -> usize {
+    let len = sorted.len();
+    let m = len as f64 * rate * 0.5;
+    let t_max = ((m + 3.0 * m.sqrt()).ceil() as usize).min(len.saturating_sub(1) / 2);
+    let target = (sorted[len - 1 - t_max] - sorted[t_max]) as f64 * 1.25;
+    (0..=t_max)
+        .find(|&t| ((sorted[len - 1 - t] - sorted[t]) as f64) <= target)
+        .unwrap_or(t_max)
+}
+
+/// Exact per-host-column envelopes: rows are contiguous per cell after the
+/// build reorder, and a cell's host column is a coordinate of its id.
+fn build_grid_support(
+    fd: SoftFd,
+    pos: usize,
+    cfg: &CorrelationConfig,
+    grid: &Grid,
+    data: &Table,
+    cell_starts: &[u32],
+) -> FdSupport {
+    let ncols = grid.cols()[pos];
+    let mut per_col: Vec<Vec<u64>> = vec![Vec::new(); ncols];
+    for cell in 0..grid.num_cells() {
+        let (s, e) = (cell_starts[cell] as usize, cell_starts[cell + 1] as usize);
+        if s == e {
+            continue;
+        }
+        let col = grid.cell_coords(cell)[pos];
+        per_col[col].extend((s..e).map(|r| data.value(r, fd.dep)));
+    }
+    let mut env_lo = vec![0u64; ncols];
+    let mut env_hi = vec![0u64; ncols];
+    let mut present = vec![false; ncols];
+    for (c, vals) in per_col.iter_mut().enumerate() {
+        if vals.is_empty() {
+            continue;
+        }
+        vals.sort_unstable();
+        let t = adaptive_trim(vals, cfg.max_outlier_rate);
+        env_lo[c] = vals[t];
+        env_hi[c] = vals[vals.len() - 1 - t];
+        present[c] = true;
+    }
+    // Exact outlier set: every row outside its column's envelope, keyed
+    // by dependent value for the residual pass's binary search.
+    let mut outliers = Vec::new();
+    for cell in 0..grid.num_cells() {
+        let (s, e) = (cell_starts[cell] as usize, cell_starts[cell + 1] as usize);
+        if s == e {
+            continue;
+        }
+        let col = grid.cell_coords(cell)[pos];
+        let (lo, hi) = (env_lo[col], env_hi[col]);
+        for r in s..e {
+            let v = data.value(r, fd.dep);
+            if v < lo || v > hi {
+                outliers.push((v, r as u32, cell as u32));
+            }
+        }
+    }
+    outliers.sort_unstable();
+    FdSupport {
+        fd,
+        slot: HostSlot::Grid(pos),
+        env_lo,
+        env_hi,
+        present,
+        cuts: Vec::new(),
+        min_host: 0,
+        outliers,
+    }
+}
+
+/// Exact envelopes over host-value quantile buckets when the host is the
+/// sort dimension (there are no host columns to key on).
+fn build_sort_support(
+    fd: SoftFd,
+    cfg: &CorrelationConfig,
+    data: &Table,
+    cell_starts: &[u32],
+) -> FdSupport {
+    let n = data.len();
+    let mut vals: Vec<u64> = (0..n).map(|r| data.value(r, fd.host)).collect();
+    vals.sort_unstable();
+    let k = cfg.buckets.clamp(1, n.max(1));
+    let mut cuts: Vec<u64> = (0..k).map(|b| vals[(b + 1) * n / k - 1]).collect();
+    cuts.dedup();
+    let min_host = vals[0];
+    let nb = cuts.len();
+    let bucket_of = |v: u64| -> usize { cuts.partition_point(|&c| c < v).min(nb - 1) };
+
+    let mut per_bucket: Vec<Vec<u64>> = vec![Vec::new(); nb];
+    for r in 0..n {
+        per_bucket[bucket_of(data.value(r, fd.host))].push(data.value(r, fd.dep));
+    }
+    let mut env_lo = vec![0u64; nb];
+    let mut env_hi = vec![0u64; nb];
+    let mut present = vec![false; nb];
+    for (b, deps) in per_bucket.iter_mut().enumerate() {
+        if deps.is_empty() {
+            continue;
+        }
+        deps.sort_unstable();
+        let t = adaptive_trim(deps, cfg.max_outlier_rate);
+        env_lo[b] = deps[t];
+        env_hi[b] = deps[deps.len() - 1 - t];
+        present[b] = true;
+    }
+    let mut outliers = Vec::new();
+    let mut cell = 0usize; // rows are cell-contiguous: one monotone cursor
+    for r in 0..n {
+        while cell_starts[cell + 1] as usize <= r {
+            cell += 1;
+        }
+        let b = bucket_of(data.value(r, fd.host));
+        let v = data.value(r, fd.dep);
+        if v < env_lo[b] || v > env_hi[b] {
+            outliers.push((v, r as u32, cell as u32));
+        }
+    }
+    outliers.sort_unstable();
+    FdSupport {
+        fd,
+        slot: HostSlot::Sort,
+        env_lo,
+        env_hi,
+        present,
+        cuts,
+        min_host,
+        outliers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// host uniform, dep = host/2 + noise in [0, w), optional outliers.
+    fn correlated_table(n: usize, w: u64, outlier_every: usize, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut host = Vec::with_capacity(n);
+        let mut dep = Vec::with_capacity(n);
+        let mut indep = Vec::with_capacity(n);
+        for i in 0..n {
+            let h: u64 = rng.gen_range(0..1_000_000);
+            let d = if outlier_every > 0 && i % outlier_every == 0 {
+                rng.gen_range(0..1_000_000)
+            } else {
+                h / 2 + rng.gen_range(0..w.max(1))
+            };
+            host.push(h);
+            dep.push(d);
+            indep.push(rng.gen_range(0..1_000_000));
+        }
+        Table::from_columns(vec![host, dep, indep])
+    }
+
+    /// host uniform, dep = |host − 500k|/2 + noise in [0, w): a vee-shaped
+    /// dependency. Unlike a linear relation (where both directions have the
+    /// same relative residual and quantization noise picks the winner),
+    /// this one is only functional host→dep — the inverse maps each dep
+    /// value to two distant host branches — so the detected direction is
+    /// decidable.
+    fn vee_table(n: usize, w: u64, outlier_every: usize, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut host = Vec::with_capacity(n);
+        let mut dep = Vec::with_capacity(n);
+        let mut indep = Vec::with_capacity(n);
+        for i in 0..n {
+            let h: u64 = rng.gen_range(0..1_000_000);
+            let d = if outlier_every > 0 && i % outlier_every == 0 {
+                rng.gen_range(0..1_000_000)
+            } else {
+                (h as i64 - 500_000).unsigned_abs() / 2 + rng.gen_range(0..w.max(1))
+            };
+            host.push(h);
+            dep.push(d);
+            indep.push(rng.gen_range(0..1_000_000));
+        }
+        Table::from_columns(vec![host, dep, indep])
+    }
+
+    #[test]
+    fn detects_strong_dependency_and_direction() {
+        let t = vee_table(4_000, 1_000, 0, 7);
+        let m = CorrelationModel::detect(&t, &CorrelationConfig::default());
+        assert!(
+            m.fds()
+                .iter()
+                .any(|f| f.host == 0 && f.dep == 1 && f.collapse),
+            "expected collapse-grade 0→1 FD, got {:?}",
+            m.fds()
+        );
+        assert!(m.is_collapsed_dep(1));
+        assert!(!m.is_collapsed_dep(0));
+        assert!(!m.is_collapsed_dep(2));
+    }
+
+    #[test]
+    fn linear_dependency_collapses_in_one_direction() {
+        // A linear relation fits equally well both ways; either direction
+        // is a correct exploitation, but exactly one must be assigned.
+        let t = correlated_table(4_000, 1_000, 0, 7);
+        let m = CorrelationModel::detect(&t, &CorrelationConfig::default());
+        let pair: Vec<_> = m
+            .fds()
+            .iter()
+            .filter(|f| f.collapse && f.host != 2 && f.dep != 2)
+            .collect();
+        assert_eq!(pair.len(), 1, "got {:?}", m.fds());
+        assert!(!m.is_collapsed_dep(2));
+    }
+
+    #[test]
+    fn independent_dimensions_stay_unassigned() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cols: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..4_000).map(|_| rng.gen_range(0..1_000_000)).collect())
+            .collect();
+        let t = Table::from_columns(cols);
+        let m = CorrelationModel::detect(&t, &CorrelationConfig::default());
+        assert!(m.is_empty(), "spurious FDs: {:?}", m.fds());
+    }
+
+    #[test]
+    fn disabled_config_detects_nothing() {
+        let t = correlated_table(2_000, 100, 0, 7);
+        let cfg = CorrelationConfig {
+            enabled: false,
+            ..Default::default()
+        };
+        assert!(CorrelationModel::detect(&t, &cfg).is_empty());
+    }
+
+    #[test]
+    fn outlier_rate_threshold_rejects_noisy_fits() {
+        // Every 10th row breaks the dependency: ~10% outliers ≫ 2% budget.
+        let t = correlated_table(4_000, 1_000, 10, 7);
+        let m = CorrelationModel::detect(&t, &CorrelationConfig::default());
+        assert!(
+            !m.fds().iter().any(|f| f.host == 0 && f.dep == 1),
+            "10% outliers must not pass: {:?}",
+            m.fds()
+        );
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let t = correlated_table(3_000, 500, 0, 11);
+        let cfg = CorrelationConfig::default();
+        let a = CorrelationModel::detect(&t, &cfg);
+        let b = CorrelationModel::detect(&t, &cfg);
+        assert_eq!(a.fds(), b.fds());
+    }
+
+    #[test]
+    fn no_chains_or_shared_roles() {
+        // dim1 = f(dim0), dim2 = g(dim1) — transitively correlated; the
+        // greedy assignment must not make dim1 both host and dependent.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c0 = Vec::new();
+        let mut c1 = Vec::new();
+        let mut c2 = Vec::new();
+        for _ in 0..4_000 {
+            let h: u64 = rng.gen_range(0..1_000_000);
+            let a = h + rng.gen_range(0u64..500);
+            let b = a / 2 + rng.gen_range(0u64..300);
+            c0.push(h);
+            c1.push(a);
+            c2.push(b);
+        }
+        let t = Table::from_columns(vec![c0, c1, c2]);
+        let m = CorrelationModel::detect(&t, &CorrelationConfig::default());
+        assert!(!m.is_empty());
+        for f in m.fds() {
+            assert!(
+                !m.fds().iter().any(|g| g.dep == f.host),
+                "chained assignment: {:?}",
+                m.fds()
+            );
+            assert_eq!(
+                m.fds().iter().filter(|g| g.dep == f.dep).count(),
+                1,
+                "dependent with two hosts: {:?}",
+                m.fds()
+            );
+        }
+    }
+
+    #[test]
+    fn rewrite_routes_dep_bound_through_host() {
+        let t = vee_table(4_000, 1_000, 0, 7);
+        let m = CorrelationModel::detect(&t, &CorrelationConfig::default());
+        assert!(m.is_collapsed_dep(1));
+        let q = RangeQuery::all(3).with_range(1, 100_000, 110_000);
+        let rq = m.rewrite(&q);
+        // The dependent's own bound is kept (still checked per point)...
+        assert_eq!(rq.bound(1), Some((100_000, 110_000)));
+        // ...and a host bound appears. dep = |host − 500k|/2 + [0, 1000)
+        // means matching hosts sit in [280k, 302k] ∪ [698k, 720k]; the
+        // translated bound must cover both branches (plus bucket slack)...
+        let (hlo, hhi) = rq.bound(0).expect("host bound implied");
+        assert!(hlo <= 281_000 && hhi >= 719_000, "({hlo}, {hhi})");
+        // ...while still being a useful restriction on the 1M domain.
+        assert!(hlo >= 150_000 && hhi <= 850_000, "({hlo}, {hhi})");
+    }
+
+    #[test]
+    fn rewrite_is_identity_without_fds() {
+        let m = CorrelationModel::default();
+        let q = RangeQuery::all(2).with_range(0, 5, 10);
+        assert_eq!(m.rewrite(&q), q);
+    }
+
+    #[test]
+    fn constant_dependent_is_a_perfect_fit() {
+        let n = 2_000;
+        let host: Vec<u64> = (0..n as u64).collect();
+        let dep = vec![42u64; n];
+        let mut rng = StdRng::seed_from_u64(9);
+        let indep: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let t = Table::from_columns(vec![host, dep, indep]);
+        let m = CorrelationModel::detect(&t, &CorrelationConfig::default());
+        let f = m
+            .fds()
+            .iter()
+            .find(|f| f.dep == 1)
+            .expect("constant column collapses");
+        assert_eq!(f.strength, 1.0);
+        assert!(f.collapse);
+    }
+
+    #[test]
+    fn support_envelopes_are_exact_over_the_full_table() {
+        // Build support for a tiny grid-hosted FD and verify the exactness
+        // invariant directly: every row is inside its column's envelope or
+        // listed in the outlier-row set.
+        let t = vee_table(2_000, 800, 97, 13);
+        let layout = Layout::new(vec![0, 2], vec![8]);
+        let grid = Grid::new(&layout);
+        // Reorder the way FloodIndex::build does (uniform flattening is
+        // fine for the invariant).
+        let flattener = crate::flatten::Flattener::build(
+            &t,
+            layout.grid_dims(),
+            crate::flatten::Flattening::Uniform,
+        );
+        let mut keyed: Vec<(u64, u64, u32)> = (0..t.len())
+            .map(|r| {
+                let col = flattener.bucket(0, t.value(r, 0), 8);
+                (col as u64, t.value(r, 2), r as u32)
+            })
+            .collect();
+        keyed.sort_unstable();
+        let perm: Vec<u32> = keyed.iter().map(|&(_, _, r)| r).collect();
+        let data = t.permuted(&perm);
+        let mut cell_starts = vec![0u32; grid.num_cells() + 1];
+        for &(cell, _, _) in &keyed {
+            cell_starts[cell as usize + 1] += 1;
+        }
+        for i in 0..grid.num_cells() {
+            cell_starts[i + 1] += cell_starts[i];
+        }
+        let support = CorrSupport::build(
+            &CorrelationConfig::default(),
+            &layout,
+            &grid,
+            &data,
+            &cell_starts,
+        );
+        let Some(fd) = support.fds.iter().find(|s| s.fd.host == 0 && s.fd.dep == 1) else {
+            // Outliers every 97 rows ≈ 1% — inside the 2% budget, so the
+            // FD should be detected; if thresholds change, fail loudly.
+            panic!("expected grid-hosted FD support, got {:?}", support.fds);
+        };
+        for cell in 0..grid.num_cells() {
+            let (s, e) = (cell_starts[cell] as usize, cell_starts[cell + 1] as usize);
+            for r in s..e {
+                if fd.is_outlier_row(r as u32) {
+                    continue;
+                }
+                let v = data.value(r, 1);
+                let (lo, hi) = match fd.translate_cols(v, v) {
+                    Some(range) => range,
+                    None => panic!("non-outlier value {v} outside every envelope"),
+                };
+                let col = grid.cell_coords(cell)[0];
+                assert!(
+                    (lo..=hi).contains(&col),
+                    "row {r} (dep {v}) in col {col} outside translated [{lo}, {hi}]"
+                );
+            }
+        }
+        // Row-granular means the residual set stays near the injected ~1%
+        // rate instead of inflating to whole cells.
+        assert!(
+            fd.outliers.len() < data.len() / 20,
+            "outlier set too large: {} of {}",
+            fd.outliers.len(),
+            data.len()
+        );
+    }
+}

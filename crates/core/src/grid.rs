@@ -75,6 +75,22 @@ impl Grid {
         out
     }
 
+    /// Whether cell `id`'s coordinates all lie inside the inclusive
+    /// per-dimension column `ranges` — [`Grid::cell_coords`] without the
+    /// allocation, for per-row hot paths.
+    #[inline]
+    pub fn cell_in_ranges(&self, mut id: usize, ranges: &[(usize, usize)]) -> bool {
+        debug_assert_eq!(ranges.len(), self.strides.len());
+        for (&s, &(lo, hi)) in self.strides.iter().zip(ranges) {
+            let c = id / s;
+            id %= s;
+            if c < lo || c > hi {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Number of cells in the hyper-rectangle spanned by the inclusive
     /// per-dimension column `ranges` (the cost model's N_c).
     pub fn cells_in_ranges(ranges: &[(usize, usize)]) -> usize {

@@ -6,6 +6,7 @@
 //! produce Table 2's IT/ST breakdown — fall out of normal operation.
 
 use crate::config::{FloodConfig, Refinement};
+use crate::correlation::{CorrSupport, HostSlot};
 use crate::flatten::Flattener;
 use crate::grid::Grid;
 use crate::layout::Layout;
@@ -77,6 +78,11 @@ pub struct FloodIndex {
     cell_models: Vec<Option<PiecewiseLinearModel>>,
     /// Pre-built cumulative SUM columns, keyed by dimension.
     cumulatives: Vec<(usize, CumulativeColumn)>,
+    /// Soft-FD support (Tsunami/COAX extension): exact full-table
+    /// envelopes + outlier rows per collapse-grade dependency whose host
+    /// is indexed. Empty when `cfg.correlation` is disabled or nothing was
+    /// detected.
+    correlation: CorrSupport,
     build_times: BuildTimes,
 }
 
@@ -171,6 +177,11 @@ impl FloodIndex {
             .map(|&d| (d, data.cumulative_sum(d)))
             .collect();
 
+        // 4. Soft-FD support (extension): detect on a sample, then build
+        //    exact per-host envelopes + outlier cells over the full
+        //    reordered data, so query-time tightening is lossless.
+        let correlation = CorrSupport::build(&cfg.correlation, &layout, &grid, &data, &cell_starts);
+
         FloodIndex {
             cfg,
             layout,
@@ -180,8 +191,16 @@ impl FloodIndex {
             cell_starts,
             cell_models,
             cumulatives,
+            correlation,
             build_times,
         }
+    }
+
+    /// The soft FDs this index actively exploits (detected at build time,
+    /// host indexed). Empty when correlation is disabled or nothing
+    /// qualified.
+    pub fn active_fds(&self) -> Vec<crate::correlation::SoftFd> {
+        self.correlation.fds.iter().map(|s| s.fd).collect()
     }
 
     /// The layout this index was built with.
@@ -291,22 +310,30 @@ impl FloodIndex {
                 .map(|(_, c)| c)
         });
         let mut checks: Vec<(usize, u64, u64)> = Vec::new();
+        // The check list depends only on the boundary mask (and the fixed
+        // unindexed tail), so runs of equal-mask ranges — notably the
+        // residual single-row ranges, which all carry the full mask —
+        // rebuild it once.
+        let mut cached_mask: Option<u32> = None;
         for cr in cells {
             let (s, e) = (cr.start as usize, cr.end as usize);
             if s >= e {
                 continue;
             }
             stats.ranges_scanned += 1;
-            checks.clear();
-            let mut mask = cr.boundary_mask;
-            while mask != 0 {
-                let i = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                let d = grid_dims[i];
-                let (lo, hi) = query.bound(d).expect("boundary dims are filtered");
-                checks.push((d, lo, hi));
+            if cached_mask != Some(cr.boundary_mask) {
+                cached_mask = Some(cr.boundary_mask);
+                checks.clear();
+                let mut mask = cr.boundary_mask;
+                while mask != 0 {
+                    let i = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let d = grid_dims[i];
+                    let (lo, hi) = query.bound(d).expect("boundary dims are filtered");
+                    checks.push((d, lo, hi));
+                }
+                checks.extend_from_slice(unindexed);
             }
-            checks.extend_from_slice(unindexed);
             // Sort-dimension values are exact after refinement, so the sort
             // dimension never appears in the check list.
             if checks.is_empty() {
@@ -323,73 +350,222 @@ impl FloodIndex {
 
     /// Projection + refinement: the planned cell ranges, the stats gathered
     /// so far, and the per-phase timings.
+    ///
+    /// With soft-FD support present (see [`crate::correlation`]), a filter
+    /// on a collapsed dependent dimension additionally (1) tightens the
+    /// host's projection range to the columns whose exact envelope
+    /// intersects the filter, (2) when the host is the sort dimension,
+    /// intersects the translated host bound into every cell's refinement,
+    /// and (3) re-adds each *outlier row* whose dependent value matches
+    /// the filter as an individual single-row range with a full boundary
+    /// mask (every filtered grid dimension checked per point, the sort
+    /// bound checked here), unless the main plan already covers it. The
+    /// dependent's own bound is still enforced per point by the scan
+    /// kernels, so results are identical to the untightened plan — only
+    /// the visit counts differ, and residual work is bounded by the
+    /// outlier count rather than by cell sizes.
     fn plan(&self, query: &RangeQuery) -> (Vec<CellRange>, ScanStats, PhaseTimes) {
         let mut stats = ScanStats::default();
         let mut times = PhaseTimes::default();
         let t0 = Instant::now();
         let grid_dims = self.layout.grid_dims();
         let cols = self.layout.cols();
-        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(grid_dims.len());
+        // Base projection: the query's own bounds, per grid dimension.
+        let mut base: Vec<(usize, usize)> = Vec::with_capacity(grid_dims.len());
         for (&d, &c) in grid_dims.iter().zip(cols) {
             match query.bound(d) {
-                Some((lo, hi)) => ranges.push((
+                Some((lo, hi)) => base.push((
                     self.flattener.bucket(d, lo, c),
                     self.flattener.bucket(d, hi, c),
                 )),
-                None => ranges.push((0, c - 1)),
+                None => base.push((0, c - 1)),
             }
         }
-        stats.cells_projected = Grid::cells_in_ranges(&ranges) as u64;
-        let mut cells: Vec<CellRange> = Vec::new();
-        self.grid.for_each_cell(&ranges, |cell, coords| {
-            let (s, e) = self.cell_range(cell);
-            if s == e {
-                return;
-            }
-            let mut mask = 0u32;
-            for (i, &c) in coords.iter().enumerate() {
-                let d = grid_dims[i];
-                if !query.filters(d) {
+
+        // Soft-FD tightening: each applicable dependency (dependent
+        // filtered, host indexed) narrows where non-outlier matches can
+        // live. `empty_main` ⇒ no non-outlier row matches at all and only
+        // outlier rows need visiting.
+        let mut ranges = base.clone();
+        let mut empty_main = false;
+        // Translated sort bounds; None ⇒ no non-outlier match.
+        let mut sort_fds: Vec<Option<(u64, u64)>> = Vec::new();
+        let mut applicable: Vec<usize> = Vec::new();
+        if !self.correlation.is_empty() {
+            for (fi, f) in self.correlation.fds.iter().enumerate() {
+                let Some((lo, hi)) = query.bound(f.fd.dep) else {
                     continue;
-                }
-                let (lo_col, hi_col) = ranges[i];
-                if c == lo_col || c == hi_col {
-                    mask |= 1 << i;
+                };
+                applicable.push(fi);
+                match f.slot {
+                    HostSlot::Grid(i) => match f.translate_cols(lo, hi) {
+                        Some((tlo, thi)) => {
+                            ranges[i].0 = ranges[i].0.max(tlo);
+                            ranges[i].1 = ranges[i].1.min(thi);
+                            if ranges[i].0 > ranges[i].1 {
+                                empty_main = true;
+                            }
+                        }
+                        None => empty_main = true,
+                    },
+                    HostSlot::Sort => sort_fds.push(f.translate_sort(lo, hi)),
                 }
             }
-            cells.push(CellRange {
-                cell: cell as u32,
-                start: s as u32,
-                end: e as u32,
-                boundary_mask: mask,
+        }
+
+        stats.cells_projected = if empty_main {
+            0
+        } else {
+            Grid::cells_in_ranges(&ranges) as u64
+        };
+        let mut cells: Vec<CellRange> = Vec::new();
+        if !empty_main {
+            self.grid.for_each_cell(&ranges, |cell, coords| {
+                let (s, e) = self.cell_range(cell);
+                if s == e {
+                    return;
+                }
+                let mut mask = 0u32;
+                for (i, &c) in coords.iter().enumerate() {
+                    let d = grid_dims[i];
+                    if !query.filters(d) {
+                        continue;
+                    }
+                    // Boundary columns are defined by the query's own
+                    // bounds (`base`): FD tightening narrows *which* cells
+                    // are visited, not which columns are partially covered.
+                    let (lo_col, hi_col) = base[i];
+                    if c == lo_col || c == hi_col {
+                        mask |= 1 << i;
+                    }
+                }
+                cells.push(CellRange {
+                    cell: cell as u32,
+                    start: s as u32,
+                    end: e as u32,
+                    boundary_mask: mask,
+                });
             });
-        });
-        stats.cells_visited = cells.len() as u64;
+        }
+
         times.projection_ns = t0.elapsed().as_nanos() as u64;
 
         // Refinement over the sort dimension (skipped by histogram layouts,
-        // whose last dimension is gridded, not sorted).
+        // whose last dimension is gridded, not sorted): the query's own
+        // bound intersected with the sort-hosted FD translations — rows a
+        // translation excludes are, by the envelope invariant, outliers of
+        // that FD and re-added individually below.
         let t0 = Instant::now();
         let sort_dim = self.layout.sort_dim();
-        if self.layout.has_sort_dim() {
-            if let Some((a, b)) = query.bound(sort_dim) {
-                for cr in &mut cells {
-                    let (s, e) = (cr.start as usize, cr.end as usize);
-                    let len = e - s;
-                    let get = |i: usize| self.data.value(s + i, sort_dim);
-                    let (i1, i2) = match &self.cell_models[cr.cell as usize] {
-                        Some(plm) => (plm.lookup_lb(a, get), plm.lookup_ub(b, get)),
-                        None => (
-                            partition_point(len, |i| get(i) < a),
-                            partition_point(len, |i| get(i) <= b),
-                        ),
-                    };
-                    stats.refinements += 1;
-                    cr.start = (s + i1) as u32;
-                    cr.end = (s + i2) as u32;
+        let qsort = if self.layout.has_sort_dim() {
+            query.bound(sort_dim)
+        } else {
+            None
+        };
+        if self.layout.has_sort_dim() && (qsort.is_some() || !sort_fds.is_empty()) {
+            for cr in &mut cells {
+                let mut eff = qsort;
+                let mut dead = false;
+                for &tb in &sort_fds {
+                    match tb {
+                        None => {
+                            dead = true;
+                            break;
+                        }
+                        Some((a, b)) => {
+                            eff = Some(match eff {
+                                None => (a, b),
+                                Some((lo, hi)) => (lo.max(a), hi.min(b)),
+                            });
+                        }
+                    }
                 }
+                if dead {
+                    cr.start = cr.end;
+                    continue;
+                }
+                let Some((a, b)) = eff else {
+                    continue;
+                };
+                if a > b {
+                    cr.start = cr.end;
+                    continue;
+                }
+                let (s, e) = (cr.start as usize, cr.end as usize);
+                let len = e - s;
+                let get = |i: usize| self.data.value(s + i, sort_dim);
+                let (i1, i2) = match &self.cell_models[cr.cell as usize] {
+                    Some(plm) => (plm.lookup_lb(a, get), plm.lookup_ub(b, get)),
+                    None => (
+                        partition_point(len, |i| get(i) < a),
+                        partition_point(len, |i| get(i) <= b),
+                    ),
+                };
+                stats.refinements += 1;
+                cr.start = (s + i1) as u32;
+                cr.end = (s + i2) as u32;
             }
         }
+        // Residual pass: rows outside their FD envelope may match even
+        // though tightening or refinement excluded them. Re-add each
+        // outlier row whose dependent value matches its FD's filter as a
+        // single-row range — the full boundary mask and the unindexed
+        // check list enforce the rest of the query per point, and the sort
+        // bound is checked right here since single-row ranges bypass
+        // refinement. Rows the main plan already scans are skipped, so no
+        // row is ever visited twice.
+        if !applicable.is_empty() {
+            let mut full_mask = 0u32;
+            for (i, &d) in grid_dims.iter().enumerate() {
+                if query.filters(d) {
+                    full_mask |= 1 << i;
+                }
+            }
+            let mut rows: Vec<(u32, u32)> = Vec::new();
+            for &fi in &applicable {
+                let f = &self.correlation.fds[fi];
+                let (lo, hi) = query.bound(f.fd.dep).expect("applicable ⇒ filtered");
+                rows.extend(f.outliers_in(lo, hi).iter().map(|&(_, r, c)| (r, c)));
+            }
+            // One FD's outliers are already distinct rows; only a
+            // multi-FD union can repeat one.
+            if applicable.len() > 1 {
+                rows.sort_unstable();
+                rows.dedup();
+            }
+            let mut extra: Vec<CellRange> = Vec::new();
+            for (r, cell) in rows {
+                // Must satisfy the query's own projection (the cell id was
+                // precomputed at build time alongside the outlier row).
+                let cell = cell as usize;
+                if !self.grid.cell_in_ranges(cell, &base) {
+                    continue;
+                }
+                if let Some((a, b)) = qsort {
+                    let v = self.data.value(r as usize, sort_dim);
+                    if v < a || v > b {
+                        continue;
+                    }
+                }
+                // Main entries are in ascending cell order (`for_each_cell`
+                // iterates cell ids in order), so the row's cell — and
+                // whether its refined range already covers the row — is a
+                // binary search away.
+                if let Ok(i) = cells.binary_search_by_key(&(cell as u32), |cr| cr.cell) {
+                    if cells[i].start <= r && r < cells[i].end {
+                        continue;
+                    }
+                }
+                extra.push(CellRange {
+                    cell: cell as u32,
+                    start: r,
+                    end: r + 1,
+                    boundary_mask: full_mask,
+                });
+            }
+            cells.extend(extra);
+        }
+        stats.cells_visited = cells.len() as u64;
         times.refinement_ns = t0.elapsed().as_nanos() as u64;
         (cells, stats, times)
     }

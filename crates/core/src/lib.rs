@@ -46,6 +46,7 @@
 
 pub mod adaptive;
 pub mod config;
+pub mod correlation;
 pub mod cost;
 pub mod delta;
 pub mod flatten;
@@ -57,6 +58,7 @@ pub mod optimizer;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveDiagnostics, AdaptiveFlood, ObservationLog, Relearner};
 pub use config::{FloodBuilder, FloodConfig, Refinement};
+pub use correlation::{CorrelationConfig, CorrelationModel, SoftFd};
 pub use cost::{CostModel, QueryCostEstimate, WeightModels};
 pub use delta::DeltaFlood;
 pub use flatten::{Flattener, Flattening};

@@ -15,7 +15,7 @@
 //! bitset ANDs.
 
 /// Knobs for [`descend`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GdConfig {
     /// Number of gradient steps.
     pub steps: usize,
@@ -28,6 +28,13 @@ pub struct GdConfig {
     pub max_col_log2: f64,
     /// Upper bound on the total number of cells (product of columns).
     pub max_total_cells: usize,
+    /// Optional per-dimension overrides of [`GdConfig::max_col_log2`]
+    /// (position `i` caps coordinate `i`). Empty ⇒ the uniform cap applies
+    /// everywhere. The layout search uses this to shrink the budget of
+    /// dimensions a soft FD predicts from a host dimension (re-weighting,
+    /// part of the Tsunami/COAX correlation extension — the paper's search
+    /// uses the uniform cap only).
+    pub per_dim_max_log2: Vec<f64>,
 }
 
 impl Default for GdConfig {
@@ -38,6 +45,7 @@ impl Default for GdConfig {
             h: 0.5,
             max_col_log2: 10.0,
             max_total_cells: 1 << 20,
+            per_dim_max_log2: Vec::new(),
         }
     }
 }
@@ -45,7 +53,18 @@ impl Default for GdConfig {
 /// Map a log₂-space position to integer column counts, respecting the
 /// per-dimension and total-cell caps.
 pub fn to_cols(x: &[f64], cfg: &GdConfig) -> Vec<usize> {
-    let mut x: Vec<f64> = x.iter().map(|&v| v.clamp(0.0, cfg.max_col_log2)).collect();
+    let cap_of = |i: usize| -> f64 {
+        cfg.per_dim_max_log2
+            .get(i)
+            .copied()
+            .unwrap_or(cfg.max_col_log2)
+            .max(0.0)
+    };
+    let mut x: Vec<f64> = x
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v.clamp(0.0, cap_of(i)))
+        .collect();
     // Enforce the total-cell cap by uniformly shrinking in log space.
     let total: f64 = x.iter().sum();
     let cap = (cfg.max_total_cells as f64).log2();
@@ -153,6 +172,36 @@ mod tests {
         assert!(total <= 64, "cols {cols:?} total {total}");
         // Negative log columns clamp to 1 column.
         assert_eq!(to_cols(&[-3.0], &cfg), vec![1]);
+    }
+
+    #[test]
+    fn per_dim_caps_override_uniform_cap() {
+        let cfg = GdConfig {
+            max_col_log2: 8.0,
+            per_dim_max_log2: vec![8.0, 2.0],
+            ..Default::default()
+        };
+        // Dim 1 is capped at 2^2 = 4 columns; dim 0 keeps the uniform cap.
+        assert_eq!(to_cols(&[8.0, 8.0], &cfg), vec![256, 4]);
+        // A third coordinate beyond the override vector falls back to the
+        // uniform cap.
+        let cfg3 = GdConfig {
+            max_total_cells: 1 << 20,
+            ..cfg.clone()
+        };
+        assert_eq!(to_cols(&[8.0, 8.0, 8.0], &cfg3), vec![256, 4, 256]);
+        // The descent respects the cap: unconstrained optimum at 2^4 per
+        // dim, but dim 1 can't go past 2^2.
+        let obj = |cols: &[usize]| {
+            cols.iter()
+                .map(|&c| {
+                    let l = (c as f64).log2();
+                    (l - 4.0) * (l - 4.0)
+                })
+                .sum::<f64>()
+        };
+        let (cols, _) = descend(&[1.0, 1.0], &cfg, obj);
+        assert!(cols[1] <= 4, "capped dim exceeded its budget: {cols:?}");
     }
 
     #[test]

@@ -46,6 +46,20 @@
 //! [`OptimizerConfig::query_sample`]; the optimizer-search cost the paper
 //! reports as learning time (Figs 15/16's left panels) → `repro optcost`,
 //! which measures the full-vs-incremental gap.
+//!
+//! **Correlation extension (beyond the Flood paper).** Flood treats
+//! dimensions as independent; its successors exploit inter-dimension
+//! correlation (Tsunami's regions, COAX's correlation-aware completion).
+//! This search folds a lightweight form of both into Algorithm 1 via
+//! [`OptimizerConfig::correlation`]: soft functional dependencies detected
+//! on the data sample ([`crate::correlation::CorrelationModel`]) either
+//! **collapse** a dependent dimension out of the candidate set — its
+//! predicates are rewritten through the host inside the sample space, so
+//! candidate layouts are priced as if the rewrite were already live — or
+//! **re-weight** it with a per-dimension column-budget cap scaled by the
+//! fit strength ([`GdConfig::per_dim_max_log2`]). With the knob off the
+//! search is bit-identical to the paper's. [`OptimizedLayout::collapsed`]
+//! and [`OptimizedLayout::reweighted`] report what fired.
 
 pub mod gradient;
 pub mod sample;
@@ -53,6 +67,7 @@ pub mod sample;
 pub use gradient::{descend, GdConfig};
 pub use sample::{DataSample, SampleSpace, StatsCache};
 
+use crate::correlation::CorrelationConfig;
 use crate::cost::CostModel;
 use crate::layout::Layout;
 use flood_store::{RangeQuery, Table};
@@ -87,6 +102,13 @@ pub struct OptimizerConfig {
     /// layouts and costs; the flag exists so `repro optcost` can measure
     /// the search-time gap.
     pub incremental: bool,
+    /// Soft-FD detection over the data sample (Tsunami/COAX extension).
+    /// Detected collapse-grade dependents are dropped from the candidate
+    /// grid dimensions (their predicates route through the host), and
+    /// re-weight-grade dependents search under a reduced column cap.
+    /// Detection runs *after* row sampling, so disabling it leaves the
+    /// sampling stream — and therefore the search — bit-identical.
+    pub correlation: CorrelationConfig,
 }
 
 impl Default for OptimizerConfig {
@@ -100,6 +122,7 @@ impl Default for OptimizerConfig {
             init_points_per_cell: 1_024,
             seed: 0x0F700D,
             incremental: true,
+            correlation: CorrelationConfig::default(),
         }
     }
 }
@@ -127,6 +150,13 @@ pub struct OptimizedLayout {
     /// Per-(query, dimension) contributions served from the incremental
     /// cache — contributions probes needed but never changed.
     pub dim_reuses: usize,
+    /// Dimensions the search dropped from the candidate set because a
+    /// collapse-grade soft FD routes their predicates through a host
+    /// dimension (Tsunami/COAX extension; empty with correlation off).
+    pub collapsed: Vec<usize>,
+    /// Dimensions kept in the search but under a correlation-reduced
+    /// column cap (re-weight-grade soft FDs).
+    pub reweighted: Vec<usize>,
 }
 
 /// Searches the layout space for the cheapest layout under a cost model.
@@ -182,7 +212,13 @@ impl LayoutOptimizer {
         let start = Instant::now();
         // Sample queries, then build the flattened data sample.
         let (queries, mut rng) = self.sample_queries(workload);
-        let space = SampleSpace::build(table, &queries, self.cfg.data_sample, &mut rng);
+        let space = SampleSpace::build(
+            table,
+            &queries,
+            self.cfg.data_sample,
+            &mut rng,
+            &self.cfg.correlation,
+        );
         let mut evaluator =
             CostEvaluator::over_space(space, self.cost.clone(), self.cfg.incremental);
         self.search(&mut evaluator, start)
@@ -243,6 +279,38 @@ impl LayoutOptimizer {
             candidates = (0..evaluator.space().dims()).collect();
         }
 
+        // Correlation exploitation (Tsunami/COAX extension). Collapse-grade
+        // dependents leave the candidate set entirely: the sample-space
+        // rewrite already routes their predicates through the host, so
+        // spending grid columns (or the sort slot) on them is pure waste.
+        // Re-weight-grade dependents stay searchable but under a column cap
+        // shrunk by the detected strength — a dimension that is 70%
+        // predicted by its host deserves ~30% of the usual budget.
+        let corr = evaluator.space().data().correlation().clone();
+        let mut collapsed: Vec<usize> = Vec::new();
+        if !corr.is_empty() {
+            let pruned: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&d| !corr.is_collapsed_dep(d))
+                .collect();
+            // Keep the original set when pruning would leave nothing to
+            // index (every filtered dimension collapsed).
+            if !pruned.is_empty() && pruned.len() < candidates.len() {
+                collapsed = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&d| corr.is_collapsed_dep(d))
+                    .collect();
+                candidates = pruned;
+            }
+        }
+        let reweighted: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&d| corr.reweight_strength_of(d).is_some())
+            .collect();
+
         let gd_cfg = GdConfig {
             steps: self.cfg.gd_steps,
             max_col_log2: self.cfg.max_col_log2,
@@ -274,8 +342,24 @@ impl LayoutOptimizer {
                 let cost = evaluator.predict_order(&order, &[]);
                 (Vec::new(), cost)
             } else {
+                let gd = if reweighted.is_empty() {
+                    gd_cfg.clone()
+                } else {
+                    // Per-grid-dimension caps: a re-weighted dependent's
+                    // budget shrinks with the FD strength.
+                    GdConfig {
+                        per_dim_max_log2: order[..k]
+                            .iter()
+                            .map(|&d| match corr.reweight_strength_of(d) {
+                                Some(s) => self.cfg.max_col_log2 * (1.0 - s),
+                                None => self.cfg.max_col_log2,
+                            })
+                            .collect(),
+                        ..gd_cfg.clone()
+                    }
+                };
                 let init = vec![target_cells.log2() / k as f64; k];
-                descend(&init, &gd_cfg, |cols| evaluator.predict_order(&order, cols))
+                descend(&init, &gd, |cols| evaluator.predict_order(&order, cols))
             };
             diagnostics.push((sort_dim, cost));
             let layout = Layout::new(order, cols);
@@ -293,6 +377,8 @@ impl LayoutOptimizer {
             cache_hits: evaluator.cache_hits() - hits0,
             dim_recounts: evaluator.dim_recounts() - recounts0,
             dim_reuses: evaluator.dim_reuses() - reuses0,
+            collapsed,
+            reweighted,
         }
     }
 
@@ -310,7 +396,13 @@ impl LayoutOptimizer {
     /// re-flattening.
     pub fn evaluator(&self, table: &Table, workload: &[RangeQuery]) -> CostEvaluator {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-        let space = SampleSpace::build(table, workload, self.cfg.data_sample, &mut rng);
+        let space = SampleSpace::build(
+            table,
+            workload,
+            self.cfg.data_sample,
+            &mut rng,
+            &self.cfg.correlation,
+        );
         CostEvaluator::over_space(space, self.cost.clone(), self.cfg.incremental)
     }
 
@@ -320,7 +412,13 @@ impl LayoutOptimizer {
     /// `predicted_ns` on the same workload.
     pub fn evaluator_sampled(&self, table: &Table, workload: &[RangeQuery]) -> CostEvaluator {
         let (queries, mut rng) = self.sample_queries(workload);
-        let space = SampleSpace::build(table, &queries, self.cfg.data_sample, &mut rng);
+        let space = SampleSpace::build(
+            table,
+            &queries,
+            self.cfg.data_sample,
+            &mut rng,
+            &self.cfg.correlation,
+        );
         CostEvaluator::over_space(space, self.cost.clone(), self.cfg.incremental)
     }
 }
@@ -433,7 +531,12 @@ impl EvaluatorCache {
                 // Masks over the old sample are meaningless for the new one.
                 self.current = None;
                 self.table_fp = table_multiset_fp(table);
-                let d = Arc::new(DataSample::build(table, cfg.data_sample, rng));
+                let d = Arc::new(DataSample::build(
+                    table,
+                    cfg.data_sample,
+                    rng,
+                    &cfg.correlation,
+                ));
                 self.data = Some(Arc::clone(&d));
                 d
             }

@@ -48,7 +48,19 @@
 //! separately ([`StatsCache::cross_epoch_reuses`]), which is how
 //! `AdaptiveFlood` attributes re-learn cache hits to work done by earlier
 //! degradation checks.
+//!
+//! ## Correlation rewrite (Tsunami/COAX extension, beyond the Flood paper)
+//!
+//! [`DataSample::build`] also runs soft-FD detection over the sampled rows
+//! ([`CorrelationModel`], behind [`CorrelationConfig::enabled`]). The
+//! query layer then rewrites every filter on a *collapse-grade dependent*
+//! into the equivalent host-dimension range before flattening, so the
+//! statistics price each candidate layout under the same predicate routing
+//! the built index will actually perform. Detection here only has to steer
+//! the search — exactness at query time comes from the index's own
+//! full-table envelopes, never from this sample.
 
+use crate::correlation::{CorrelationConfig, CorrelationModel};
 use crate::cost::features::QueryStatistics;
 use flood_learned::cdf::CdfModel;
 use flood_learned::rmi::{Rmi, RmiConfig};
@@ -92,6 +104,10 @@ pub struct DataSample {
     /// silently producing wrong statistics (sample sizes can collide,
     /// identities cannot).
     space_id: u64,
+    /// Soft FDs detected on the sampled rows (Tsunami/COAX extension).
+    /// Query layers built over this sample rewrite collapsed-dependent
+    /// filters through it; empty when correlation is disabled.
+    correlation: CorrelationModel,
 }
 
 /// Source of [`DataSample::space_id`] values.
@@ -100,7 +116,15 @@ static NEXT_SPACE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU6
 impl DataSample {
     /// Sample up to `max_sample` rows of `table`, train per-dimension RMIs
     /// on the sample, and flatten it (Algorithm 1 lines 6–8, data side).
-    pub fn build(table: &Table, max_sample: usize, rng: &mut StdRng) -> Self {
+    /// Soft-FD detection (`ccfg`) runs on the same sampled rows, after the
+    /// RNG has been consumed, so correlation on/off never changes the
+    /// sampling stream.
+    pub fn build(
+        table: &Table,
+        max_sample: usize,
+        rng: &mut StdRng,
+        ccfg: &CorrelationConfig,
+    ) -> Self {
         let full_n = table.len();
         let n_dims = table.dims();
         let take = max_sample.clamp(1, full_n.max(1));
@@ -110,6 +134,7 @@ impl DataSample {
             index_sample(rng, full_n, take).into_vec()
         };
         let n_points = rows.len();
+        let correlation = CorrelationModel::detect_rows(table, &rows, ccfg);
 
         // Per-dimension CDFs trained on the sample.
         let mut cdfs = Vec::with_capacity(n_dims);
@@ -143,7 +168,13 @@ impl DataSample {
             full_n,
             cdfs,
             space_id: NEXT_SPACE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            correlation,
         }
+    }
+
+    /// The soft FDs detected on this sample (empty when disabled).
+    pub fn correlation(&self) -> &CorrelationModel {
+        &self.correlation
     }
 
     /// Number of sampled points.
@@ -192,15 +223,31 @@ impl SampleSpace {
         queries: &[RangeQuery],
         max_sample: usize,
         rng: &mut StdRng,
+        ccfg: &CorrelationConfig,
     ) -> Self {
-        let data = Arc::new(DataSample::build(table, max_sample, rng));
+        let data = Arc::new(DataSample::build(table, max_sample, rng, ccfg));
         SampleSpace::over(data, queries)
     }
 
     /// Attach a query layer to an existing (shared) data sample: flatten
     /// `queries` through the sample's CDFs and record selectivities. Costs
     /// no sampling, no RMI training, no data flattening.
+    ///
+    /// When the sample detected soft FDs, queries are first rewritten
+    /// through [`DataSample::correlation`] — a filter on a collapsed
+    /// dependent implies a host bound — so predicted costs price the
+    /// correlation-tightened projection the built index will actually run.
+    /// `query_fp` and the per-query mask-cache keys are both computed on
+    /// the *rewritten* queries; rewriting is deterministic per sample, so
+    /// repeat windows still collide. With no FDs this is the identity.
     pub fn over(data: Arc<DataSample>, queries: &[RangeQuery]) -> Self {
+        let rewritten;
+        let queries: &[RangeQuery] = if data.correlation.is_empty() {
+            queries
+        } else {
+            rewritten = data.correlation.rewrite_all(queries);
+            &rewritten
+        };
         let n_dims = data.n_dims;
         let mut sel_sum = vec![0.0f64; n_dims];
         let mut sel_cnt = vec![0usize; n_dims];
@@ -868,7 +915,13 @@ mod tests {
 
     fn space(queries: &[RangeQuery], sample: usize) -> SampleSpace {
         let mut rng = StdRng::seed_from_u64(3);
-        SampleSpace::build(&table(), queries, sample, &mut rng)
+        SampleSpace::build(
+            &table(),
+            queries,
+            sample,
+            &mut rng,
+            &CorrelationConfig::default(),
+        )
     }
 
     #[test]
@@ -891,8 +944,17 @@ mod tests {
     #[test]
     fn ns_estimate_tracks_truth() {
         // Query selecting ~10% of dim 0 with full sample (scale = 1).
+        // Correlation off: dim 0 (= row id % 1000) is detectably soft-FD
+        // dependent on dim 2 (= row id), and the resulting query rewrite
+        // would add a host bound on the sort dimension — correct, but not
+        // what this test measures.
         let qs = vec![RangeQuery::all(3).with_range(0, 0, 99)];
-        let s = space(&qs, usize::MAX);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ccfg = CorrelationConfig {
+            enabled: false,
+            ..Default::default()
+        };
+        let s = SampleSpace::build(&table(), &qs, usize::MAX, &mut rng, &ccfg);
         // Layout: grid on dim 0 with 10 columns, sort dim 2.
         let stats = s.query_stats(&[0, 2], &[10]);
         assert_eq!(stats.len(), 1);
@@ -999,7 +1061,12 @@ mod tests {
         let q3 = RangeQuery::all(3).with_range(0, 200, 300);
         let data = {
             let mut rng = StdRng::seed_from_u64(3);
-            Arc::new(DataSample::build(&table(), 1_000, &mut rng))
+            Arc::new(DataSample::build(
+                &table(),
+                1_000,
+                &mut rng,
+                &CorrelationConfig::default(),
+            ))
         };
         // Window A = {q1, q2}; window B slides to {q2, q3}. One cache
         // serves both: B's probe re-counts only q3's contributions.

@@ -1,0 +1,298 @@
+//! Correlation exploitation must be invisible in results: for any table,
+//! any injected soft functional dependency (any noise width, any broken-row
+//! rate), any layout, and every visitor, a correlation-**on** index returns
+//! exactly what the correlation-**off** index (and a brute-force oracle)
+//! returns. Detection quality is deliberately *not* assumed — the config
+//! used here is far more aggressive than the default so that weak, dirty
+//! fits get exploited too, and the exact-envelope + residual-pass design
+//! has to absorb them losslessly.
+//!
+//! `FLOOD_PROPTEST_CASES` scales the case count (CI raises it on push).
+
+use flood_core::{
+    AdaptiveConfig, AdaptiveFlood, CorrelationConfig, CostModel, FloodBuilder, FloodConfig, Layout,
+    LayoutOptimizer, OptimizerConfig,
+};
+use flood_store::{
+    CollectVisitor, CountVisitor, MinMaxVisitor, MultiDimIndex, RangeQuery, SumVisitor, Table,
+};
+use proptest::prelude::*;
+
+/// Case-count override from `FLOOD_PROPTEST_CASES` (unset/invalid → default).
+fn cases(default: u32) -> u32 {
+    std::env::var("FLOOD_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Exploit-everything config: full-table detection sample, thresholds low
+/// enough that even a noise-dominated fit is taken. Results must not care.
+fn aggressive() -> CorrelationConfig {
+    CorrelationConfig {
+        enabled: true,
+        sample: usize::MAX,
+        min_strength: 0.3,
+        reweight_strength: 0.1,
+        max_outlier_rate: 0.1,
+        ..Default::default()
+    }
+}
+
+fn off() -> CorrelationConfig {
+    CorrelationConfig {
+        enabled: false,
+        ..Default::default()
+    }
+}
+
+/// 4-dim table with an injected soft FD `d1 ≈ 2·d0 + noise`, where
+/// `outlier_pct`% of rows break the dependency entirely (uniform d1).
+fn fd_table(n: usize, seed: u64, noise_w: u64, outlier_pct: u32) -> Table {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let host: Vec<u64> = (0..n).map(|_| next() % 10_000).collect();
+    let dep: Vec<u64> = host
+        .iter()
+        .map(|&h| {
+            if next() % 100 < outlier_pct as u64 {
+                next() % 30_000 // broken row: no relation to the host
+            } else {
+                2 * h + next() % noise_w
+            }
+        })
+        .collect();
+    let c2: Vec<u64> = (0..n).map(|_| next() % 64).collect();
+    let c3: Vec<u64> = (0..n).map(|_| next() % (1 << 20)).collect();
+    Table::from_columns(vec![host, dep, c2, c3])
+}
+
+fn arb_fd_table() -> impl Strategy<Value = Table> {
+    (
+        40usize..400,
+        any::<u64>(),
+        prop_oneof![Just(1u64), Just(64), Just(4_000)],
+        prop_oneof![Just(0u32), Just(5), Just(25)],
+    )
+        .prop_map(|(n, seed, w, o)| fd_table(n, seed, w, o))
+}
+
+/// Queries over the 4 dims; the dependent (d1) is always filtered so the
+/// translate/tighten/residual machinery actually runs on every case (the
+/// unfiltered-dependent path is covered by the other suites).
+fn arb_query() -> impl Strategy<Value = RangeQuery> {
+    let host = prop_oneof![Just(None), bound(10_000)];
+    let dep = bound(26_000);
+    let b2 = prop_oneof![Just(None), bound(64)];
+    let b3 = prop_oneof![Just(None), bound(1 << 20)];
+    (host, dep, b2, b3).prop_map(|(b0, b1, b2, b3)| {
+        let mut q = RangeQuery::all(4);
+        for (d, b) in [b0, b1, b2, b3].into_iter().enumerate() {
+            if let Some((lo, hi)) = b {
+                q = q.with_range(d, lo, hi);
+            }
+        }
+        q
+    })
+}
+
+fn bound(domain: u64) -> impl Strategy<Value = Option<(u64, u64)>> {
+    (0..domain, 1..domain / 2).prop_map(|(lo, w)| Some((lo, lo + w)))
+}
+
+fn oracle_count(t: &Table, q: &RangeQuery) -> u64 {
+    (0..t.len()).filter(|&r| q.matches(&t.row(r))).count() as u64
+}
+
+/// Matching rows as value tuples (physical ids differ between layouts).
+fn collected_tuples(idx: &flood_core::FloodIndex, q: &RangeQuery) -> Vec<Vec<u64>> {
+    let mut v = CollectVisitor::default();
+    idx.execute(q, None, &mut v);
+    let mut rows: Vec<Vec<u64>> = v.rows.iter().map(|&r| idx.data().row(r)).collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Every visitor, on vs off vs oracle, for one (table, query, layout).
+fn check_all_visitors(
+    t: &Table,
+    q: &RangeQuery,
+    layout: Layout,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let on = FloodBuilder::new()
+        .layout(layout.clone())
+        .correlation(aggressive())
+        .build(t);
+    let off_idx = FloodBuilder::new()
+        .layout(layout)
+        .correlation(off())
+        .build(t);
+
+    let mut c_on = CountVisitor::default();
+    let mut c_off = CountVisitor::default();
+    on.execute(q, None, &mut c_on);
+    off_idx.execute(q, None, &mut c_off);
+    prop_assert_eq!(c_on.count, c_off.count, "COUNT diverged");
+    prop_assert_eq!(c_on.count, oracle_count(t, q), "COUNT wrong vs oracle");
+
+    let mut s_on = SumVisitor::default();
+    let mut s_off = SumVisitor::default();
+    on.execute(q, Some(3), &mut s_on);
+    off_idx.execute(q, Some(3), &mut s_off);
+    prop_assert_eq!(s_on.sum, s_off.sum, "SUM diverged");
+
+    let mut m_on = MinMaxVisitor::default();
+    let mut m_off = MinMaxVisitor::default();
+    on.execute(q, Some(1), &mut m_on);
+    off_idx.execute(q, Some(1), &mut m_off);
+    prop_assert_eq!(
+        (m_on.min, m_on.max),
+        (m_off.min, m_off.max),
+        "MIN/MAX diverged"
+    );
+
+    prop_assert_eq!(
+        collected_tuples(&on, q),
+        collected_tuples(&off_idx, q),
+        "COLLECT diverged"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+
+    /// Grid-hosted exploitation: the dependent is unindexed, its host is a
+    /// grid dimension, so every d1 filter routes through d0's envelopes.
+    #[test]
+    fn grid_hosted_on_equals_off(t in arb_fd_table(), q in arb_query()) {
+        check_all_visitors(&t, &q, Layout::new(vec![0, 2, 3], vec![6, 4]))?;
+    }
+
+    /// Sort-hosted exploitation: the host is the sort dimension, so
+    /// tightening goes through host-value buckets instead of grid columns.
+    #[test]
+    fn sort_hosted_on_equals_off(t in arb_fd_table(), q in arb_query()) {
+        check_all_visitors(&t, &q, Layout::new(vec![2, 3, 0], vec![5, 4]))?;
+    }
+
+    /// The dependent indexed alongside its host: only collapse-grade fits
+    /// may tighten here, and they must still change nothing.
+    #[test]
+    fn indexed_dep_on_equals_off(t in arb_fd_table(), q in arb_query()) {
+        check_all_visitors(&t, &q, Layout::new(vec![0, 1, 2, 3], vec![4, 3, 3]))?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(8)))]
+
+    /// End-to-end: layouts *learned* with correlation on and off (the on
+    /// side may collapse or re-weight the dependent) return identical
+    /// results for queries the optimizer never saw.
+    #[test]
+    fn learned_layouts_agree_on_results(
+        t in arb_fd_table(),
+        train in proptest::collection::vec(arb_query(), 8),
+        test in proptest::collection::vec(arb_query(), 8),
+    ) {
+        let learn = |enabled: bool| {
+            let ocfg = OptimizerConfig {
+                data_sample: usize::MAX,
+                query_sample: 8,
+                gd_steps: 4,
+                max_total_cells: 1 << 8,
+                correlation: if enabled { aggressive() } else { off() },
+                ..Default::default()
+            };
+            let opt = LayoutOptimizer::with_config(CostModel::analytic_default(), ocfg);
+            let layout = opt.optimize(&t, &train).layout;
+            FloodBuilder::new()
+                .layout(layout)
+                .correlation(if enabled { aggressive() } else { off() })
+                .build(&t)
+        };
+        let on = learn(true);
+        let off_idx = learn(false);
+        for q in &test {
+            let mut v_on = CountVisitor::default();
+            let mut v_off = CountVisitor::default();
+            on.execute(q, None, &mut v_on);
+            off_idx.execute(q, None, &mut v_off);
+            prop_assert_eq!(v_on.count, v_off.count, "learned layouts diverged");
+            prop_assert_eq!(v_on.count, oracle_count(&t, q), "wrong vs oracle");
+        }
+    }
+}
+
+/// Re-learning re-detects: an adaptive index with correlation on serves a
+/// stream that drifts from host-filtering to dependent-filtering. The
+/// re-learn must rebuild the support on the new layout (collapse or not)
+/// and every single answer along the way must match brute force and a
+/// correlation-off twin.
+#[test]
+fn adaptive_relearn_under_drifting_correlation_stays_exact() {
+    let t = fd_table(3_000, 42, 64, 5);
+    // Phase 1 filters the host; phase 2 drifts to the dependent plus an
+    // independent dimension the initial layout never indexed.
+    let phase1 = (0..30).map(|i| {
+        let lo = (i as u64 * 977) % 9_000;
+        RangeQuery::all(4).with_range(0, lo, lo + 400)
+    });
+    let phase2 = (0..30).map(|i| {
+        let lo = (i as u64 * 977) % 16_000;
+        RangeQuery::all(4).with_range(1, lo, lo + 800).with_range(
+            3,
+            (i as u64 * 31_337) % (1 << 19),
+            1 << 19,
+        )
+    });
+    let stream: Vec<RangeQuery> = phase1.chain(phase2).collect();
+    let train: Vec<RangeQuery> = stream[..16].to_vec();
+
+    let adaptive = |ccfg: CorrelationConfig| {
+        let ocfg = OptimizerConfig {
+            data_sample: usize::MAX,
+            query_sample: 10,
+            gd_steps: 5,
+            max_total_cells: 1 << 10,
+            correlation: ccfg,
+            ..Default::default()
+        };
+        AdaptiveFlood::build(
+            &t,
+            &train,
+            LayoutOptimizer::with_config(CostModel::analytic_default(), ocfg),
+            FloodConfig {
+                correlation: ccfg,
+                ..Default::default()
+            },
+            AdaptiveConfig {
+                window: 16,
+                check_every: 8,
+                degradation_factor: 1.0, // re-learn at every check
+                share_cache: true,
+            },
+        )
+    };
+    let mut on = adaptive(aggressive());
+    let mut off_twin = adaptive(off());
+
+    for q in &stream {
+        let mut v_on = CountVisitor::default();
+        let mut v_off = CountVisitor::default();
+        on.execute_adaptive(q, None, &mut v_on);
+        off_twin.execute_adaptive(q, None, &mut v_off);
+        assert_eq!(v_on.count, v_off.count, "adaptive on/off diverged");
+        assert_eq!(v_on.count, oracle_count(&t, q), "adaptive wrong vs oracle");
+    }
+    assert!(
+        on.relearns() >= 1,
+        "the drifting stream must trigger at least one re-learn"
+    );
+}

@@ -19,6 +19,7 @@
 //! same idiom `prop_flood.rs` uses for table content.
 
 use flood_core::optimizer::SampleSpace;
+use flood_core::CorrelationConfig;
 use flood_store::{RangeQuery, Table};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -114,7 +115,7 @@ proptest! {
         let table = make_table(d, n, table_seed);
         let queries = make_queries(d, q_seed);
         let mut rng = StdRng::seed_from_u64(table_seed ^ q_seed);
-        let space = SampleSpace::build(&table, &queries, sample, &mut rng);
+        let space = SampleSpace::build(&table, &queries, sample, &mut rng, &CorrelationConfig::default());
         let mut cache = space.stats_cache();
         for (order, cols) in make_probes(d, probe_seed) {
             let full = space.query_stats(&order, &cols);
@@ -139,7 +140,7 @@ proptest! {
         let table = make_table(d, n, table_seed);
         let queries = make_queries(d, q_seed);
         let mut rng = StdRng::seed_from_u64(table_seed ^ q_seed);
-        let space = SampleSpace::build(&table, &queries, usize::MAX, &mut rng);
+        let space = SampleSpace::build(&table, &queries, usize::MAX, &mut rng, &CorrelationConfig::default());
         let mut cache = space.stats_cache();
         let probes = make_probes(d, probe_seed);
         for (order, cols) in &probes {

@@ -78,6 +78,73 @@ pub fn templates(d: usize, target: f64) -> Vec<QueryTemplate> {
     ]
 }
 
+/// Generate `n` rows of `d >= 8` dimensions with **strong soft functional
+/// dependencies** — the archetype the correlation layer (soft-FD collapse)
+/// is built for. Dimensions cycle in blocks of 4:
+///
+/// * `4k+0`: **host** — uniform over [`DOMAIN`];
+/// * `4k+1`: **dependent** — `host/2 + U[0, noise_frac·DOMAIN)`;
+/// * `4k+2`: **dependent** — `host/4 + DOMAIN/8 + U[0, noise_frac·DOMAIN)`;
+/// * `4k+3`: **independent** — uniform, uncorrelated with everything.
+///
+/// Each dependent breaks its dependency with probability `outlier_rate`
+/// (the value is drawn uniformly instead), modelling dirty rows. At
+/// `noise_frac ≈ 0.01` and `outlier_rate ≤ 0.02` the dependencies are
+/// collapse-grade; at `noise_frac ≈ 0.3` they are barely detectable.
+///
+/// # Panics
+/// Panics if `d < 8` (two full blocks are needed for cross-block queries).
+pub fn correlated(n: usize, d: usize, seed: u64, noise_frac: f64, outlier_rate: f64) -> Table {
+    assert!(d >= 8, "highdim::correlated needs 8+ dims, got {d}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0AA);
+    let noise_w = ((DOMAIN as f64 * noise_frac) as u64).max(1);
+    let mut cols: Vec<Vec<u64>> = vec![Vec::with_capacity(n); d];
+    for _ in 0..n {
+        let mut host = 0u64;
+        for (dim, col) in cols.iter_mut().enumerate() {
+            let broken = dim % 4 == 1 || dim % 4 == 2;
+            let v = if broken && rng.gen_range(0.0..1.0) < outlier_rate {
+                rng.gen_range(0..DOMAIN)
+            } else {
+                match dim % 4 {
+                    0 => {
+                        host = rng.gen_range(0..DOMAIN);
+                        host
+                    }
+                    1 => (host / 2 + rng.gen_range(0..noise_w)).min(DOMAIN - 1),
+                    2 => (host / 4 + DOMAIN / 8 + rng.gen_range(0..noise_w)).min(DOMAIN - 1),
+                    _ => rng.gen_range(0..DOMAIN),
+                }
+            };
+            col.push(v);
+        }
+    }
+    Table::from_columns(cols)
+}
+
+/// Query templates for [`correlated`] tables: every template filters at
+/// least one *dependent* dimension, which is where collapsing pays —
+/// correlation-off must spend grid columns on redundant dimensions, while
+/// correlation-on routes those predicates through the hosts.
+pub fn correlated_templates(d: usize, target: f64) -> Vec<QueryTemplate> {
+    assert!(d >= 8);
+    let spread = |dims: Vec<usize>| -> Vec<DimFilter> {
+        let per_dim = target.powf(1.0 / dims.len() as f64);
+        dims.into_iter()
+            .map(|dim| DimFilter::range(dim, per_dim))
+            .collect()
+    };
+    vec![
+        // Dependents from both blocks — four grid dims off, two on.
+        QueryTemplate::new("dep_pair", spread(vec![1, 5])),
+        QueryTemplate::new("dep_quad", spread(vec![1, 2, 5, 6])),
+        // A host plus the other block's dependent.
+        QueryTemplate::new("host_dep", spread(vec![0, 6])),
+        // Dependent and independent mix.
+        QueryTemplate::new("dep_indep", spread(vec![2, 3, 5])),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +209,73 @@ mod tests {
     #[should_panic(expected = "10+ dims")]
     fn narrow_tables_rejected() {
         let _ = generate(100, 6, 1);
+    }
+
+    #[test]
+    fn correlated_dependents_track_hosts() {
+        let t = correlated(4_000, 8, 11, 0.01, 0.01);
+        assert_eq!(t.dims(), 8);
+        let w = (DOMAIN as f64 * 0.01) as u64;
+        type HostMap = fn(u64) -> u64;
+        let pairs: [(usize, usize, HostMap); 4] = [
+            (0, 1, |h| h / 2),
+            (0, 2, |h| h / 4 + DOMAIN / 8),
+            (4, 5, |h| h / 2),
+            (4, 6, |h| h / 4 + DOMAIN / 8),
+        ];
+        for (host, dep, f) in pairs {
+            let close = (0..t.len())
+                .filter(|&r| {
+                    let base = f(t.value(r, host));
+                    let v = t.value(r, dep);
+                    v >= base && v - base <= w
+                })
+                .count();
+            assert!(
+                close > t.len() * 95 / 100,
+                "dep {dep} drifted from host {host}: {close} of {}",
+                t.len()
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_outlier_rate_is_respected() {
+        let t = correlated(8_000, 8, 5, 0.01, 0.10);
+        let w = (DOMAIN as f64 * 0.01) as u64;
+        let broken = (0..t.len())
+            .filter(|&r| {
+                let base = t.value(r, 0) / 2;
+                let v = t.value(r, 1);
+                v < base || v - base > w
+            })
+            .count();
+        let frac = broken as f64 / t.len() as f64;
+        assert!(
+            (0.05..0.16).contains(&frac),
+            "outlier fraction {frac} far from 10%"
+        );
+    }
+
+    #[test]
+    fn correlated_templates_filter_dependents() {
+        let ts = correlated_templates(8, 0.001);
+        assert!(!ts.is_empty());
+        for t in &ts {
+            assert!(
+                t.filters.iter().any(|f| matches!(f.dim() % 4, 1 | 2)),
+                "{} filters no dependent dimension",
+                t.name
+            );
+            for f in &t.filters {
+                assert!(f.dim() < 8);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "8+ dims")]
+    fn correlated_narrow_tables_rejected() {
+        let _ = correlated(100, 4, 1, 0.01, 0.0);
     }
 }

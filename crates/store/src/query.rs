@@ -39,6 +39,22 @@ impl RangeQuery {
         self.with_range(dim, value, value)
     }
 
+    /// Intersect `[lo, hi]` into the existing filter on `dim` (or install
+    /// it if the dimension was unfiltered). Returns `false` — leaving the
+    /// query unchanged — when the intersection would be empty, so callers
+    /// deriving implied bounds (correlation rewriting) stay conservative.
+    pub fn tighten(&mut self, dim: usize, lo: u64, hi: u64) -> bool {
+        let (nlo, nhi) = match self.bound(dim) {
+            Some((a, b)) => (a.max(lo), b.min(hi)),
+            None => (lo, hi),
+        };
+        if nlo > nhi {
+            return false;
+        }
+        self.bounds[dim] = Some((nlo, nhi));
+        true
+    }
+
     /// Number of dimensions this query is defined over.
     #[inline]
     pub fn dims(&self) -> usize {
